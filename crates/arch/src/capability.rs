@@ -1,0 +1,133 @@
+//! Per-PE functional capabilities.
+
+use mapzero_dfg::{OpClass, Opcode};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The set of functional classes a PE can execute.
+///
+/// Mirrors features (4)–(6) of the paper's hardware encoding: three
+/// booleans for logical, arithmetic, and memory-access support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Capability {
+    /// Supports bitwise / comparison / select operations.
+    pub logical: bool,
+    /// Supports integer arithmetic.
+    pub arithmetic: bool,
+    /// Supports loads and stores.
+    pub memory: bool,
+}
+
+impl Capability {
+    /// A fully general PE (the paper's default: ALU + 2 load units +
+    /// 1 store unit + constants).
+    pub const ALL: Capability = Capability { logical: true, arithmetic: true, memory: true };
+
+    /// A compute-only PE (no memory port).
+    pub const COMPUTE: Capability = Capability { logical: true, arithmetic: true, memory: false };
+
+    /// An arithmetic-only PE.
+    pub const ARITH: Capability = Capability { logical: false, arithmetic: true, memory: false };
+
+    /// A PE with no functional units (placeholder; never useful alone).
+    pub const NONE: Capability = Capability { logical: false, arithmetic: false, memory: false };
+
+    /// True if the PE can execute ops of `class`.
+    #[must_use]
+    pub fn supports_class(self, class: OpClass) -> bool {
+        match class {
+            OpClass::Logical => self.logical,
+            OpClass::Arithmetic => self.arithmetic,
+            OpClass::Memory => self.memory,
+        }
+    }
+
+    /// True if the PE can execute `op`.
+    #[must_use]
+    pub fn supports(self, op: Opcode) -> bool {
+        self.supports_class(op.class())
+    }
+
+    /// The three booleans in the feature-vector order
+    /// (logical, arithmetic, memory).
+    #[must_use]
+    pub fn as_bools(self) -> [bool; 3] {
+        [self.logical, self.arithmetic, self.memory]
+    }
+
+    /// Number of supported classes.
+    #[must_use]
+    pub fn class_count(self) -> usize {
+        self.as_bools().iter().filter(|&&b| b).count()
+    }
+}
+
+impl Default for Capability {
+    fn default() -> Self {
+        Capability::ALL
+    }
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (flag, name) in [
+            (self.logical, "logic"),
+            (self.arithmetic, "arith"),
+            (self.memory, "mem"),
+        ] {
+            if flag {
+                if !first {
+                    f.write_str("+")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        if first {
+            f.write_str("none")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_supports_everything() {
+        for op in Opcode::ALL {
+            assert!(Capability::ALL.supports(op));
+        }
+    }
+
+    #[test]
+    fn compute_refuses_memory() {
+        assert!(!Capability::COMPUTE.supports(Opcode::Load));
+        assert!(!Capability::COMPUTE.supports(Opcode::Store));
+        assert!(Capability::COMPUTE.supports(Opcode::Add));
+        assert!(Capability::COMPUTE.supports(Opcode::And));
+    }
+
+    #[test]
+    fn arith_only() {
+        assert!(Capability::ARITH.supports(Opcode::Mul));
+        assert!(!Capability::ARITH.supports(Opcode::Xor));
+        assert!(!Capability::ARITH.supports(Opcode::Load));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Capability::ALL.to_string(), "logic+arith+mem");
+        assert_eq!(Capability::ARITH.to_string(), "arith");
+        assert_eq!(Capability::NONE.to_string(), "none");
+    }
+
+    #[test]
+    fn bools_order_matches_feature_encoding() {
+        let c = Capability { logical: true, arithmetic: false, memory: true };
+        assert_eq!(c.as_bools(), [true, false, true]);
+        assert_eq!(c.class_count(), 2);
+    }
+}

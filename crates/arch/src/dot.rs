@@ -1,0 +1,72 @@
+//! Graphviz DOT export for fabric visualization.
+
+use crate::{Cgra, RoutingStyle};
+use std::fmt::Write as _;
+
+/// Render the fabric in Graphviz DOT: PEs laid out on the grid with
+/// capability-coded fills and one edge per directed link.
+#[must_use]
+pub fn to_dot(cgra: &Cgra) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", cgra.name());
+    let _ = writeln!(out, "  layout=neato; overlap=true; splines=true;");
+    for p in cgra.pe_ids() {
+        let pe = cgra.pe(p);
+        let fill = match (pe.capability.memory, pe.capability.logical) {
+            (true, true) => "lightblue",
+            (true, false) => "lightsalmon",
+            (false, true) => "lightgrey",
+            (false, false) => "white",
+        };
+        let _ = writeln!(
+            out,
+            "  pe{} [label=\"{}\\n{}\" pos=\"{},{}!\" shape=box style=filled fillcolor={}];",
+            p.0,
+            p,
+            pe.capability,
+            pe.col,
+            cgra.rows() - 1 - pe.row,
+            fill
+        );
+    }
+    let style = match cgra.style() {
+        RoutingStyle::NeighborRegister => "solid",
+        RoutingStyle::CircuitSwitched => "dashed",
+    };
+    for p in cgra.pe_ids() {
+        for &q in cgra.links_from(p) {
+            let _ = writeln!(out, "  pe{} -> pe{} [style={style}];", p.0, q.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn dot_lists_every_pe_and_link() {
+        let g = presets::simple_mesh(2, 2);
+        let dot = to_dot(&g);
+        for p in g.pe_ids() {
+            assert!(dot.contains(&format!("pe{}", p.0)));
+        }
+        assert_eq!(dot.matches(" -> ").count(), g.link_count());
+    }
+
+    #[test]
+    fn circuit_switched_links_dashed() {
+        let dot = to_dot(&presets::hycube());
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn heterogeneous_capabilities_colored() {
+        let dot = to_dot(&presets::heterogeneous());
+        assert!(dot.contains("lightblue")); // mem + logic
+        assert!(dot.contains("lightsalmon")); // mem only
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-PE feature vectors (§3.2.2 of the paper).
+//!
+//! Each PE is encoded into a 7-dimensional vector: (1) id,
+//! (2) in-degree, (3) out-degree, (4)–(6) booleans for
+//! logical / arithmetic / memory capability, (7) the id of the mapped
+//! DFG node. The CGRA of *each modulo time slice* has a separate graph
+//! representation, so the caller supplies the occupancy of one slice.
+
+use crate::{Cgra, PeId};
+
+/// Dimensionality of the CGRA PE feature vector.
+pub const PE_FEATURE_DIM: usize = 7;
+
+/// Raw feature matrix for one modulo time slice.
+///
+/// `mapped[p]` is the DFG node currently occupying PE `p` in this slice
+/// (`None` → −1 in the feature, as for unmapped DFG nodes).
+///
+/// # Panics
+/// Panics if `mapped.len() != cgra.pe_count()`.
+#[must_use]
+pub fn pe_features(cgra: &Cgra, mapped: &[Option<usize>]) -> Vec<[f32; PE_FEATURE_DIM]> {
+    assert_eq!(mapped.len(), cgra.pe_count(), "one occupancy slot per PE");
+    cgra.pe_ids()
+        .map(|p| {
+            let caps = cgra.pe(p).capability.as_bools();
+            [
+                p.0 as f32,
+                cgra.in_degree(p) as f32,
+                cgra.out_degree(p) as f32,
+                f32::from(u8::from(caps[0])),
+                f32::from(u8::from(caps[1])),
+                f32::from(u8::from(caps[2])),
+                mapped[p.index()].map_or(-1.0, |n| n as f32),
+            ]
+        })
+        .collect()
+}
+
+/// Normalize a PE feature matrix in place: ids by PE count, degrees by
+/// the maximum degree, the mapped-node id by the DFG size.
+pub fn normalize_pe_features(
+    features: &mut [[f32; PE_FEATURE_DIM]],
+    cgra: &Cgra,
+    dfg_nodes: usize,
+) {
+    let n = cgra.pe_count().max(1) as f32;
+    let max_deg = cgra
+        .pe_ids()
+        .map(|p| cgra.in_degree(p).max(cgra.out_degree(p)))
+        .max()
+        .unwrap_or(1)
+        .max(1) as f32;
+    let dn = dfg_nodes.max(1) as f32;
+    for row in features.iter_mut() {
+        row[0] /= n;
+        row[1] /= max_deg;
+        row[2] /= max_deg;
+        row[6] /= dn;
+    }
+}
+
+/// Convenience: features of an empty slice.
+#[must_use]
+pub fn empty_slice_features(cgra: &Cgra) -> Vec<[f32; PE_FEATURE_DIM]> {
+    pe_features(cgra, &vec![None; cgra.pe_count()])
+}
+
+/// The directed edge list of the CGRA graph, as `(from, to)` index pairs;
+/// this is the adjacency consumed by the GAT encoder.
+#[must_use]
+pub fn edge_list(cgra: &Cgra) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(cgra.link_count());
+    for p in cgra.pe_ids() {
+        for &q in cgra.links_from(p) {
+            out.push((p.index(), q.index()));
+        }
+    }
+    out
+}
+
+/// Map PE occupancy from a `(node -> pe)` assignment restricted to one
+/// modulo slice.
+#[must_use]
+pub fn slice_occupancy(
+    cgra: &Cgra,
+    assignments: &[(usize, PeId)],
+) -> Vec<Option<usize>> {
+    let mut occ = vec![None; cgra.pe_count()];
+    for &(node, pe) in assignments {
+        occ[pe.index()] = Some(node);
+    }
+    occ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn feature_fields_match_paper() {
+        let g = presets::heterogeneous();
+        let f = empty_slice_features(&g);
+        assert_eq!(f.len(), 16);
+        // PE 0: memory-capable (col 0), logical (row 0), arithmetic.
+        assert_eq!(f[0][3], 1.0);
+        assert_eq!(f[0][4], 1.0);
+        assert_eq!(f[0][5], 1.0);
+        // PE 5 (row 1, col 1): no memory.
+        assert_eq!(f[5][5], 0.0);
+        // Unoccupied -> -1.
+        assert!(f.iter().all(|r| r[6] == -1.0));
+    }
+
+    #[test]
+    fn occupancy_reflected() {
+        let g = presets::simple_mesh(2, 2);
+        let occ = slice_occupancy(&g, &[(3, PeId(2))]);
+        let f = pe_features(&g, &occ);
+        assert_eq!(f[2][6], 3.0);
+        assert_eq!(f[0][6], -1.0);
+    }
+
+    #[test]
+    fn normalization_bounds_features() {
+        let g = presets::hrea();
+        let mut f = empty_slice_features(&g);
+        normalize_pe_features(&mut f, &g, 20);
+        for row in &f {
+            for v in row {
+                assert!(v.abs() <= 1.5, "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_list_matches_link_count() {
+        let g = presets::hrea();
+        assert_eq!(edge_list(&g).len(), g.link_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "one occupancy slot per PE")]
+    fn wrong_occupancy_length_panics() {
+        let g = presets::simple_mesh(2, 2);
+        let _ = pe_features(&g, &[None]);
+    }
+}

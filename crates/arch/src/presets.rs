@@ -1,0 +1,211 @@
+//! The target architectures of Table 1 and the heterogeneous fabric of
+//! Fig. 14.
+//!
+//! Sizes follow the source publications: HReA and HyCube are 4×4 arrays,
+//! MorphoSys and ADRES are 8×8, plus the paper's 8×8 and 16×16 baseline
+//! fabrics. "Each PE is assumed to have five constant units, two load
+//! units, one ALU, one store unit, and one output register (except
+//! ADRES). In ADRES, PEs in the same row share the same bus connection to
+//! the memory" (§4.1.1) — modelled by [`Cgra::row_shared_mem_bus`].
+
+use crate::{Capability, Cgra, CgraBuilder, Interconnect, PeId};
+
+/// HReA: 4×4, mesh + 1-hop + diagonal + toroidal.
+#[must_use]
+pub fn hrea() -> Cgra {
+    CgraBuilder::new("HReA", 4, 4)
+        .interconnect(Interconnect::Mesh)
+        .interconnect(Interconnect::OneHop)
+        .interconnect(Interconnect::Diagonal)
+        .interconnect(Interconnect::Toroidal)
+        .finish()
+}
+
+/// MorphoSys: 8×8, mesh + 1-hop + toroidal.
+#[must_use]
+pub fn morphosys() -> Cgra {
+    CgraBuilder::new("MorphoSys", 8, 8)
+        .interconnect(Interconnect::Mesh)
+        .interconnect(Interconnect::OneHop)
+        .interconnect(Interconnect::Toroidal)
+        .finish()
+}
+
+/// ADRES: 8×8, mesh + 1-hop + toroidal, with the row-shared memory bus.
+#[must_use]
+pub fn adres() -> Cgra {
+    CgraBuilder::new("ADRES", 8, 8)
+        .interconnect(Interconnect::Mesh)
+        .interconnect(Interconnect::OneHop)
+        .interconnect(Interconnect::Toroidal)
+        .row_shared_mem_bus()
+        .finish()
+}
+
+/// HyCube: 4×4 circuit-switched crossbar mesh.
+#[must_use]
+pub fn hycube() -> Cgra {
+    CgraBuilder::new("HyCube", 4, 4).interconnect(Interconnect::Crossbar).finish()
+}
+
+/// The paper's 8×8 baseline: mesh + 1-hop + diagonal.
+#[must_use]
+pub fn baseline8() -> Cgra {
+    CgraBuilder::new("8x8 baseline", 8, 8)
+        .interconnect(Interconnect::Mesh)
+        .interconnect(Interconnect::OneHop)
+        .interconnect(Interconnect::Diagonal)
+        .finish()
+}
+
+/// The paper's 16×16 baseline: mesh + 1-hop + diagonal + toroidal.
+#[must_use]
+pub fn baseline16() -> Cgra {
+    CgraBuilder::new("16x16 baseline", 16, 16)
+        .interconnect(Interconnect::Mesh)
+        .interconnect(Interconnect::OneHop)
+        .interconnect(Interconnect::Diagonal)
+        .interconnect(Interconnect::Toroidal)
+        .finish()
+}
+
+/// The heterogeneous 4×4 fabric of Fig. 14: memory ports only on the two
+/// outer columns, logical units on the upper half, arithmetic everywhere.
+#[must_use]
+pub fn heterogeneous() -> Cgra {
+    let mut b = CgraBuilder::new("Heterogeneous", 4, 4).interconnect(Interconnect::Mesh);
+    for row in 0..4 {
+        for col in 0..4 {
+            let memory = col == 0 || col == 3;
+            let logical = row < 2;
+            let cap = Capability { logical, arithmetic: true, memory };
+            b = b.capability(row, col, cap);
+        }
+    }
+    b.finish()
+}
+
+/// A plain `rows x cols` mesh used in unit tests and the motivational
+/// example of Fig. 3.
+#[must_use]
+pub fn simple_mesh(rows: usize, cols: usize) -> Cgra {
+    CgraBuilder::new(format!("{rows}x{cols} mesh"), rows, cols)
+        .interconnect(Interconnect::Mesh)
+        .finish()
+}
+
+/// Every Table 1 fabric paired with its name, in the paper's row order.
+#[must_use]
+pub fn table1() -> Vec<Cgra> {
+    vec![hrea(), morphosys(), adres(), baseline8(), baseline16(), hycube()]
+}
+
+/// The four fabrics used in the head-to-head evaluation (Figs. 8–11).
+#[must_use]
+pub fn evaluation_fabrics() -> Vec<Cgra> {
+    vec![hrea(), morphosys(), adres(), hycube()]
+}
+
+/// Look a preset up by (case-insensitive) name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Cgra> {
+    let lower = name.to_ascii_lowercase();
+    table1()
+        .into_iter()
+        .chain(std::iter::once(heterogeneous()))
+        .find(|c| c.name().to_ascii_lowercase() == lower)
+}
+
+/// The strongly-routed PE set of the Fig. 3 motivational fabric: a 2×3
+/// mesh where the corner PEs additionally connect to the opposite corner
+/// of their 2×2 quadrant (shaded PEs with "stronger routing capability").
+#[must_use]
+pub fn motivational2x3() -> Cgra {
+    CgraBuilder::new("2x3 motivational", 2, 3)
+        .interconnect(Interconnect::Mesh)
+        .link(PeId(0), PeId(4))
+        .link(PeId(4), PeId(0))
+        .link(PeId(2), PeId(4))
+        .link(PeId(4), PeId(2))
+        .link(PeId(3), PeId(1))
+        .link(PeId(1), PeId(3))
+        .link(PeId(5), PeId(1))
+        .link(PeId(1), PeId(5))
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matrix_matches_paper() {
+        let want: &[(&str, &[Interconnect])] = &[
+            ("HReA", &[
+                Interconnect::Mesh,
+                Interconnect::OneHop,
+                Interconnect::Diagonal,
+                Interconnect::Toroidal,
+            ]),
+            ("MorphoSys", &[Interconnect::Mesh, Interconnect::OneHop, Interconnect::Toroidal]),
+            ("ADRES", &[Interconnect::Mesh, Interconnect::OneHop, Interconnect::Toroidal]),
+            ("8x8 baseline", &[Interconnect::Mesh, Interconnect::OneHop, Interconnect::Diagonal]),
+            ("16x16 baseline", &[
+                Interconnect::Mesh,
+                Interconnect::OneHop,
+                Interconnect::Diagonal,
+                Interconnect::Toroidal,
+            ]),
+            ("HyCube", &[Interconnect::Crossbar]),
+        ];
+        for (fabric, (name, styles)) in table1().iter().zip(want) {
+            assert_eq!(fabric.name(), *name);
+            assert_eq!(fabric.interconnects(), *styles, "{name}");
+        }
+    }
+
+    #[test]
+    fn sizes_match() {
+        assert_eq!(hrea().pe_count(), 16);
+        assert_eq!(morphosys().pe_count(), 64);
+        assert_eq!(adres().pe_count(), 64);
+        assert_eq!(hycube().pe_count(), 16);
+        assert_eq!(baseline8().pe_count(), 64);
+        assert_eq!(baseline16().pe_count(), 256);
+    }
+
+    #[test]
+    fn adres_has_row_bus() {
+        assert!(adres().row_shared_mem_bus());
+        assert!(!hrea().row_shared_mem_bus());
+    }
+
+    #[test]
+    fn heterogeneous_capacities() {
+        let g = heterogeneous();
+        assert!(!g.is_homogeneous());
+        let cap = g.class_capacity();
+        // Memory on two columns of four rows = 8 PEs.
+        assert_eq!(cap[mapzero_dfg::OpClass::Memory.index()], 8);
+        // Logical on the top two rows = 8 PEs.
+        assert_eq!(cap[mapzero_dfg::OpClass::Logical.index()], 8);
+        assert_eq!(cap[mapzero_dfg::OpClass::Arithmetic.index()], 16);
+    }
+
+    #[test]
+    fn by_name_finds_presets() {
+        assert!(by_name("hycube").is_some());
+        assert!(by_name("HReA").is_some());
+        assert!(by_name("Heterogeneous").is_some());
+        assert!(by_name("warp9").is_none());
+    }
+
+    #[test]
+    fn motivational_fabric_has_strong_corners() {
+        let g = motivational2x3();
+        // PE 0 (shaded) reaches 2 mesh neighbours + PE 4.
+        assert_eq!(g.out_degree(PeId(0)), 3);
+        // PE 1 gains links to 3 and 5.
+        assert!(g.links_from(PeId(1)).contains(&PeId(3)));
+    }
+}

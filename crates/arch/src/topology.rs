@@ -1,0 +1,168 @@
+//! Interconnect topology generators (Fig. 7 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A PE-to-PE interconnection style.
+///
+/// A fabric combines one or more of these; each contributes directed
+/// links between grid coordinates. `Crossbar` marks the HyCube-style
+/// circuit-switched mesh where the same physical links are traversed by
+/// clockless repeaters (multi-hop within one cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Interconnect {
+    /// 4-neighbour mesh (N/S/E/W), Fig. 7(a).
+    Mesh,
+    /// Links skipping one PE in each cardinal direction, Fig. 7(c).
+    OneHop,
+    /// Diagonal neighbours, Fig. 7(d).
+    Diagonal,
+    /// Wrap-around links on rows and columns, Fig. 7(b).
+    Toroidal,
+    /// Circuit-switched crossbar mesh (HyCube), Fig. 7(e). Physically a
+    /// mesh; semantically single-cycle multi-hop.
+    Crossbar,
+}
+
+impl Interconnect {
+    /// All styles in display order (the column order of Table 1).
+    pub const ALL: [Interconnect; 5] = [
+        Interconnect::Mesh,
+        Interconnect::OneHop,
+        Interconnect::Diagonal,
+        Interconnect::Toroidal,
+        Interconnect::Crossbar,
+    ];
+
+    /// Directed neighbour offsets contributed by this style on an
+    /// `rows x cols` grid from `(r, c)`. Toroidal wraps; others clip.
+    #[must_use]
+    pub fn neighbors(
+        self,
+        rows: usize,
+        cols: usize,
+        r: usize,
+        c: usize,
+    ) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let r = r as isize;
+        let c = c as isize;
+        let (rows_i, cols_i) = (rows as isize, cols as isize);
+        let mut push_clip = |dr: isize, dc: isize| {
+            let (nr, nc) = (r + dr, c + dc);
+            if nr >= 0 && nr < rows_i && nc >= 0 && nc < cols_i && (dr, dc) != (0, 0) {
+                out.push((nr as usize, nc as usize));
+            }
+        };
+        match self {
+            Interconnect::Mesh | Interconnect::Crossbar => {
+                for (dr, dc) in [(-1, 0), (1, 0), (0, -1), (0, 1)] {
+                    push_clip(dr, dc);
+                }
+            }
+            Interconnect::OneHop => {
+                for (dr, dc) in [(-2, 0), (2, 0), (0, -2), (0, 2)] {
+                    push_clip(dr, dc);
+                }
+            }
+            Interconnect::Diagonal => {
+                for (dr, dc) in [(-1, -1), (-1, 1), (1, -1), (1, 1)] {
+                    push_clip(dr, dc);
+                }
+            }
+            Interconnect::Toroidal => {
+                // Wrap-around links only exist at the fabric edges; the
+                // interior is covered by the mesh style.
+                let mut push_wrap = |nr: isize, nc: isize| {
+                    let (nr, nc) = (nr.rem_euclid(rows_i) as usize, nc.rem_euclid(cols_i) as usize);
+                    if (nr, nc) != (r as usize, c as usize) {
+                        out.push((nr, nc));
+                    }
+                };
+                if r == 0 {
+                    push_wrap(rows_i - 1, c);
+                }
+                if r == rows_i - 1 {
+                    push_wrap(0, c);
+                }
+                if c == 0 {
+                    push_wrap(r, cols_i - 1);
+                }
+                if c == cols_i - 1 {
+                    push_wrap(r, 0);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Interconnect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Interconnect::Mesh => "mesh",
+            Interconnect::OneHop => "1-hop",
+            Interconnect::Diagonal => "diagonal",
+            Interconnect::Toroidal => "toroidal",
+            Interconnect::Crossbar => "crossbar",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mesh_corner_has_two_neighbors() {
+        let n = Interconnect::Mesh.neighbors(4, 4, 0, 0);
+        let set: HashSet<_> = n.into_iter().collect();
+        assert_eq!(set, HashSet::from([(0, 1), (1, 0)]));
+    }
+
+    #[test]
+    fn mesh_center_has_four_neighbors() {
+        assert_eq!(Interconnect::Mesh.neighbors(4, 4, 1, 1).len(), 4);
+    }
+
+    #[test]
+    fn onehop_skips_one() {
+        let n: HashSet<_> = Interconnect::OneHop.neighbors(4, 4, 0, 0).into_iter().collect();
+        assert_eq!(n, HashSet::from([(2, 0), (0, 2)]));
+    }
+
+    #[test]
+    fn diagonal_center() {
+        let n: HashSet<_> = Interconnect::Diagonal.neighbors(4, 4, 2, 2).into_iter().collect();
+        assert_eq!(n, HashSet::from([(1, 1), (1, 3), (3, 1), (3, 3)]));
+    }
+
+    #[test]
+    fn toroidal_only_wraps_edges() {
+        assert!(Interconnect::Toroidal.neighbors(4, 4, 1, 1).is_empty());
+        let corner: HashSet<_> =
+            Interconnect::Toroidal.neighbors(4, 4, 0, 0).into_iter().collect();
+        assert_eq!(corner, HashSet::from([(3, 0), (0, 3)]));
+    }
+
+    #[test]
+    fn toroidal_on_1d_strip_does_not_self_link() {
+        // A 1x4 strip: wrap from (0,0) vertically would reach itself.
+        let n = Interconnect::Toroidal.neighbors(1, 4, 0, 0);
+        assert!(!n.contains(&(0, 0)));
+    }
+
+    #[test]
+    fn crossbar_links_match_mesh() {
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(
+                    Interconnect::Crossbar.neighbors(4, 4, r, c),
+                    Interconnect::Mesh.neighbors(4, 4, r, c)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Genetic-algorithm mapper — a GenMap-style representative of the
+//! meta-heuristic class the paper surveys (§1 cites GA alongside SA as
+//! the prevailing meta-heuristics; GenMap is reference [32]).
+//!
+//! Individuals are complete placements (one PE per node, slot-feasible
+//! by construction); fitness is the negative routing cost of
+//! [`crate::cost::evaluate`]. Selection is tournament-based, crossover
+//! swaps the placement of a random node subset (repairing slot
+//! conflicts), and mutation re-places a node on a random capable PE.
+
+use crate::cost::{evaluate, random_assignment};
+use mapzero_core::mapping::{MapError, MapReport, Mapper, Mapping};
+use mapzero_core::problem::Problem;
+use mapzero_arch::{Cgra, PeId};
+use mapzero_dfg::Dfg;
+use mapzero_nn::SeedRng;
+use std::time::{Duration, Instant};
+
+/// GA parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Maximum generations per II.
+    pub generations: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Per-node mutation probability.
+    pub mutation_rate: f64,
+    /// Individuals copied unchanged into the next generation.
+    pub elitism: usize,
+    /// How many IIs above MII to try.
+    pub max_extra_ii: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 48,
+            generations: 120,
+            tournament: 4,
+            mutation_rate: 0.08,
+            elitism: 4,
+            max_extra_ii: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// The genetic-algorithm mapper.
+#[derive(Debug, Clone, Default)]
+pub struct GaMapper {
+    config: GaConfig,
+}
+
+impl GaMapper {
+    /// Create with the given configuration.
+    #[must_use]
+    pub fn new(config: GaConfig) -> Self {
+        GaMapper { config }
+    }
+
+    /// One GA run on a fixed-II problem. Returns `(mapping, generations,
+    /// evaluations, timed_out)`.
+    fn evolve(
+        problem: &Problem<'_>,
+        config: &GaConfig,
+        rng: &mut SeedRng,
+        deadline: Instant,
+    ) -> (Option<Mapping>, u64, u64, bool) {
+        let mut evaluations = 0u64;
+        let mut population: Vec<(Vec<PeId>, f64)> = (0..config.population)
+            .map(|_| {
+                let genes = random_assignment(problem, rng);
+                let eval = evaluate(problem, &genes);
+                evaluations += 1;
+                (genes, eval.cost())
+            })
+            .collect();
+        // Immediate lucky hit?
+        if let Some((genes, _)) = population.iter().find(|(_, c)| *c < 1.0) {
+            let eval = evaluate(problem, genes);
+            if eval.is_valid() {
+                return (eval.mapping, 0, evaluations, false);
+            }
+        }
+        for generation in 0..config.generations {
+            if Instant::now() > deadline {
+                return (None, generation as u64, evaluations, true);
+            }
+            population.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+            if population[0].1 < 1.0 {
+                let eval = evaluate(problem, &population[0].0);
+                if eval.is_valid() {
+                    return (eval.mapping, generation as u64, evaluations, false);
+                }
+            }
+            let mut next: Vec<(Vec<PeId>, f64)> =
+                population.iter().take(config.elitism).cloned().collect();
+            while next.len() < config.population {
+                let a = tournament(&population, config.tournament, rng);
+                let b = tournament(&population, config.tournament, rng);
+                let mut child = crossover(problem, &population[a].0, &population[b].0, rng);
+                mutate(problem, &mut child, config.mutation_rate, rng);
+                let cost = evaluate(problem, &child).cost();
+                evaluations += 1;
+                next.push((child, cost));
+            }
+            population = next;
+        }
+        // Final check of the best survivor.
+        population.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+        let eval = evaluate(problem, &population[0].0);
+        if eval.is_valid() {
+            return (eval.mapping, config.generations as u64, evaluations, false);
+        }
+        (None, config.generations as u64, evaluations, false)
+    }
+}
+
+/// Tournament selection: index of the best of `k` random individuals.
+fn tournament(
+    population: &[(Vec<PeId>, f64)],
+    k: usize,
+    rng: &mut SeedRng,
+) -> usize {
+    let mut best = rng.below(population.len());
+    for _ in 1..k {
+        let cand = rng.below(population.len());
+        if population[cand].1 < population[best].1 {
+            best = cand;
+        }
+    }
+    best
+}
+
+/// Uniform crossover with slot-conflict repair: each node takes its PE
+/// from a random parent; duplicates within a modulo slot are re-placed
+/// on a free capable PE.
+fn crossover(
+    problem: &Problem<'_>,
+    a: &[PeId],
+    b: &[PeId],
+    rng: &mut SeedRng,
+) -> Vec<PeId> {
+    let dfg = problem.dfg();
+    let schedule = problem.schedule();
+    let mut child: Vec<PeId> = (0..a.len())
+        .map(|i| if rng.unit() < 0.5 { a[i] } else { b[i] })
+        .collect();
+    // Repair: one node per (pe, slot).
+    let cgra = problem.cgra();
+    for slot_nodes in schedule.slots() {
+        let mut used: Vec<PeId> = Vec::new();
+        for u in slot_nodes {
+            let pe = child[u.index()];
+            if used.contains(&pe) {
+                let op = dfg.node(u).opcode;
+                let free: Vec<PeId> =
+                    cgra.capable_pes(op).filter(|p| !used.contains(p)).collect();
+                if !free.is_empty() {
+                    child[u.index()] = free[rng.below(free.len())];
+                }
+            }
+            used.push(child[u.index()]);
+        }
+    }
+    child
+}
+
+/// Random re-placement mutation.
+fn mutate(problem: &Problem<'_>, genes: &mut [PeId], rate: f64, rng: &mut SeedRng) {
+    let dfg = problem.dfg();
+    let cgra = problem.cgra();
+    let schedule = problem.schedule();
+    for u in dfg.node_ids() {
+        if rng.unit() >= rate {
+            continue;
+        }
+        let slot = schedule.modulo_slot(u);
+        let used: Vec<PeId> = dfg
+            .node_ids()
+            .filter(|&v| v != u && schedule.modulo_slot(v) == slot)
+            .map(|v| genes[v.index()])
+            .collect();
+        let op = dfg.node(u).opcode;
+        let free: Vec<PeId> = cgra.capable_pes(op).filter(|p| !used.contains(p)).collect();
+        if !free.is_empty() {
+            genes[u.index()] = free[rng.below(free.len())];
+        }
+    }
+}
+
+impl Mapper for GaMapper {
+    fn name(&self) -> &str {
+        "GA"
+    }
+
+    fn map(
+        &mut self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        time_limit: Duration,
+    ) -> Result<MapReport, MapError> {
+        let start = Instant::now();
+        let deadline = start + time_limit;
+        let mii = Problem::mii(dfg, cgra)?;
+        let mut rng = SeedRng::new(self.config.seed ^ 0x6761);
+        let mut generations = 0u64;
+        let mut evaluations = 0u64;
+        let mut timed_out = false;
+        let mut mapping = None;
+        for ii in mii..=mii + self.config.max_extra_ii {
+            let problem = match Problem::new(dfg, cgra, ii) {
+                Ok(p) => p,
+                Err(MapError::NoSchedule(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            let (m, g, e, t) = Self::evolve(&problem, &self.config, &mut rng, deadline);
+            generations += g;
+            evaluations += e;
+            timed_out |= t;
+            if m.is_some() {
+                mapping = m;
+                break;
+            }
+            if timed_out {
+                break;
+            }
+        }
+        Ok(MapReport {
+            mapper: self.name().to_owned(),
+            kernel: dfg.name().to_owned(),
+            fabric: cgra.name().to_owned(),
+            mii,
+            mapping,
+            elapsed: start.elapsed(),
+            backtracks: generations,
+            explored: evaluations,
+            timed_out,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapzero_arch::presets;
+    use mapzero_dfg::suite;
+
+    #[test]
+    fn maps_tiny_kernel_on_hycube() {
+        let cgra = presets::hycube();
+        let dfg = suite::by_name("sum").unwrap();
+        let mut mapper = GaMapper::default();
+        let report = mapper.map(&dfg, &cgra, Duration::from_secs(60)).unwrap();
+        let mapping = report.mapping.expect("sum should map via GA");
+        assert!(mapping.validate(&dfg, &cgra).is_empty());
+    }
+
+    #[test]
+    fn crossover_children_are_slot_feasible() {
+        let dfg = suite::by_name("mac").unwrap();
+        let cgra = presets::hrea();
+        let problem = Problem::new(&dfg, &cgra, 1).unwrap();
+        let mut rng = SeedRng::new(11);
+        let a = random_assignment(&problem, &mut rng);
+        let b = random_assignment(&problem, &mut rng);
+        for _ in 0..20 {
+            let child = crossover(&problem, &a, &b, &mut rng);
+            // II = 1: all PEs must be distinct.
+            let mut seen = std::collections::HashSet::new();
+            for pe in &child {
+                assert!(seen.insert(pe.0), "duplicate {pe} in child");
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_respects_capabilities() {
+        let dfg = suite::by_name("mac").unwrap();
+        let cgra = presets::heterogeneous();
+        let problem = Problem::new(&dfg, &cgra, 2).unwrap();
+        let mut rng = SeedRng::new(3);
+        let mut genes = random_assignment(&problem, &mut rng);
+        for _ in 0..10 {
+            mutate(&problem, &mut genes, 1.0, &mut rng);
+            for u in dfg.node_ids() {
+                assert!(cgra
+                    .pe(genes[u.index()])
+                    .capability
+                    .supports(dfg.node(u).opcode));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cgra = presets::hrea();
+        let dfg = suite::by_name("mac").unwrap();
+        let mut a = GaMapper::new(GaConfig { seed: 5, ..Default::default() });
+        let mut b = GaMapper::new(GaConfig { seed: 5, ..Default::default() });
+        let ra = a.map(&dfg, &cgra, Duration::from_secs(60)).unwrap();
+        let rb = b.map(&dfg, &cgra, Duration::from_secs(60)).unwrap();
+        assert_eq!(ra.mapping, rb.mapping);
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion bench: end-to-end mapping throughput of each mapper on a
+//! small kernel (one bar per method, the microbenchmark behind Fig. 11).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapzero_baselines::{ExactMapper, LisaMapper, SaMapper};
+use mapzero_core::{Compiler, MapZeroConfig, Mapper};
+use std::time::Duration;
+
+fn bench_mapping(c: &mut Criterion) {
+    let dfg = mapzero_dfg::suite::by_name("mac").expect("kernel exists");
+    let cgra = mapzero_arch::presets::hycube();
+    let limit = Duration::from_secs(30);
+
+    let mut group = c.benchmark_group("map_mac_on_hycube");
+    group.sample_size(10);
+
+    group.bench_function("mapzero", |b| {
+        let mut compiler = Compiler::new(MapZeroConfig::fast_test());
+        // Warm the network cache outside the timed loop.
+        let _ = compiler.map_with_limit(&dfg, &cgra, limit);
+        b.iter(|| {
+            let report = compiler.map_with_limit(&dfg, &cgra, limit).unwrap();
+            assert!(report.mapping.is_some());
+        });
+    });
+    group.bench_function("ilp_exact", |b| {
+        b.iter(|| {
+            let mut mapper = ExactMapper::default();
+            let report = mapper.map(&dfg, &cgra, limit).unwrap();
+            assert!(report.mapping.is_some());
+        });
+    });
+    group.bench_function("sa", |b| {
+        b.iter(|| {
+            let mut mapper = SaMapper::default();
+            let report = mapper.map(&dfg, &cgra, limit).unwrap();
+            assert!(report.mapping.is_some());
+        });
+    });
+    group.bench_function("lisa", |b| {
+        b.iter(|| {
+            let mut mapper = LisaMapper::default();
+            let report = mapper.map(&dfg, &cgra, limit).unwrap();
+            assert!(report.mapping.is_some());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

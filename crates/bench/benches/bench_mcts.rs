@@ -1,0 +1,32 @@
+//! Criterion bench: MCTS decision throughput (one `search` call) with
+//! priors (PUCT) and without (plain UCT), quantifying the §4.7 design
+//! choice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapzero_core::network::{MapZeroNet, NetConfig};
+use mapzero_core::{MapEnv, Mcts, MctsConfig, Problem};
+
+fn bench_mcts(c: &mut Criterion) {
+    let dfg = mapzero_dfg::suite::by_name("mac").expect("kernel exists");
+    let cgra = mapzero_arch::presets::hrea();
+    let problem = Problem::new(&dfg, &cgra, 1).expect("schedulable");
+    let env = MapEnv::new(&problem);
+    let net = MapZeroNet::new(cgra.pe_count(), NetConfig::tiny());
+
+    let mut group = c.benchmark_group("mcts_search_mac_hrea");
+    group.sample_size(10);
+    for (label, use_priors) in [("puct", true), ("plain_uct", false)] {
+        let config = MctsConfig { simulations: 16, expansion_cap: 16, use_priors, ..MctsConfig::default() };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut mcts = Mcts::new(&net, config);
+                let result = mcts.search(&env);
+                std::hint::black_box(result.best_action);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mcts);
+criterion_main!(benches);

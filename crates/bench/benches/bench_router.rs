@@ -1,0 +1,70 @@
+//! Criterion bench: router cost on both timing models — registered
+//! neighbour Dijkstra (mesh) versus circuit-switched departure search
+//! (HyCube), the §3.3 coupled/decoupled split.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapzero_arch::PeId;
+use mapzero_core::ledger::Ledger;
+use mapzero_core::mapping::Placement;
+use mapzero_core::router::route_edge;
+use mapzero_dfg::NodeId;
+
+fn bench_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router");
+
+    let mesh = mapzero_arch::presets::baseline8(); // 8x8, rich links
+    group.bench_function("registered_corner_to_corner_8x8", |b| {
+        b.iter(|| {
+            let mut ledger = Ledger::new(&mesh, 4);
+            let route = route_edge(
+                &mesh,
+                &mut ledger,
+                NodeId(0),
+                Placement { pe: PeId(0), time: 0 },
+                Placement { pe: PeId(63), time: 9 },
+                0,
+            );
+            std::hint::black_box(route.expect("routable with 9 cycles of slack"));
+        });
+    });
+
+    let hycube = mapzero_arch::presets::hycube();
+    group.bench_function("circuit_switched_corner_to_corner_4x4", |b| {
+        b.iter(|| {
+            let mut ledger = Ledger::new(&hycube, 2);
+            let route = route_edge(
+                &hycube,
+                &mut ledger,
+                NodeId(0),
+                Placement { pe: PeId(0), time: 0 },
+                Placement { pe: PeId(15), time: 1 },
+                0,
+            );
+            std::hint::black_box(route.expect("single-cycle multi-hop"));
+        });
+    });
+
+    group.bench_function("registered_congested_fanout", |b| {
+        b.iter(|| {
+            let mut ledger = Ledger::new(&mesh, 2);
+            // One producer feeding eight consumers: later routes share
+            // the net's claimed registers.
+            for (i, consumer) in [1u32, 8, 9, 2, 16, 10, 3, 17].into_iter().enumerate() {
+                let route = route_edge(
+                    &mesh,
+                    &mut ledger,
+                    NodeId(0),
+                    Placement { pe: PeId(0), time: 0 },
+                    Placement { pe: PeId(consumer), time: 1 + (i as u32 % 3) },
+                    0,
+                );
+                std::hint::black_box(route);
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_router);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench: modulo scheduling and MII computation over the
+//! benchmark suite (the front half of every mapping attempt).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapzero_dfg::{mii, modulo_schedule, ResourceModel};
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule");
+    let res16 = ResourceModel::homogeneous(16);
+    let res256 = ResourceModel::homogeneous(256);
+
+    for name in ["mac", "arf", "mulul"] {
+        let dfg = mapzero_dfg::suite::by_name(name).expect("kernel exists");
+        group.bench_function(format!("modulo_schedule_{name}_16pe"), |b| {
+            b.iter(|| std::hint::black_box(modulo_schedule(&dfg, &res16, 64).unwrap()));
+        });
+    }
+
+    let huf = mapzero_dfg::suite::by_name("huf_u").expect("kernel exists");
+    group.bench_function("modulo_schedule_huf_u_256pe", |b| {
+        b.iter(|| std::hint::black_box(modulo_schedule(&huf, &res256, 64).unwrap()));
+    });
+    group.bench_function("mii_huf_u_256pe", |b| {
+        b.iter(|| std::hint::black_box(mii::mii(&huf, &res256)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule);
+criterion_main!(benches);

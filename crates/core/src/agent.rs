@@ -1,0 +1,361 @@
+//! The inference agent: MCTS-guided placement with backtracking
+//! (§3.6.2).
+//!
+//! "When mapping a new DFG with the pre-trained agent, we allow
+//! backtracking when traversing down the search tree. Once the PE
+//! assignment for a node is found to yield an undesirable reward, we
+//! unmap it and allow the agent to perform a different action."
+
+use crate::embed::{observe, Observation};
+use crate::env::MapEnv;
+use crate::mapping::Mapping;
+use crate::mcts::{Mcts, MctsConfig};
+use crate::network::MapZeroNet;
+use crate::problem::Problem;
+use mapzero_arch::PeId;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Agent configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentConfig {
+    /// MCTS parameters.
+    pub mcts: MctsConfig,
+    /// Run MCTS; `false` degrades to greedy policy-network placement
+    /// (the §4.7 ablation).
+    pub use_mcts: bool,
+    /// Maximum number of backtracking operations per episode.
+    pub backtrack_budget: u64,
+    /// After this many backtracks the episode stops paying for MCTS on
+    /// fresh states and decides by the distance heuristic alone — the
+    /// systematic-search fallback for states the model keeps
+    /// misjudging. `u64::MAX` never falls back.
+    pub mcts_backtrack_cutoff: u64,
+    /// Record `(state, π, reward)` steps for training.
+    pub collect_trajectory: bool,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            mcts: MctsConfig::default(),
+            use_mcts: true,
+            backtrack_budget: 256,
+            mcts_backtrack_cutoff: u64::MAX,
+            collect_trajectory: false,
+        }
+    }
+}
+
+impl AgentConfig {
+    /// Small configuration for unit tests.
+    #[must_use]
+    pub fn fast_test() -> Self {
+        AgentConfig {
+            mcts: MctsConfig::fast_test(),
+            use_mcts: true,
+            backtrack_budget: 64,
+            mcts_backtrack_cutoff: u64::MAX,
+            collect_trajectory: false,
+        }
+    }
+}
+
+/// One recorded decision of an episode.
+#[derive(Debug, Clone)]
+pub struct TrajectoryStep {
+    /// The observation the decision was made from.
+    pub observation: Observation,
+    /// The policy target (MCTS visit distribution, or one-hot for the
+    /// greedy ablation).
+    pub policy: Vec<f32>,
+    /// Immediate environment reward.
+    pub reward: f64,
+}
+
+/// Result of one mapping episode.
+#[derive(Debug, Clone)]
+pub struct EpisodeResult {
+    /// The mapping, when the episode succeeded.
+    pub mapping: Option<Mapping>,
+    /// Backtracking operations performed (Fig. 9).
+    pub backtracks: u64,
+    /// Placement actions taken (including undone ones).
+    pub steps: u64,
+    /// Cumulative environment reward.
+    pub total_reward: f64,
+    /// Recorded decisions (empty unless requested).
+    pub trajectory: Vec<TrajectoryStep>,
+    /// True when the episode stopped on the deadline.
+    pub timed_out: bool,
+}
+
+/// The MapZero placement agent.
+pub struct MapZeroAgent<'n> {
+    net: &'n MapZeroNet,
+    config: AgentConfig,
+}
+
+impl<'n> MapZeroAgent<'n> {
+    /// Create an agent around a (possibly pre-trained) network.
+    #[must_use]
+    pub fn new(net: &'n MapZeroNet, config: AgentConfig) -> Self {
+        MapZeroAgent { net, config }
+    }
+
+    /// Run one mapping episode on `problem` with a wall-clock deadline.
+    #[must_use]
+    pub fn run_episode(&self, problem: &Problem<'_>, deadline: Duration) -> EpisodeResult {
+        let start = Instant::now();
+        let mut env = MapEnv::new(problem);
+        let mut mcts = Mcts::new(self.net, self.config.mcts);
+        let mut banned: Vec<HashSet<PeId>> = vec![HashSet::new(); problem.node_count() + 1];
+        // Cached policy per depth: re-deciding after a backtrack walks
+        // down the stored MCTS ranking instead of re-searching, so
+        // backtracking costs O(1) network-free decisions (§3.6.2:
+        // "timely remediate ... with little time overhead").
+        let mut cached: Vec<Option<Vec<f32>>> = vec![None; problem.node_count() + 1];
+        let mut trajectory: Vec<TrajectoryStep> = Vec::new();
+        let mut backtracks = 0u64;
+        let mut steps = 0u64;
+        let mut timed_out = false;
+
+        while !env.done() {
+            if start.elapsed() > deadline {
+                timed_out = true;
+                break;
+            }
+            let depth = env.placed_count();
+            // Pick an action not banned at this depth.
+            let decision = self.decide(
+                &mut mcts,
+                &env,
+                &banned[depth],
+                &mut cached[depth],
+                backtracks >= self.config.mcts_backtrack_cutoff,
+            );
+            let Some((action, policy, solution)) = decision else {
+                // Everything at this depth is banned or illegal:
+                // backtrack if allowed, otherwise the episode is stuck.
+                if backtracks < self.config.backtrack_budget && depth > 0 {
+                    // Capture the parent action before unwinding it.
+                    let parent_node = problem.order()[depth - 1];
+                    let parent_action = env.placement(parent_node).map(|p| p.pe);
+                    if env.undo().is_some() {
+                        backtracks += 1;
+                        banned[depth].clear();
+                        cached[depth] = None;
+                        trajectory.pop();
+                        if let Some(prev) = parent_action {
+                            banned[depth - 1].insert(prev);
+                        }
+                        continue;
+                    }
+                }
+                break;
+            };
+            if let Some(mapping) = solution {
+                // Early exit: a rollout completed the mapping (§3.5).
+                return EpisodeResult {
+                    mapping: Some(mapping),
+                    backtracks,
+                    steps,
+                    total_reward: env.total_reward(),
+                    trajectory,
+                    timed_out: false,
+                };
+            }
+            let observation =
+                if self.config.collect_trajectory { Some(observe(&env)) } else { None };
+            let outcome = env.step(action);
+            steps += 1;
+            // Any stale policy cached for the next depth belonged to a
+            // different prefix.
+            cached[env.placed_count()] = None;
+            if let Some(observation) = observation {
+                trajectory.push(TrajectoryStep { observation, policy, reward: outcome.reward });
+            }
+            if outcome.failed_routes > 0 && backtracks < self.config.backtrack_budget {
+                // Undesirable reward: unmap and try a different action.
+                env.undo();
+                backtracks += 1;
+                banned[depth].insert(action);
+                trajectory.pop();
+            }
+        }
+
+        EpisodeResult {
+            mapping: env.final_mapping(),
+            backtracks,
+            steps,
+            total_reward: env.total_reward(),
+            trajectory,
+            timed_out,
+        }
+    }
+
+    /// Choose an action for the current state. Returns `None` if no
+    /// unbanned legal action exists; otherwise the action, the policy
+    /// target, and (for MCTS) an early-exit solution if one was found.
+    ///
+    /// `cached` holds the policy computed on the first visit to this
+    /// depth under the current prefix, so post-backtrack re-decisions
+    /// just walk down the stored ranking.
+    fn decide(
+        &self,
+        mcts: &mut Mcts<'_>,
+        env: &MapEnv<'_>,
+        banned: &HashSet<PeId>,
+        cached: &mut Option<Vec<f32>>,
+        cheap_mode: bool,
+    ) -> Option<(PeId, Vec<f32>, Option<Mapping>)> {
+        let legal: Vec<PeId> =
+            env.legal_actions().into_iter().filter(|a| !banned.contains(a)).collect();
+        if legal.is_empty() {
+            return None;
+        }
+        if let Some(policy) = cached.as_ref() {
+            let action = best_by_score(&legal, policy, env);
+            return Some((action, policy.clone(), None));
+        }
+        if cheap_mode {
+            // Systematic-search fallback: flat policy, ordering purely
+            // by the distance tie-break in `best_by_score`.
+            let pe_count = env.problem().cgra().pe_count();
+            let flat = vec![1.0 / pe_count as f32; pe_count];
+            let action = best_by_score(&legal, &flat, env);
+            *cached = Some(flat.clone());
+            return Some((action, flat, None));
+        }
+        if self.config.use_mcts {
+            let result = mcts.search(env);
+            if result.solution.is_some() {
+                return Some((result.best_action, result.visit_distribution, result.solution));
+            }
+            let action = best_by_score(&legal, &result.visit_distribution, env);
+            *cached = Some(result.visit_distribution.clone());
+            Some((action, result.visit_distribution, None))
+        } else {
+            // Greedy policy placement (no-MCTS ablation).
+            let pred = self.net.predict(&observe(env));
+            let probs = pred.probs();
+            let action = best_by_score(&legal, &probs, env);
+            *cached = Some(probs.clone());
+            let pe_count = env.problem().cgra().pe_count();
+            let mut policy = vec![0.0f32; pe_count];
+            policy[action.index()] = 1.0;
+            Some((action, policy, None))
+        }
+    }
+}
+
+/// Highest-scoring action among `legal` under a per-PE score vector,
+/// breaking ties (an untrained or flat policy) by grid distance to the
+/// current node's placed neighbours. The tie-break makes the
+/// post-backtrack walk down the ranking degrade gracefully into the
+/// same distance-ordered systematic search the exact mapper uses.
+fn best_by_score(legal: &[PeId], scores: &[f32], env: &MapEnv<'_>) -> PeId {
+    let cgra = env.problem().cgra();
+    let dfg = env.problem().dfg();
+    let mut anchors: Vec<(usize, usize)> = Vec::new();
+    if let Some(u) = env.current_node() {
+        for e in dfg.in_edges(u).chain(dfg.out_edges(u)) {
+            let other = if e.src == u { e.dst } else { e.src };
+            if let Some(p) = env.placement(other) {
+                let pe = cgra.pe(p.pe);
+                anchors.push((pe.row, pe.col));
+            }
+        }
+    }
+    let dist = |pe: PeId| -> usize {
+        let info = cgra.pe(pe);
+        anchors
+            .iter()
+            .map(|&(r, c)| info.row.abs_diff(r) + info.col.abs_diff(c))
+            .sum()
+    };
+    legal
+        .iter()
+        .copied()
+        .max_by(|a, b| {
+            scores[a.index()]
+                .partial_cmp(&scores[b.index()])
+                .expect("finite scores")
+                .then_with(|| dist(*b).cmp(&dist(*a)))
+        })
+        .expect("legal non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{MapZeroNet, NetConfig};
+    use mapzero_arch::presets;
+    use mapzero_dfg::suite;
+
+    fn agent_net(pes: usize) -> MapZeroNet {
+        MapZeroNet::new(pes, NetConfig::tiny())
+    }
+
+    #[test]
+    fn maps_small_kernel_on_hrea() {
+        let dfg = suite::by_name("sum").unwrap();
+        let cgra = presets::hrea();
+        let problem = Problem::new(&dfg, &cgra, 1).unwrap();
+        let net = agent_net(16);
+        let agent = MapZeroAgent::new(&net, AgentConfig::fast_test());
+        let result = agent.run_episode(&problem, Duration::from_secs(30));
+        let mapping = result.mapping.expect("sum should map");
+        assert!(mapping.validate(&dfg, &cgra).is_empty());
+    }
+
+    #[test]
+    fn greedy_ablation_runs_and_counts_backtracks() {
+        let dfg = suite::by_name("mac").unwrap();
+        let cgra = presets::hrea();
+        let problem = Problem::new(&dfg, &cgra, 1).unwrap();
+        let net = agent_net(16);
+        let config = AgentConfig { use_mcts: false, ..AgentConfig::fast_test() };
+        let agent = MapZeroAgent::new(&net, config);
+        let result = agent.run_episode(&problem, Duration::from_secs(30));
+        // Greedy with backtracking may or may not succeed with an
+        // untrained net, but the episode must terminate cleanly.
+        assert!(result.steps > 0);
+        if let Some(m) = &result.mapping {
+            assert!(m.validate(&dfg, &cgra).is_empty());
+        }
+    }
+
+    #[test]
+    fn trajectory_collection_records_steps() {
+        let dfg = suite::by_name("sum").unwrap();
+        let cgra = presets::simple_mesh(4, 4);
+        let problem = Problem::new(&dfg, &cgra, 1).unwrap();
+        let net = agent_net(16);
+        let config = AgentConfig {
+            collect_trajectory: true,
+            use_mcts: false,
+            ..AgentConfig::fast_test()
+        };
+        let agent = MapZeroAgent::new(&net, config);
+        let result = agent.run_episode(&problem, Duration::from_secs(30));
+        assert!(!result.trajectory.is_empty());
+        for step in &result.trajectory {
+            let total: f32 = step.policy.iter().sum();
+            assert!((total - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn deadline_is_respected() {
+        let dfg = suite::by_name("arf").unwrap();
+        let cgra = presets::hrea();
+        let mii = Problem::mii(&dfg, &cgra).unwrap();
+        let problem = Problem::new(&dfg, &cgra, mii).unwrap();
+        let net = agent_net(16);
+        let agent = MapZeroAgent::new(&net, AgentConfig::fast_test());
+        let result = agent.run_episode(&problem, Duration::from_millis(0));
+        assert!(result.timed_out);
+        assert!(result.mapping.is_none());
+    }
+}

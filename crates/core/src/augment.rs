@@ -1,0 +1,152 @@
+//! Training-data augmentation via fabric symmetry (§3.6.1).
+//!
+//! "By analyzing the symmetry of the target CGRA, we flip, shift, and
+//! rotate the searched mapping results to get more (s, π, r) groups."
+//!
+//! Given a training sample whose CGRA features and policy target are
+//! indexed by PE id, a valid fabric automorphism permutes both
+//! consistently, yielding an equally-valid sample.
+
+use crate::network::TrainSample;
+use mapzero_arch::symmetry::{valid_transforms, Transform};
+use mapzero_arch::Cgra;
+use mapzero_nn::Matrix;
+
+/// Apply a PE permutation to one sample: permutes the CGRA feature rows
+/// (keeping the id feature of each *position*), the action mask and the
+/// policy target.
+#[must_use]
+pub fn permute_sample(sample: &TrainSample, perm: &[usize]) -> TrainSample {
+    let n = perm.len();
+    debug_assert_eq!(sample.policy.len(), n);
+    let src = &sample.observation.cgra_nodes;
+    debug_assert_eq!(src.rows(), n);
+    let cols = src.cols();
+    let mut cgra = Matrix::zeros(n, cols);
+    let mut mask = vec![false; n];
+    let mut policy = vec![0.0f32; n];
+    for pe in 0..n {
+        let dst = perm[pe];
+        for c in 0..cols {
+            cgra[(dst, c)] = src[(pe, c)];
+        }
+        // The id feature (column 0) describes the position, not the
+        // payload, so restore it after the move.
+        cgra[(dst, 0)] = src[(dst, 0)];
+        mask[dst] = sample.observation.mask[pe];
+        policy[dst] = sample.policy[pe];
+    }
+    let mut observation = sample.observation.clone();
+    observation.cgra_nodes = cgra;
+    observation.mask = mask;
+    TrainSample { observation, policy, value: sample.value }
+}
+
+/// Produce the augmented set for a sample: the original plus one copy
+/// per non-identity fabric symmetry (capped at `max_copies`).
+#[must_use]
+pub fn augment(sample: &TrainSample, cgra: &Cgra, max_copies: usize) -> Vec<TrainSample> {
+    let mut out = vec![sample.clone()];
+    for t in valid_transforms(cgra) {
+        if t == Transform::Identity || out.len() > max_copies {
+            continue;
+        }
+        let Some(perm) = t.permutation(cgra) else {
+            continue;
+        };
+        let perm_idx: Vec<usize> = perm.into_iter().map(|p| p.index()).collect();
+        out.push(permute_sample(sample, &perm_idx));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::Observation;
+    use mapzero_arch::presets;
+
+    fn sample16() -> TrainSample {
+        let mut policy = vec![0.0f32; 16];
+        policy[1] = 1.0; // action at (row 0, col 1)
+        let mut mask = vec![true; 16];
+        mask[5] = false;
+        let mut cgra_nodes = Matrix::zeros(16, 7);
+        for i in 0..16 {
+            cgra_nodes[(i, 0)] = i as f32 / 16.0; // id feature
+            cgra_nodes[(i, 6)] = if i == 5 { 0.3 } else { -1.0 }; // occupancy
+        }
+        TrainSample {
+            observation: Observation {
+                dfg_nodes: Matrix::zeros(3, 10),
+                dfg_edges: vec![(0, 1)],
+                cgra_nodes,
+                cgra_edges: vec![],
+                metadata: Matrix::zeros(1, 11),
+                mask,
+            },
+            policy,
+            value: 0.5,
+        }
+    }
+
+    #[test]
+    fn permutation_moves_policy_and_mask_together() {
+        let s = sample16();
+        let cgra = presets::simple_mesh(4, 4);
+        let perm = mapzero_arch::symmetry::Transform::FlipH
+            .permutation(&cgra)
+            .unwrap()
+            .into_iter()
+            .map(|p| p.index())
+            .collect::<Vec<_>>();
+        let t = permute_sample(&s, &perm);
+        // (0,1) flips to (0,2) = pe 2.
+        assert_eq!(t.policy[2], 1.0);
+        assert_eq!(t.policy[1], 0.0);
+        // Occupied pe 5 = (1,1) flips to (1,2) = pe 6.
+        assert!(!t.observation.mask[6]);
+        assert!((t.observation.cgra_nodes[(6, 6)] - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn id_feature_stays_positional() {
+        let s = sample16();
+        let cgra = presets::simple_mesh(4, 4);
+        let perm = mapzero_arch::symmetry::Transform::Rot180
+            .permutation(&cgra)
+            .unwrap()
+            .into_iter()
+            .map(|p| p.index())
+            .collect::<Vec<_>>();
+        let t = permute_sample(&s, &perm);
+        for i in 0..16 {
+            assert!((t.observation.cgra_nodes[(i, 0)] - i as f32 / 16.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn augment_produces_symmetry_copies() {
+        let s = sample16();
+        let cgra = presets::simple_mesh(4, 4);
+        let copies = augment(&s, &cgra, 8);
+        // 4x4 mesh: identity + flips + rotations survive validity checks.
+        assert!(copies.len() >= 4, "got {}", copies.len());
+        // Value target is invariant.
+        assert!(copies.iter().all(|c| (c.value - 0.5).abs() < 1e-6));
+        // Each copy's policy still sums to 1.
+        for c in &copies {
+            let sum: f32 = c.policy.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_fabric_restricts_augmentation() {
+        let s = sample16();
+        let het = presets::heterogeneous();
+        let copies = augment(&s, &het, 8);
+        let mesh_copies = augment(&s, &presets::simple_mesh(4, 4), 8);
+        assert!(copies.len() < mesh_copies.len());
+    }
+}

@@ -1,0 +1,153 @@
+//! Compiler checkpointing: persist the per-fabric networks of a
+//! [`crate::Compiler`] so pre-training cost is paid once.
+//!
+//! A checkpoint directory holds one weight file per action-space size
+//! (`net_<pe_count>.mzw`) in the [`mapzero_nn`] binary format.
+
+use crate::compiler::Compiler;
+use crate::network::MapZeroNet;
+use mapzero_nn::{load_params, save_params, WeightFormatError};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Directory creation / listing failed.
+    Io(io::Error),
+    /// A weight file was malformed.
+    Weights(WeightFormatError),
+    /// A file name did not match the `net_<n>.mzw` convention.
+    BadName(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "i/o error: {e}"),
+            CheckpointError::Weights(e) => write!(f, "weight file error: {e}"),
+            CheckpointError::BadName(n) => write!(f, "unexpected checkpoint file `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<WeightFormatError> for CheckpointError {
+    fn from(e: WeightFormatError) -> Self {
+        CheckpointError::Weights(e)
+    }
+}
+
+/// Save every network the compiler holds into `dir` (created if
+/// missing).
+///
+/// # Errors
+/// Returns [`CheckpointError`] on I/O failure.
+pub fn save_compiler(compiler: &Compiler, dir: impl AsRef<Path>) -> Result<usize, CheckpointError> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let mut count = 0;
+    for pe_count in compiler.net_sizes() {
+        let net = compiler.net_for(pe_count).expect("listed size exists");
+        save_params(&net.params, dir.join(format!("net_{pe_count}.mzw")))?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Load all checkpointed networks from `dir` into the compiler
+/// (networks are constructed from the compiler's `NetConfig`, so the
+/// checkpoint must come from a compiler with the same configuration).
+///
+/// # Errors
+/// Returns [`CheckpointError`] on I/O failure, malformed files or
+/// shape mismatch.
+pub fn load_compiler(compiler: &mut Compiler, dir: impl AsRef<Path>) -> Result<usize, CheckpointError> {
+    let mut count = 0;
+    for entry in fs::read_dir(dir.as_ref())? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(stem) = name.strip_prefix("net_").and_then(|s| s.strip_suffix(".mzw")) else {
+            continue;
+        };
+        let pe_count: usize =
+            stem.parse().map_err(|_| CheckpointError::BadName(name.clone()))?;
+        let mut net = MapZeroNet::new(pe_count, compiler.config().net);
+        load_params(&mut net.params, entry.path())?;
+        compiler.install_net(net);
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::MapZeroConfig;
+    use mapzero_arch::presets;
+    use mapzero_dfg::suite;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mapzero_ckpt_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let dir = temp_dir("roundtrip");
+        let dfg = suite::by_name("sum").unwrap();
+        let cgra = presets::hrea();
+        let mut a = Compiler::new(MapZeroConfig::fast_test());
+        let _ = a.map(&dfg, &cgra).unwrap(); // creates the 16-PE net
+        assert_eq!(save_compiler(&a, &dir).unwrap(), 1);
+
+        let mut b = Compiler::new(MapZeroConfig::fast_test());
+        assert_eq!(load_compiler(&mut b, &dir).unwrap(), 1);
+        // Identical predictions from both compilers' networks.
+        let problem = crate::problem::Problem::new(&dfg, &cgra, 1).unwrap();
+        let env = crate::env::MapEnv::new(&problem);
+        let obs = crate::embed::observe(&env);
+        assert_eq!(
+            a.net_for(16).unwrap().predict(&obs),
+            b.net_for(16).unwrap().predict(&obs)
+        );
+    }
+
+    #[test]
+    fn multiple_sizes_saved() {
+        let dir = temp_dir("sizes");
+        let dfg = suite::by_name("sum").unwrap();
+        let mut c = Compiler::new(MapZeroConfig::fast_test());
+        let _ = c.map(&dfg, &presets::hrea()).unwrap(); // 16 PEs
+        let _ = c.map(&dfg, &presets::morphosys()).unwrap(); // 64 PEs
+        assert_eq!(save_compiler(&c, &dir).unwrap(), 2);
+        let mut fresh = Compiler::new(MapZeroConfig::fast_test());
+        assert_eq!(load_compiler(&mut fresh, &dir).unwrap(), 2);
+        assert!(fresh.net_for(16).is_some());
+        assert!(fresh.net_for(64).is_some());
+    }
+
+    #[test]
+    fn foreign_files_ignored_bad_names_rejected() {
+        let dir = temp_dir("names");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("README.txt"), "hi").unwrap();
+        let mut c = Compiler::new(MapZeroConfig::fast_test());
+        assert_eq!(load_compiler(&mut c, &dir).unwrap(), 0);
+        std::fs::write(dir.join("net_x.mzw"), "junk").unwrap();
+        assert!(matches!(
+            load_compiler(&mut c, &dir),
+            Err(CheckpointError::BadName(_))
+        ));
+    }
+}

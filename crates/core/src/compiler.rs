@@ -1,0 +1,314 @@
+//! The user-facing compiler: the II search loop around the agent.
+//!
+//! "we set MapZero and all the baseline compilers to start with MII and
+//! gradually increase the target II if mapping fails under the current
+//! II" (§4.2).
+
+use crate::agent::{AgentConfig, MapZeroAgent};
+use crate::mapping::{MapError, MapReport, Mapper};
+use crate::network::{MapZeroNet, NetConfig};
+use crate::problem::Problem;
+use crate::train::{TrainConfig, Trainer};
+use mapzero_arch::Cgra;
+use mapzero_dfg::Dfg;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Compiler configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapZeroConfig {
+    /// Network hyper-parameters.
+    pub net: NetConfig,
+    /// Agent (MCTS + backtracking) parameters.
+    pub agent: AgentConfig,
+    /// How many IIs above MII to try before giving up.
+    pub max_extra_ii: u32,
+    /// Mapping episodes per II before moving to the next II.
+    pub attempts_per_ii: usize,
+    /// Default wall-clock budget when using [`Compiler::map`].
+    pub time_limit: Duration,
+    /// Optional pre-training run per fabric (§3.6.2); `None` maps with
+    /// a randomly-initialized network (slower, more backtracking).
+    pub pretrain: Option<TrainConfig>,
+}
+
+impl Default for MapZeroConfig {
+    fn default() -> Self {
+        MapZeroConfig {
+            net: NetConfig::default(),
+            agent: AgentConfig::default(),
+            max_extra_ii: 4,
+            attempts_per_ii: 2,
+            time_limit: Duration::from_secs(300),
+            pretrain: Some(TrainConfig::default()),
+        }
+    }
+}
+
+impl MapZeroConfig {
+    /// Seconds-scale configuration for tests and doc examples: tiny
+    /// network, small MCTS, no pre-training.
+    #[must_use]
+    pub fn fast_test() -> Self {
+        MapZeroConfig {
+            net: NetConfig::tiny(),
+            agent: AgentConfig::fast_test(),
+            max_extra_ii: 3,
+            attempts_per_ii: 2,
+            time_limit: Duration::from_secs(60),
+            pretrain: None,
+        }
+    }
+}
+
+/// The MapZero compiler. Caches one network per action-space size, so
+/// fabrics with equal PE counts share weights (§4.5).
+pub struct Compiler {
+    config: MapZeroConfig,
+    nets: HashMap<usize, MapZeroNet>,
+}
+
+impl Compiler {
+    /// Create a compiler.
+    #[must_use]
+    pub fn new(config: MapZeroConfig) -> Self {
+        Compiler { config, nets: HashMap::new() }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &MapZeroConfig {
+        &self.config
+    }
+
+    /// Install a pre-trained network for fabrics with this PE count.
+    pub fn install_net(&mut self, net: MapZeroNet) {
+        self.nets.insert(net.action_count(), net);
+    }
+
+    /// Borrow the network used for a given PE count, if one exists yet.
+    #[must_use]
+    pub fn net_for(&self, pe_count: usize) -> Option<&MapZeroNet> {
+        self.nets.get(&pe_count)
+    }
+
+    /// The action-space sizes for which networks exist, ascending.
+    #[must_use]
+    pub fn net_sizes(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self.nets.keys().copied().collect();
+        sizes.sort_unstable();
+        sizes
+    }
+
+    /// Explicitly pre-train on a fabric (otherwise done lazily when
+    /// `pretrain` is configured).
+    pub fn pretrain_on(&mut self, cgra: &Cgra, config: TrainConfig) -> crate::train::TrainingMetrics {
+        let mut trainer = Trainer::new(cgra.clone(), self.config.net, config);
+        let metrics = trainer.run();
+        self.nets.insert(cgra.pe_count(), trainer.into_net());
+        metrics
+    }
+
+    /// Fine-tune the fabric's network on one particular DFG (§3.6.2:
+    /// "When higher quality solutions are expected, the pre-trained
+    /// agent can be further fine-tuned on the particular DFG").
+    ///
+    /// Returns the fine-tuning learning curves.
+    pub fn fine_tune(
+        &mut self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        mut config: TrainConfig,
+    ) -> crate::train::TrainingMetrics {
+        self.ensure_net(cgra);
+        let net = self
+            .nets
+            .remove(&cgra.pe_count())
+            .expect("ensured above");
+        // Fine-tuning trains on the target kernel only.
+        config.curriculum_per_size = 0;
+        let mut trainer =
+            Trainer::with_net(cgra.clone(), net, config).with_kernel(dfg.clone());
+        let metrics = trainer.run();
+        self.nets.insert(cgra.pe_count(), trainer.into_net());
+        metrics
+    }
+
+    fn ensure_net(&mut self, cgra: &Cgra) {
+        if self.nets.contains_key(&cgra.pe_count()) {
+            return;
+        }
+        if let Some(train_config) = self.config.pretrain {
+            let _ = self.pretrain_on(cgra, train_config);
+        } else {
+            self.nets
+                .insert(cgra.pe_count(), MapZeroNet::new(cgra.pe_count(), self.config.net));
+        }
+    }
+
+    /// Map with the configured default time limit.
+    ///
+    /// # Errors
+    /// Returns [`MapError`] for structurally unmappable instances.
+    pub fn map(&mut self, dfg: &Dfg, cgra: &Cgra) -> Result<MapReport, MapError> {
+        self.map_with_limit(dfg, cgra, self.config.time_limit)
+    }
+
+    /// Map with an explicit wall-clock budget.
+    ///
+    /// # Errors
+    /// Returns [`MapError`] for structurally unmappable instances.
+    pub fn map_with_limit(
+        &mut self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        time_limit: Duration,
+    ) -> Result<MapReport, MapError> {
+        let start = Instant::now();
+        let mii = Problem::mii(dfg, cgra)?;
+        self.ensure_net(cgra);
+        let net = self.nets.get(&cgra.pe_count()).expect("ensured above");
+        let agent = MapZeroAgent::new(net, self.config.agent);
+
+        let mut backtracks = 0u64;
+        let mut explored = 0u64;
+        let mut timed_out = false;
+        let mut mapping = None;
+        'outer: for ii in mii..=mii + self.config.max_extra_ii {
+            let problem = match Problem::new(dfg, cgra, ii) {
+                Ok(p) => p,
+                Err(MapError::NoSchedule(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            // Split the remaining budget across the remaining II
+            // candidates so an unroutable MII cannot starve higher IIs.
+            let remaining_iis = u32::from(mii + self.config.max_extra_ii - ii) + 1;
+            for _attempt in 0..self.config.attempts_per_ii {
+                let remaining = time_limit.saturating_sub(start.elapsed());
+                if remaining.is_zero() {
+                    timed_out = true;
+                    break 'outer;
+                }
+                let slice = remaining / remaining_iis / self.config.attempts_per_ii as u32;
+                let result = agent.run_episode(&problem, slice.max(remaining / 8));
+                backtracks += result.backtracks;
+                explored += result.steps;
+                timed_out |= result.timed_out;
+                if result.mapping.is_some() {
+                    mapping = result.mapping;
+                    break 'outer;
+                }
+            }
+        }
+
+        Ok(MapReport {
+            mapper: "MapZero".to_owned(),
+            kernel: dfg.name().to_owned(),
+            fabric: cgra.name().to_owned(),
+            mii,
+            mapping,
+            elapsed: start.elapsed(),
+            backtracks,
+            explored,
+            timed_out,
+        })
+    }
+}
+
+impl Mapper for Compiler {
+    fn name(&self) -> &str {
+        "MapZero"
+    }
+
+    fn map(
+        &mut self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        time_limit: Duration,
+    ) -> Result<MapReport, MapError> {
+        self.map_with_limit(dfg, cgra, time_limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapzero_arch::presets;
+    use mapzero_dfg::suite;
+
+    #[test]
+    fn maps_small_suite_kernels_on_hrea() {
+        let cgra = presets::hrea();
+        let mut compiler = Compiler::new(MapZeroConfig::fast_test());
+        for dfg in suite::small() {
+            let report = compiler.map(&dfg, &cgra).unwrap();
+            let mapping = report
+                .mapping
+                .as_ref()
+                .unwrap_or_else(|| panic!("{} should map on HReA", dfg.name()));
+            assert!(mapping.validate(&dfg, &cgra).is_empty(), "{}", dfg.name());
+            assert!(report.mii <= mapping.ii);
+        }
+    }
+
+    #[test]
+    fn maps_on_hycube_circuit_switched() {
+        let cgra = presets::hycube();
+        let mut compiler = Compiler::new(MapZeroConfig::fast_test());
+        let dfg = suite::by_name("mac").unwrap();
+        let report = compiler.map(&dfg, &cgra).unwrap();
+        let mapping = report.mapping.expect("mac maps on HyCube");
+        assert!(mapping.validate(&dfg, &cgra).is_empty());
+    }
+
+    #[test]
+    fn network_reused_across_equal_sized_fabrics() {
+        let mut compiler = Compiler::new(MapZeroConfig::fast_test());
+        let dfg = suite::by_name("sum").unwrap();
+        let _ = compiler.map(&dfg, &presets::hrea()).unwrap();
+        assert!(compiler.net_for(16).is_some());
+        let _ = compiler.map(&dfg, &presets::hycube()).unwrap();
+        // Still exactly one 16-PE network.
+        assert_eq!(compiler.nets.len(), 1);
+    }
+
+    #[test]
+    fn unmappable_instance_is_an_error() {
+        let cgra = mapzero_arch::CgraBuilder::new("no-mem", 2, 2)
+            .all_capabilities(mapzero_arch::Capability::COMPUTE)
+            .finish();
+        let mut compiler = Compiler::new(MapZeroConfig::fast_test());
+        let dfg = suite::by_name("sum").unwrap();
+        assert!(compiler.map(&dfg, &cgra).is_err());
+    }
+
+    #[test]
+    fn zero_time_budget_times_out() {
+        let cgra = presets::hrea();
+        let mut compiler = Compiler::new(MapZeroConfig::fast_test());
+        // Force net creation first so the timeout applies to mapping.
+        let dfg = suite::by_name("accumulate").unwrap();
+        let report = compiler.map_with_limit(&dfg, &cgra, Duration::ZERO).unwrap();
+        assert!(report.timed_out);
+        assert!(report.mapping.is_none());
+    }
+}
+
+#[cfg(test)]
+mod fine_tune_tests {
+    use super::*;
+    use mapzero_arch::presets;
+    use mapzero_dfg::suite;
+
+    #[test]
+    fn fine_tune_runs_and_keeps_network_usable() {
+        let cgra = presets::hrea();
+        let dfg = suite::by_name("mac").unwrap();
+        let mut compiler = Compiler::new(MapZeroConfig::fast_test());
+        let metrics = compiler.fine_tune(&dfg, &cgra, TrainConfig::fast_test());
+        assert!(!metrics.epochs.is_empty());
+        // The tuned network still maps the kernel.
+        let report = compiler.map(&dfg, &cgra).unwrap();
+        assert!(report.mapping.is_some());
+    }
+}

@@ -1,0 +1,293 @@
+//! Design-space exploration (the §4.8 extension).
+//!
+//! "By analyzing a set of DFGs, the agent can take actions to add or
+//! remove PEs, interconnects, or memory ports in order to get the best
+//! domain-specific accelerator design under certain metrics."
+//!
+//! This module implements that workflow as a search over fabric
+//! configurations: candidate fabrics are generated from a base grid by
+//! toggling interconnect styles and memory-port coverage, each candidate
+//! is scored by mapping a workload of DFGs with a (cheap, exact)
+//! mapper, and the Pareto-best configurations under an area model are
+//! reported.
+
+use crate::mapping::Mapper;
+use mapzero_arch::{Capability, Cgra, CgraBuilder, Interconnect};
+use mapzero_baselines_shim::NoBaselines;
+use mapzero_dfg::Dfg;
+use std::time::Duration;
+
+// The DSE scorer accepts any `Mapper`, so core does not depend on the
+// baselines crate; this empty module keeps the docs honest about it.
+mod mapzero_baselines_shim {
+    /// Marker: DSE takes the mapper as a parameter.
+    pub struct NoBaselines;
+}
+
+/// One point of the design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// The candidate fabric.
+    pub cgra: Cgra,
+    /// Relative area cost (PEs + links + memory ports).
+    pub area: f64,
+    /// Sum of achieved IIs over the workload (lower = faster);
+    /// unmappable kernels contribute the failure penalty.
+    pub total_ii: f64,
+    /// Number of workload kernels successfully mapped.
+    pub mapped: usize,
+}
+
+impl DesignPoint {
+    /// True if `self` dominates `other` (no worse in area and
+    /// performance, strictly better in one).
+    #[must_use]
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        let better_somewhere = self.area < other.area || self.total_ii < other.total_ii;
+        self.area <= other.area && self.total_ii <= other.total_ii && better_somewhere
+    }
+}
+
+/// Knobs of the candidate generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DseConfig {
+    /// Grid rows of every candidate.
+    pub rows: usize,
+    /// Grid columns of every candidate.
+    pub cols: usize,
+    /// II contribution charged for each unmappable kernel.
+    pub failure_penalty: f64,
+    /// Per-kernel mapping time budget.
+    pub time_limit: Duration,
+}
+
+impl Default for DseConfig {
+    fn default() -> Self {
+        DseConfig {
+            rows: 4,
+            cols: 4,
+            failure_penalty: 64.0,
+            time_limit: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Relative area model: 1.0 per PE, 0.05 per directed link, 0.5 per
+/// memory port.
+#[must_use]
+pub fn area_of(cgra: &Cgra) -> f64 {
+    let mem_ports = cgra
+        .pe_ids()
+        .filter(|&p| cgra.pe(p).capability.memory)
+        .count();
+    cgra.pe_count() as f64 + 0.05 * cgra.link_count() as f64 + 0.5 * mem_ports as f64
+}
+
+/// Generate the candidate fabrics: every non-empty subset of
+/// {mesh} ∪ {1-hop, diagonal, toroidal} (mesh always present) crossed
+/// with three memory-coverage options (all PEs / left column / two
+/// outer columns).
+#[must_use]
+pub fn candidates(config: &DseConfig) -> Vec<Cgra> {
+    let extras = [Interconnect::OneHop, Interconnect::Diagonal, Interconnect::Toroidal];
+    let mut out = Vec::new();
+    for mask in 0..(1 << extras.len()) {
+        for mem_mode in 0..3 {
+            let mut b = CgraBuilder::new(
+                format!("dse-{mask}-{mem_mode}"),
+                config.rows,
+                config.cols,
+            )
+            .interconnect(Interconnect::Mesh);
+            for (i, &style) in extras.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    b = b.interconnect(style);
+                }
+            }
+            b = b.all_capabilities(match mem_mode {
+                0 => Capability::ALL,
+                _ => Capability::COMPUTE,
+            });
+            match mem_mode {
+                0 => {}
+                1 => {
+                    for row in 0..config.rows {
+                        b = b.capability(row, 0, Capability::ALL);
+                    }
+                }
+                _ => {
+                    for row in 0..config.rows {
+                        b = b.capability(row, 0, Capability::ALL);
+                        b = b.capability(row, config.cols - 1, Capability::ALL);
+                    }
+                }
+            }
+            out.push(b.finish());
+        }
+    }
+    out
+}
+
+/// Score every candidate against the workload with the supplied mapper
+/// and return all design points, Pareto-front first.
+pub fn explore(
+    workload: &[Dfg],
+    config: &DseConfig,
+    mapper: &mut dyn Mapper,
+) -> Vec<DesignPoint> {
+    let _ = NoBaselines;
+    let mut points: Vec<DesignPoint> = candidates(config)
+        .into_iter()
+        .map(|cgra| {
+            let mut total_ii = 0.0;
+            let mut mapped = 0;
+            for dfg in workload {
+                match mapper.map(dfg, &cgra, config.time_limit) {
+                    Ok(report) => match report.achieved_ii() {
+                        Some(ii) => {
+                            total_ii += f64::from(ii);
+                            mapped += 1;
+                        }
+                        None => total_ii += config.failure_penalty,
+                    },
+                    Err(_) => total_ii += config.failure_penalty,
+                }
+            }
+            DesignPoint { area: area_of(&cgra), cgra, total_ii, mapped }
+        })
+        .collect();
+    // Pareto front first, then dominated points, each sorted by area.
+    let front: Vec<bool> = points
+        .iter()
+        .map(|p| !points.iter().any(|q| q.dominates(p)))
+        .collect();
+    let mut indexed: Vec<(bool, DesignPoint)> =
+        front.into_iter().zip(points.drain(..)).collect();
+    indexed.sort_by(|a, b| {
+        b.0.cmp(&a.0).then(a.1.area.partial_cmp(&b.1.area).expect("finite area"))
+    });
+    indexed.into_iter().map(|(_, p)| p).collect()
+}
+
+/// Number of Pareto-optimal points in an `explore` result (they are
+/// sorted to the front).
+#[must_use]
+pub fn pareto_count(points: &[DesignPoint]) -> usize {
+    points
+        .iter()
+        .filter(|p| !points.iter().any(|q| q.dominates(p)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{Compiler, MapZeroConfig};
+    use crate::mapping::{MapError, MapReport};
+    use mapzero_dfg::suite;
+
+    #[test]
+    fn candidate_generator_covers_the_space() {
+        let cands = candidates(&DseConfig::default());
+        assert_eq!(cands.len(), 8 * 3);
+        // All distinct names and at least one fully-loaded fabric.
+        let mut names: Vec<&str> = cands.iter().map(Cgra::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 24);
+        assert!(cands
+            .iter()
+            .any(|c| c.interconnects().len() == 4 && c.is_homogeneous()));
+    }
+
+    #[test]
+    fn area_model_monotone_in_links_and_ports() {
+        let small = CgraBuilder::new("a", 2, 2).interconnect(Interconnect::Mesh).finish();
+        let more_links = CgraBuilder::new("b", 2, 2)
+            .interconnect(Interconnect::Mesh)
+            .interconnect(Interconnect::Diagonal)
+            .finish();
+        assert!(area_of(&more_links) > area_of(&small));
+        let fewer_ports = CgraBuilder::new("c", 2, 2)
+            .interconnect(Interconnect::Mesh)
+            .all_capabilities(Capability::COMPUTE)
+            .finish();
+        assert!(area_of(&fewer_ports) < area_of(&small));
+    }
+
+    #[test]
+    fn dominance_is_strict_pareto() {
+        let mk = |area, ii| DesignPoint {
+            cgra: CgraBuilder::new("x", 2, 2).finish(),
+            area,
+            total_ii: ii,
+            mapped: 1,
+        };
+        assert!(mk(1.0, 1.0).dominates(&mk(2.0, 2.0)));
+        assert!(mk(1.0, 2.0).dominates(&mk(1.0, 3.0)));
+        assert!(!mk(1.0, 3.0).dominates(&mk(2.0, 2.0))); // trade-off
+        assert!(!mk(1.0, 1.0).dominates(&mk(1.0, 1.0))); // equal
+    }
+
+    /// A stub mapper whose II is the candidate's link count — fast and
+    /// deterministic for exercising the explore loop.
+    struct StubMapper;
+
+    impl Mapper for StubMapper {
+        fn name(&self) -> &str {
+            "stub"
+        }
+
+        fn map(
+            &mut self,
+            dfg: &mapzero_dfg::Dfg,
+            cgra: &Cgra,
+            _limit: Duration,
+        ) -> Result<MapReport, MapError> {
+            let ii = 1 + (1000 / (cgra.link_count() + 1)) as u32;
+            Ok(MapReport {
+                mapper: "stub".into(),
+                kernel: dfg.name().into(),
+                fabric: cgra.name().into(),
+                mii: 1,
+                mapping: Some(crate::mapping::Mapping {
+                    ii,
+                    placements: vec![],
+                    routes: vec![],
+                }),
+                elapsed: Duration::ZERO,
+                backtracks: 0,
+                explored: 0,
+                timed_out: false,
+            })
+        }
+    }
+
+    #[test]
+    fn explore_sorts_pareto_front_first() {
+        let workload = vec![suite::by_name("sum").unwrap()];
+        let mut mapper = StubMapper;
+        let points = explore(&workload, &DseConfig::default(), &mut mapper);
+        assert_eq!(points.len(), 24);
+        let front = pareto_count(&points);
+        assert!(front >= 1);
+        // The front is a prefix.
+        for (i, p) in points.iter().enumerate() {
+            let on_front = !points.iter().any(|q| q.dominates(p));
+            if i < front {
+                assert!(on_front, "point {i} should be on the front");
+            }
+        }
+    }
+
+    #[test]
+    fn explore_with_real_compiler_smoke() {
+        let workload = vec![suite::by_name("sum").unwrap()];
+        let config = DseConfig { rows: 2, cols: 2, ..Default::default() };
+        let mut mapper = Compiler::new(MapZeroConfig::fast_test());
+        let points = explore(&workload, &config, &mut mapper);
+        assert_eq!(points.len(), 24);
+        // At least the all-capable fabrics map the kernel.
+        assert!(points.iter().any(|p| p.mapped == 1));
+    }
+}

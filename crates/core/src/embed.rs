@@ -1,0 +1,142 @@
+//! Featurization: turning an environment state into the tensors the
+//! network consumes (§3.2).
+
+use crate::env::MapEnv;
+use mapzero_arch::features as arch_features;
+use mapzero_dfg::features as dfg_features;
+use mapzero_nn::Matrix;
+
+/// The observation consumed by [`crate::network::MapZeroNet`].
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// DFG node features, `(n x 10)`, normalized.
+    pub dfg_nodes: Matrix,
+    /// DFG message edges (both directions of every dependence, so
+    /// information flows from parents *and* children).
+    pub dfg_edges: Vec<(usize, usize)>,
+    /// CGRA PE features for the current node's modulo slice, `(p x 7)`,
+    /// normalized.
+    pub cgra_nodes: Matrix,
+    /// CGRA link edges.
+    pub cgra_edges: Vec<(usize, usize)>,
+    /// Metadata row for the node being placed, `(1 x 11)`.
+    pub metadata: Matrix,
+    /// Action mask over PEs.
+    pub mask: Vec<bool>,
+}
+
+/// Build the observation for the environment's current state.
+///
+/// When the episode is done (no current node) the metadata row is zero
+/// and the mask is all-false; callers should not query the policy then.
+#[must_use]
+pub fn observe(env: &MapEnv<'_>) -> Observation {
+    let problem = env.problem();
+    let dfg = problem.dfg();
+    let cgra = problem.cgra();
+    let schedule = problem.schedule();
+
+    // DFG side.
+    let assigned: Vec<Option<usize>> =
+        env.placements().iter().map(|p| p.map(|pl| pl.pe.index())).collect();
+    let mut rows = dfg_features::node_features(dfg, schedule, &assigned);
+    dfg_features::normalize_features(&mut rows, dfg, schedule, cgra.pe_count());
+    let dfg_nodes = matrix_from_rows(&rows);
+    let mut dfg_edges = Vec::with_capacity(dfg.edge_count() * 2);
+    for e in dfg.edges() {
+        dfg_edges.push((e.src.index(), e.dst.index()));
+        if e.src != e.dst {
+            dfg_edges.push((e.dst.index(), e.src.index()));
+        }
+    }
+
+    // CGRA side: the slice the current node is scheduled into.
+    let occupancy = env.current_slice_occupancy();
+    let mut pe_rows = arch_features::pe_features(cgra, &occupancy);
+    arch_features::normalize_pe_features(&mut pe_rows, cgra, dfg.node_count());
+    let cgra_nodes = matrix_from_rows(&pe_rows);
+    let cgra_edges = arch_features::edge_list(cgra);
+
+    // Metadata for the node being placed.
+    let metadata = match env.current_node() {
+        Some(u) => {
+            let fraction = env.placed_count() as f32 / dfg.node_count() as f32;
+            let meta = dfg_features::node_metadata(&rows, u, fraction);
+            Matrix::row(&meta)
+        }
+        None => Matrix::zeros(1, dfg_features::METADATA_DIM),
+    };
+
+    Observation {
+        dfg_nodes,
+        dfg_edges,
+        cgra_nodes,
+        cgra_edges,
+        metadata,
+        mask: env.action_mask(),
+    }
+}
+
+fn matrix_from_rows<const D: usize>(rows: &[[f32; D]]) -> Matrix {
+    let mut data = Vec::with_capacity(rows.len() * D);
+    for r in rows {
+        data.extend_from_slice(r);
+    }
+    Matrix::from_vec(rows.len(), D, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+    use mapzero_arch::{presets, PeId};
+    use mapzero_dfg::suite;
+
+    #[test]
+    fn observation_shapes() {
+        let dfg = suite::by_name("sum").unwrap();
+        let cgra = presets::hrea();
+        let mii = Problem::mii(&dfg, &cgra).unwrap();
+        let problem = Problem::new(&dfg, &cgra, mii).unwrap();
+        let env = MapEnv::new(&problem);
+        let obs = observe(&env);
+        assert_eq!(obs.dfg_nodes.rows(), dfg.node_count());
+        assert_eq!(obs.dfg_nodes.cols(), 10);
+        assert_eq!(obs.cgra_nodes.rows(), 16);
+        assert_eq!(obs.cgra_nodes.cols(), 7);
+        assert_eq!(obs.metadata.cols(), 11);
+        assert_eq!(obs.mask.len(), 16);
+        assert!(obs.mask.iter().all(|&m| m), "empty fabric: all PEs legal");
+    }
+
+    #[test]
+    fn observation_changes_after_step() {
+        let dfg = suite::by_name("sum").unwrap();
+        let cgra = presets::hrea();
+        let mii = Problem::mii(&dfg, &cgra).unwrap();
+        let problem = Problem::new(&dfg, &cgra, mii).unwrap();
+        let mut env = MapEnv::new(&problem);
+        let before = observe(&env);
+        let pe = env.legal_actions()[0];
+        env.step(pe);
+        let after = observe(&env);
+        assert_ne!(before.dfg_nodes, after.dfg_nodes, "assigned-PE feature must change");
+        assert_ne!(before.metadata, after.metadata);
+        let _ = PeId(0);
+    }
+
+    #[test]
+    fn dfg_edges_are_bidirectional() {
+        let dfg = suite::by_name("sum").unwrap();
+        let cgra = presets::hrea();
+        let problem = Problem::new(&dfg, &cgra, 1).unwrap();
+        let env = MapEnv::new(&problem);
+        let obs = observe(&env);
+        for e in dfg.edges() {
+            if e.src != e.dst {
+                assert!(obs.dfg_edges.contains(&(e.src.index(), e.dst.index())));
+                assert!(obs.dfg_edges.contains(&(e.dst.index(), e.src.index())));
+            }
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The modulo routing resource ledger.
+//!
+//! Tracks, per modulo time slice, which DFG node occupies each PE's
+//! functional unit, which *signal* (producer node) occupies each PE's
+//! output register and crossbar switch, and — for ADRES-style fabrics —
+//! which memory operation holds each row's shared memory bus.
+//!
+//! All claims are journaled so the environment, the MCTS rollouts and
+//! the exact branch-and-bound baseline can undo back to any checkpoint
+//! in O(#claims).
+
+use mapzero_arch::{Cgra, PeId};
+use mapzero_dfg::NodeId;
+
+/// A single resource coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    /// Functional unit of a PE in a modulo slice.
+    Fu { pe: PeId, slot: u32 },
+    /// Output register of a PE in a modulo slice (holds one signal).
+    Reg { pe: PeId, slot: u32 },
+    /// Crossbar switch of a PE at the boundary entering a slice.
+    Switch { pe: PeId, slot: u32 },
+    /// Row-shared memory bus in a modulo slice.
+    MemBus { row: usize, slot: u32 },
+}
+
+/// Journaled occupancy state for one fabric at one II.
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    ii: u32,
+    pes: usize,
+    rows: usize,
+    /// `fu[slot * pes + pe]` — the node computing there.
+    fu: Vec<Option<NodeId>>,
+    /// `reg[slot * pes + pe]` — the signal (producer node) parked there.
+    reg: Vec<Option<NodeId>>,
+    /// `switch[slot * pes + pe]` — the signal crossing there.
+    switch: Vec<Option<NodeId>>,
+    /// `membus[slot * rows + row]` — the memory op holding the bus.
+    membus: Vec<Option<NodeId>>,
+    journal: Vec<Resource>,
+}
+
+/// A checkpoint into the ledger journal; undoing to it releases every
+/// claim made after it was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint(usize);
+
+impl Ledger {
+    /// Fresh, empty ledger for `cgra` at initiation interval `ii`.
+    ///
+    /// # Panics
+    /// Panics if `ii == 0`.
+    #[must_use]
+    pub fn new(cgra: &Cgra, ii: u32) -> Self {
+        assert!(ii > 0, "II must be positive");
+        let pes = cgra.pe_count();
+        let rows = cgra.rows();
+        let n = ii as usize * pes;
+        Ledger {
+            ii,
+            pes,
+            rows,
+            fu: vec![None; n],
+            reg: vec![None; n],
+            switch: vec![None; n],
+            membus: vec![None; ii as usize * rows],
+            journal: Vec::new(),
+        }
+    }
+
+    /// The II this ledger models.
+    #[must_use]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    fn idx(&self, pe: PeId, slot: u32) -> usize {
+        debug_assert!(slot < self.ii);
+        slot as usize * self.pes + pe.index()
+    }
+
+    /// Occupant of a functional unit.
+    #[must_use]
+    pub fn fu(&self, pe: PeId, slot: u32) -> Option<NodeId> {
+        self.fu[self.idx(pe, slot)]
+    }
+
+    /// Signal in a register.
+    #[must_use]
+    pub fn reg(&self, pe: PeId, slot: u32) -> Option<NodeId> {
+        self.reg[self.idx(pe, slot)]
+    }
+
+    /// Signal in a switch.
+    #[must_use]
+    pub fn switch(&self, pe: PeId, slot: u32) -> Option<NodeId> {
+        self.switch[self.idx(pe, slot)]
+    }
+
+    /// Memory op on a row bus.
+    #[must_use]
+    pub fn membus(&self, row: usize, slot: u32) -> Option<NodeId> {
+        self.membus[slot as usize * self.rows + row]
+    }
+
+    /// Take a checkpoint for later [`Ledger::undo_to`].
+    #[must_use]
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint(self.journal.len())
+    }
+
+    /// Release all claims made since `cp`.
+    ///
+    /// # Panics
+    /// Panics if `cp` is newer than the journal (wrong ledger or already
+    /// undone past it).
+    pub fn undo_to(&mut self, cp: Checkpoint) {
+        assert!(cp.0 <= self.journal.len(), "checkpoint from the future");
+        while self.journal.len() > cp.0 {
+            let r = self.journal.pop().expect("journal non-empty");
+            match r {
+                Resource::Fu { pe, slot } => {
+                    let i = self.idx(pe, slot);
+                    self.fu[i] = None;
+                }
+                Resource::Reg { pe, slot } => {
+                    let i = self.idx(pe, slot);
+                    self.reg[i] = None;
+                }
+                Resource::Switch { pe, slot } => {
+                    let i = self.idx(pe, slot);
+                    self.switch[i] = None;
+                }
+                Resource::MemBus { row, slot } => {
+                    self.membus[slot as usize * self.rows + row] = None;
+                }
+            }
+        }
+    }
+
+    /// Claim a functional unit for `node`. Fails (returns `false`,
+    /// claiming nothing) if occupied.
+    pub fn claim_fu(&mut self, pe: PeId, slot: u32, node: NodeId) -> bool {
+        let i = self.idx(pe, slot);
+        if self.fu[i].is_some() {
+            return false;
+        }
+        self.fu[i] = Some(node);
+        self.journal.push(Resource::Fu { pe, slot });
+        true
+    }
+
+    /// Claim a register for `signal`; sharing with the same signal is
+    /// free and not journaled. Returns `false` on conflict.
+    pub fn claim_reg(&mut self, pe: PeId, slot: u32, signal: NodeId) -> bool {
+        let i = self.idx(pe, slot);
+        match self.reg[i] {
+            Some(s) if s == signal => true,
+            Some(_) => false,
+            None => {
+                self.reg[i] = Some(signal);
+                self.journal.push(Resource::Reg { pe, slot });
+                true
+            }
+        }
+    }
+
+    /// Claim a switch for `signal`; same-signal sharing allowed.
+    pub fn claim_switch(&mut self, pe: PeId, slot: u32, signal: NodeId) -> bool {
+        let i = self.idx(pe, slot);
+        match self.switch[i] {
+            Some(s) if s == signal => true,
+            Some(_) => false,
+            None => {
+                self.switch[i] = Some(signal);
+                self.journal.push(Resource::Switch { pe, slot });
+                true
+            }
+        }
+    }
+
+    /// Claim a row memory bus for `node`.
+    pub fn claim_membus(&mut self, row: usize, slot: u32, node: NodeId) -> bool {
+        let i = slot as usize * self.rows + row;
+        if self.membus[i].is_some() {
+            return false;
+        }
+        self.membus[i] = Some(node);
+        self.journal.push(Resource::MemBus { row, slot });
+        true
+    }
+
+    /// True when the register is free or already holds `signal`.
+    #[must_use]
+    pub fn reg_available(&self, pe: PeId, slot: u32, signal: NodeId) -> bool {
+        match self.reg(pe, slot) {
+            None => true,
+            Some(s) => s == signal,
+        }
+    }
+
+    /// True when the switch is free or already holds `signal`.
+    #[must_use]
+    pub fn switch_available(&self, pe: PeId, slot: u32, signal: NodeId) -> bool {
+        match self.switch(pe, slot) {
+            None => true,
+            Some(s) => s == signal,
+        }
+    }
+
+    /// Number of free functional units in a slot.
+    #[must_use]
+    pub fn free_fus(&self, slot: u32) -> usize {
+        (0..self.pes)
+            .filter(|&p| self.fu[slot as usize * self.pes + p].is_none())
+            .count()
+    }
+
+    /// Occupancy of one slice as `Option<node id>` per PE, for the GAT
+    /// feature encoder.
+    #[must_use]
+    pub fn slice_occupancy(&self, slot: u32) -> Vec<Option<usize>> {
+        (0..self.pes)
+            .map(|p| self.fu[slot as usize * self.pes + p].map(|n| n.index()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapzero_arch::presets;
+
+    fn ledger() -> Ledger {
+        Ledger::new(&presets::simple_mesh(2, 2), 2)
+    }
+
+    #[test]
+    fn fu_exclusive() {
+        let mut l = ledger();
+        assert!(l.claim_fu(PeId(0), 0, NodeId(1)));
+        assert!(!l.claim_fu(PeId(0), 0, NodeId(2)));
+        assert!(l.claim_fu(PeId(0), 1, NodeId(2))); // other slot fine
+        assert_eq!(l.fu(PeId(0), 0), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn registers_share_same_signal_only() {
+        let mut l = ledger();
+        assert!(l.claim_reg(PeId(1), 0, NodeId(7)));
+        assert!(l.claim_reg(PeId(1), 0, NodeId(7))); // same signal: ok
+        assert!(!l.claim_reg(PeId(1), 0, NodeId(8))); // conflict
+        assert!(l.reg_available(PeId(1), 0, NodeId(7)));
+        assert!(!l.reg_available(PeId(1), 0, NodeId(8)));
+    }
+
+    #[test]
+    fn undo_releases_everything_after_checkpoint() {
+        let mut l = ledger();
+        assert!(l.claim_fu(PeId(0), 0, NodeId(1)));
+        let cp = l.checkpoint();
+        assert!(l.claim_fu(PeId(1), 0, NodeId(2)));
+        assert!(l.claim_reg(PeId(2), 1, NodeId(2)));
+        assert!(l.claim_switch(PeId(3), 0, NodeId(2)));
+        assert!(l.claim_membus(0, 0, NodeId(2)));
+        l.undo_to(cp);
+        assert_eq!(l.fu(PeId(1), 0), None);
+        assert_eq!(l.reg(PeId(2), 1), None);
+        assert_eq!(l.switch(PeId(3), 0), None);
+        assert_eq!(l.membus(0, 0), None);
+        // The pre-checkpoint claim survives.
+        assert_eq!(l.fu(PeId(0), 0), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn shared_claims_not_double_released() {
+        let mut l = ledger();
+        assert!(l.claim_reg(PeId(0), 0, NodeId(5)));
+        let cp = l.checkpoint();
+        // Re-claiming the same signal journals nothing…
+        assert!(l.claim_reg(PeId(0), 0, NodeId(5)));
+        l.undo_to(cp);
+        // …so the original claim is still held.
+        assert_eq!(l.reg(PeId(0), 0), Some(NodeId(5)));
+    }
+
+    #[test]
+    fn free_fus_counts() {
+        let mut l = ledger();
+        assert_eq!(l.free_fus(0), 4);
+        l.claim_fu(PeId(0), 0, NodeId(0));
+        assert_eq!(l.free_fus(0), 3);
+        assert_eq!(l.free_fus(1), 4);
+    }
+
+    #[test]
+    fn slice_occupancy_reports_nodes() {
+        let mut l = ledger();
+        l.claim_fu(PeId(2), 1, NodeId(9));
+        let occ = l.slice_occupancy(1);
+        assert_eq!(occ[2], Some(9));
+        assert_eq!(occ[0], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint from the future")]
+    fn stale_checkpoint_panics() {
+        let mut l = ledger();
+        l.claim_fu(PeId(0), 0, NodeId(0));
+        let cp = l.checkpoint();
+        l.undo_to(Checkpoint(0));
+        l.undo_to(cp);
+    }
+}

@@ -1,0 +1,357 @@
+//! The mapping result IR shared by MapZero and the baseline mappers.
+
+use mapzero_arch::{Cgra, PeId};
+use mapzero_dfg::{Dfg, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// The spatio-temporal coordinate assigned to one DFG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Processing element.
+    pub pe: PeId,
+    /// Absolute time slice.
+    pub time: u32,
+}
+
+/// One hop of a routed value: the resource parked in at a time step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteHop {
+    /// Value resides in the output/input register of a PE during a
+    /// modulo slice.
+    Register {
+        /// Hosting PE.
+        pe: PeId,
+        /// Modulo time slice.
+        slot: u32,
+    },
+    /// Value traverses the crossbar switch of a PE at a slice boundary
+    /// (circuit-switched fabrics only).
+    Switch {
+        /// Hosting PE.
+        pe: PeId,
+        /// Modulo slice the value arrives in.
+        slot: u32,
+    },
+}
+
+/// A complete valid mapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// Achieved initiation interval.
+    pub ii: u32,
+    /// Placement per DFG node, indexed by node id.
+    pub placements: Vec<Placement>,
+    /// Route per DFG edge, indexed by edge order in the DFG.
+    pub routes: Vec<Vec<RouteHop>>,
+}
+
+impl Mapping {
+    /// Placement of a node.
+    #[must_use]
+    pub fn placement(&self, node: NodeId) -> Placement {
+        self.placements[node.index()]
+    }
+
+    /// Number of routing resources claimed in total.
+    #[must_use]
+    pub fn route_cost(&self) -> usize {
+        self.routes.iter().map(Vec::len).sum()
+    }
+
+    /// Verify this mapping against the problem definition: capability,
+    /// exclusivity, dependence timing and (structurally) route endpoints.
+    ///
+    /// Returns the list of violated invariants (empty = valid).
+    #[must_use]
+    pub fn validate(&self, dfg: &Dfg, cgra: &Cgra) -> Vec<String> {
+        let mut errs = Vec::new();
+        if self.placements.len() != dfg.node_count() {
+            errs.push(format!(
+                "expected {} placements, got {}",
+                dfg.node_count(),
+                self.placements.len()
+            ));
+            return errs;
+        }
+        // Capability + exclusiveness per (pe, modulo slot).
+        let mut occupied: BTreeMap<(u32, u32), NodeId> = BTreeMap::new();
+        for u in dfg.node_ids() {
+            let p = self.placements[u.index()];
+            let op = dfg.node(u).opcode;
+            if !cgra.pe(p.pe).capability.supports(op) {
+                errs.push(format!("{u} ({op}) placed on incapable {}", p.pe));
+            }
+            let key = (p.pe.0, p.time % self.ii);
+            if let Some(prev) = occupied.insert(key, u) {
+                errs.push(format!("{u} and {prev} share {} at slot {}", p.pe, key.1));
+            }
+        }
+        // ADRES: one memory op per row per slot.
+        if cgra.row_shared_mem_bus() {
+            let mut bus: BTreeMap<(usize, u32), NodeId> = BTreeMap::new();
+            for u in dfg.node_ids() {
+                if dfg.node(u).opcode.class() == mapzero_dfg::OpClass::Memory {
+                    let p = self.placements[u.index()];
+                    let key = (cgra.pe(p.pe).row, p.time % self.ii);
+                    if let Some(prev) = bus.insert(key, u) {
+                        errs.push(format!(
+                            "memory ops {u} and {prev} share the row-{} bus at slot {}",
+                            key.0, key.1
+                        ));
+                    }
+                }
+            }
+        }
+        // Dependence timing: consumer no earlier than producer + latency
+        // (back edges borrow dist * II slack).
+        for (i, e) in dfg.edges().enumerate() {
+            let tp = self.placements[e.src.index()].time;
+            let tc = self.placements[e.dst.index()].time + e.dist * self.ii;
+            let lat = dfg.node(e.src).opcode.latency();
+            if tp + lat > tc {
+                errs.push(format!("edge {} -> {} violates timing", e.src, e.dst));
+            }
+            if self.routes.len() > i {
+                // Structural: a non-adjacent pair must have at least one hop.
+                let pp = self.placements[e.src.index()].pe;
+                let pc = self.placements[e.dst.index()].pe;
+                let adjacent = pp == pc || cgra.links_from(pp).contains(&pc);
+                if !adjacent && self.routes[i].is_empty() {
+                    errs.push(format!("edge {} -> {} lacks a route", e.src, e.dst));
+                }
+            }
+        }
+        if self.routes.len() != dfg.edge_count() {
+            errs.push(format!(
+                "expected {} routes, got {}",
+                dfg.edge_count(),
+                self.routes.len()
+            ));
+        }
+        errs
+    }
+}
+
+/// Statistics and result of one mapping attempt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapReport {
+    /// The mapper that produced this report.
+    pub mapper: String,
+    /// Kernel name.
+    pub kernel: String,
+    /// Fabric name.
+    pub fabric: String,
+    /// Minimum II lower bound for this (kernel, fabric) pair.
+    pub mii: u32,
+    /// The mapping, if one was found.
+    pub mapping: Option<Mapping>,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Number of backtracking operations (MapZero / exact) or annealing
+    /// steps (SA-family), per Figs. 9–10.
+    pub backtracks: u64,
+    /// Number of placement attempts explored.
+    pub explored: u64,
+    /// Whether the attempt hit its time limit.
+    pub timed_out: bool,
+}
+
+impl MapReport {
+    /// Achieved II, or `None` when mapping failed (plotted as 0 in
+    /// Fig. 8, matching "II of failed mapping is set to 0").
+    #[must_use]
+    pub fn achieved_ii(&self) -> Option<u32> {
+        self.mapping.as_ref().map(|m| m.ii)
+    }
+
+    /// II ratio relative to MII (1.0 = optimal, 0.0 = failed).
+    #[must_use]
+    pub fn ii_ratio(&self) -> f64 {
+        match self.achieved_ii() {
+            Some(ii) if self.mii > 0 => f64::from(self.mii) / f64::from(ii),
+            _ => 0.0,
+        }
+    }
+
+    /// True when a mapping was found.
+    #[must_use]
+    pub fn success(&self) -> bool {
+        self.mapping.is_some()
+    }
+}
+
+/// Why a mapper could not even start on a problem instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The DFG needs an operation class no PE supports.
+    Unmappable(String),
+    /// No schedule exists within the II bound.
+    NoSchedule(String),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Unmappable(m) => write!(f, "unmappable: {m}"),
+            MapError::NoSchedule(m) => write!(f, "no schedule: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Common interface implemented by MapZero and every baseline mapper.
+pub trait Mapper {
+    /// Human-readable name used in reports ("MapZero", "ILP", "SA",
+    /// "LISA").
+    fn name(&self) -> &str;
+
+    /// Attempt to map `dfg` onto `cgra` within `time_limit`, starting at
+    /// MII and increasing the target II on failure.
+    ///
+    /// # Errors
+    /// Returns [`MapError`] when the instance is structurally
+    /// unmappable (e.g. required op class unsupported).
+    fn map(&mut self, dfg: &Dfg, cgra: &Cgra, time_limit: Duration)
+        -> Result<MapReport, MapError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapzero_arch::presets;
+    use mapzero_dfg::{DfgBuilder, Opcode};
+
+    fn tiny() -> Dfg {
+        let mut b = DfgBuilder::new("tiny");
+        let a = b.node(Opcode::Load);
+        let c = b.node(Opcode::Add);
+        b.edge(a, c).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn valid_mapping_validates() {
+        let dfg = tiny();
+        let cgra = presets::simple_mesh(2, 2);
+        let m = Mapping {
+            ii: 1,
+            placements: vec![
+                Placement { pe: PeId(0), time: 0 },
+                Placement { pe: PeId(1), time: 1 },
+            ],
+            routes: vec![vec![RouteHop::Register { pe: PeId(0), slot: 0 }]],
+        };
+        assert!(m.validate(&dfg, &cgra).is_empty());
+    }
+
+    #[test]
+    fn detects_shared_pe() {
+        let dfg = tiny();
+        let cgra = presets::simple_mesh(2, 2);
+        let m = Mapping {
+            ii: 1,
+            placements: vec![
+                Placement { pe: PeId(0), time: 0 },
+                Placement { pe: PeId(0), time: 1 }, // same slot at II=1
+            ],
+            routes: vec![vec![]],
+        };
+        let errs = m.validate(&dfg, &cgra);
+        assert!(errs.iter().any(|e| e.contains("share")), "{errs:?}");
+    }
+
+    #[test]
+    fn detects_timing_violation() {
+        let dfg = tiny();
+        let cgra = presets::simple_mesh(2, 2);
+        let m = Mapping {
+            ii: 2,
+            placements: vec![
+                Placement { pe: PeId(0), time: 1 },
+                Placement { pe: PeId(1), time: 1 },
+            ],
+            routes: vec![vec![]],
+        };
+        let errs = m.validate(&dfg, &cgra);
+        assert!(errs.iter().any(|e| e.contains("timing")), "{errs:?}");
+    }
+
+    #[test]
+    fn detects_missing_route_between_distant_pes() {
+        let dfg = tiny();
+        let cgra = presets::simple_mesh(3, 3);
+        let m = Mapping {
+            ii: 4,
+            placements: vec![
+                Placement { pe: PeId(0), time: 0 },
+                Placement { pe: PeId(8), time: 3 }, // opposite corner
+            ],
+            routes: vec![vec![]],
+        };
+        let errs = m.validate(&dfg, &cgra);
+        assert!(errs.iter().any(|e| e.contains("route")), "{errs:?}");
+    }
+
+    #[test]
+    fn detects_incapable_pe() {
+        let dfg = tiny();
+        let cgra = presets::heterogeneous();
+        // PE 1 (row 0, col 1) has no memory port in the Fig. 14 fabric.
+        let m = Mapping {
+            ii: 1,
+            placements: vec![
+                Placement { pe: PeId(1), time: 0 },
+                Placement { pe: PeId(2), time: 1 },
+            ],
+            routes: vec![vec![]],
+        };
+        let errs = m.validate(&dfg, &cgra);
+        assert!(errs.iter().any(|e| e.contains("incapable")), "{errs:?}");
+    }
+
+    #[test]
+    fn adres_bus_violation_detected() {
+        let mut b = DfgBuilder::new("two-loads");
+        let l0 = b.node(Opcode::Load);
+        let l1 = b.node(Opcode::Load);
+        let s = b.node(Opcode::Add);
+        b.edge(l0, s).unwrap();
+        b.edge(l1, s).unwrap();
+        let dfg = b.finish().unwrap();
+        let cgra = presets::adres();
+        let m = Mapping {
+            ii: 1,
+            placements: vec![
+                Placement { pe: PeId(0), time: 0 },
+                Placement { pe: PeId(1), time: 0 }, // same row, same slot
+                Placement { pe: PeId(2), time: 1 },
+            ],
+            routes: vec![vec![], vec![]],
+        };
+        let errs = m.validate(&dfg, &cgra);
+        assert!(errs.iter().any(|e| e.contains("bus")), "{errs:?}");
+    }
+
+    #[test]
+    fn report_ratios() {
+        let report = MapReport {
+            mapper: "X".into(),
+            kernel: "k".into(),
+            fabric: "f".into(),
+            mii: 2,
+            mapping: Some(Mapping { ii: 4, placements: vec![], routes: vec![] }),
+            elapsed: Duration::from_millis(5),
+            backtracks: 0,
+            explored: 1,
+            timed_out: false,
+        };
+        assert!((report.ii_ratio() - 0.5).abs() < 1e-9);
+        let failed = MapReport { mapping: None, ..report };
+        assert_eq!(failed.ii_ratio(), 0.0);
+        assert!(!failed.success());
+    }
+}

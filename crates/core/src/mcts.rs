@@ -1,0 +1,513 @@
+//! Monte-Carlo tree search guided by the policy/value network
+//! (Algorithm 1 of the paper).
+//!
+//! Each tree edge stores a prior probability `P(s,a)`, a visit count
+//! `N(s,a)` and a mean action value `Q(s,a)`. Selection maximizes the
+//! UCT score (with the network prior, i.e. PUCT as in AlphaZero; a
+//! plain-UCT mode is kept for the ablation study). Expansion is capped
+//! at a configurable number of children per stage (§4.2: "The MCTS tree
+//! expands 100 nodes per expansion stage", 200 for 16×16). As soon as a
+//! rollout completes a valid mapping at the target II, the whole search
+//! ends and returns it (§3.5).
+
+use crate::embed::observe;
+use crate::env::{MapEnv, CONFLICT_PENALTY};
+use crate::mapping::Mapping;
+use crate::network::MapZeroNet;
+use mapzero_arch::PeId;
+
+/// MCTS hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MctsConfig {
+    /// Simulations per placement decision.
+    pub simulations: usize,
+    /// Maximum children created per expansion stage.
+    pub expansion_cap: usize,
+    /// Exploration constant (`C_p` in Eq. 4).
+    pub c_puct: f64,
+    /// Use network priors in selection (PUCT). `false` gives the plain
+    /// UCT of Eq. 4, used in the ablation.
+    pub use_priors: bool,
+    /// Run a greedy distance-guided playout from each expanded leaf.
+    /// Playouts complete mappings, enabling the §3.5 early exit; with
+    /// `false` the leaf value is the network estimate alone.
+    pub playout: bool,
+    /// Maximum environment steps per playout. Large DFGs cap the
+    /// rollout and score the reached state by mapping progress instead
+    /// of playing to completion, keeping per-decision cost bounded.
+    pub playout_step_limit: usize,
+    /// Playout RNG seed (tie-breaking).
+    pub seed: u64,
+}
+
+impl Default for MctsConfig {
+    fn default() -> Self {
+        MctsConfig {
+            simulations: 64,
+            expansion_cap: 100,
+            c_puct: 1.4,
+            use_priors: true,
+            playout: true,
+            playout_step_limit: usize::MAX,
+            seed: 0,
+        }
+    }
+}
+
+impl MctsConfig {
+    /// Small configuration for unit tests.
+    #[must_use]
+    pub fn fast_test() -> Self {
+        MctsConfig { simulations: 12, expansion_cap: 16, ..MctsConfig::default() }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct EdgeStat {
+    action: PeId,
+    prior: f64,
+    visits: u32,
+    total_value: f64,
+    child: Option<usize>,
+}
+
+impl EdgeStat {
+    fn q(&self) -> f64 {
+        if self.visits == 0 {
+            0.0
+        } else {
+            self.total_value / f64::from(self.visits)
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TreeNode {
+    edges: Vec<EdgeStat>,
+    visits: u32,
+}
+
+/// Result of one MCTS decision.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The most-visited action.
+    pub best_action: PeId,
+    /// Visit-count distribution over all PEs (the policy target π).
+    pub visit_distribution: Vec<f32>,
+    /// Root value estimate (mean of simulation returns).
+    pub root_value: f64,
+    /// A complete valid mapping discovered during simulation, if any.
+    pub solution: Option<Mapping>,
+}
+
+/// Network-guided MCTS over a mapping environment.
+pub struct Mcts<'n> {
+    net: &'n MapZeroNet,
+    config: MctsConfig,
+    nodes: Vec<TreeNode>,
+    root: usize,
+    rng: mapzero_nn::SeedRng,
+}
+
+/// Normalize an environment step reward to roughly [−1, 0].
+fn norm_reward(reward: f64) -> f64 {
+    (reward / CONFLICT_PENALTY).clamp(-1.0, 0.0)
+}
+
+impl<'n> Mcts<'n> {
+    /// Create a search over the given network.
+    #[must_use]
+    pub fn new(net: &'n MapZeroNet, config: MctsConfig) -> Self {
+        let rng = mapzero_nn::SeedRng::new(config.seed);
+        Mcts { net, config, nodes: Vec::new(), root: 0, rng }
+    }
+
+    /// Number of nodes currently in the tree.
+    #[must_use]
+    pub fn tree_size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Reset the tree (e.g. after the environment was rolled back).
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.root = 0;
+    }
+
+    /// Run simulations from `root_env` and pick an action for the
+    /// current node.
+    ///
+    /// # Panics
+    /// Panics if the episode is already done or no action is legal.
+    pub fn search(&mut self, root_env: &MapEnv<'_>) -> SearchResult {
+        assert!(!root_env.done(), "search requires an unfinished episode");
+        self.reset();
+        let (root, _) = self.expand(root_env);
+        self.root = root;
+        assert!(
+            !self.nodes[root].edges.is_empty(),
+            "no legal action at the root"
+        );
+        let mut root_return = 0.0f64;
+        let mut solution = None;
+        for _ in 0..self.config.simulations {
+            let mut env = root_env.clone();
+            let value = self.simulate(self.root, &mut env, &mut solution);
+            root_return += value;
+            if solution.is_some() {
+                break;
+            }
+        }
+        let pe_count = root_env.problem().cgra().pe_count();
+        let mut visit_distribution = vec![0.0f32; pe_count];
+        let root_node = &self.nodes[self.root];
+        let total: u32 = root_node.edges.iter().map(|e| e.visits).sum();
+        for e in &root_node.edges {
+            if total > 0 {
+                visit_distribution[e.action.index()] = e.visits as f32 / total as f32;
+            }
+        }
+        let best_action = root_node
+            .edges
+            .iter()
+            .max_by_key(|e| e.visits)
+            .map(|e| e.action)
+            .expect("root has edges");
+        let sims = self.nodes[self.root].visits.max(1);
+        SearchResult {
+            best_action,
+            visit_distribution,
+            root_value: root_return / f64::from(sims),
+            solution,
+        }
+    }
+
+    /// One selection→expansion→evaluation→backpropagation pass.
+    /// Returns the (normalized) value observed from `node`.
+    fn simulate(
+        &mut self,
+        node: usize,
+        env: &mut MapEnv<'_>,
+        solution: &mut Option<Mapping>,
+    ) -> f64 {
+        self.nodes[node].visits += 1;
+        if env.done() {
+            return terminal_value(env);
+        }
+        if self.nodes[node].edges.is_empty() {
+            // Dead end: a node is scheduled but no PE is legal.
+            return -1.0;
+        }
+        let edge_idx = self.select_edge(node);
+        let action = self.nodes[node].edges[edge_idx].action;
+        let outcome = env.step(action);
+        let step_value = norm_reward(outcome.reward);
+
+        let child_value = if env.success() {
+            *solution = env.final_mapping();
+            1.0
+        } else if env.done() {
+            -1.0
+        } else {
+            match self.nodes[node].edges[edge_idx].child {
+                Some(child) => self.simulate(child, env, solution),
+                None => {
+                    // Expansion + evaluation of the new leaf: network
+                    // value plus, optionally, a greedy playout that can
+                    // complete the mapping (early exit, §3.5).
+                    let (child, net_value) = self.expand(env);
+                    self.nodes[node].edges[edge_idx].child = Some(child);
+                    self.nodes[child].visits += 1;
+                    if self.config.playout {
+                        let playout_value = self.playout(env, solution);
+                        0.5 * (net_value + playout_value)
+                    } else {
+                        net_value
+                    }
+                }
+            }
+        };
+        let value = (step_value + child_value).clamp(-1.0, 1.0);
+        let edge = &mut self.nodes[node].edges[edge_idx];
+        edge.visits += 1;
+        edge.total_value += value;
+        value
+    }
+
+    /// Create a tree node for the environment state; returns the node
+    /// index and the network's value estimate.
+    fn expand(&mut self, env: &MapEnv<'_>) -> (usize, f64) {
+        let legal = env.legal_actions();
+        if legal.is_empty() {
+            // Dead end: a scheduled node has no legal PE. Record an
+            // edge-less node valued as a failure; no network query (the
+            // masked softmax needs at least one legal action).
+            self.nodes.push(TreeNode { edges: Vec::new(), visits: 0 });
+            return (self.nodes.len() - 1, -1.0);
+        }
+        let obs = observe(env);
+        let pred = self.net.predict(&obs);
+        let mut scored: Vec<(PeId, f64)> = legal
+            .into_iter()
+            .map(|pe| (pe, f64::from(pred.log_probs[pe.index()].exp())))
+            .collect();
+        // Keep the most promising `expansion_cap` actions.
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite priors"));
+        scored.truncate(self.config.expansion_cap);
+        let norm: f64 = scored.iter().map(|(_, p)| *p).sum::<f64>().max(1e-12);
+        let edges = scored
+            .into_iter()
+            .map(|(action, p)| EdgeStat {
+                action,
+                prior: p / norm,
+                visits: 0,
+                total_value: 0.0,
+                child: None,
+            })
+            .collect();
+        self.nodes.push(TreeNode { edges, visits: 0 });
+        (self.nodes.len() - 1, f64::from(pred.value))
+    }
+
+    /// Greedy playout to the end of the episode: each remaining node is
+    /// placed on the free PE closest (grid distance) to its already-
+    /// placed parents, with random tie-breaking. Returns the normalized
+    /// return of the playout and records any complete mapping found.
+    fn playout(&mut self, env: &mut MapEnv<'_>, solution: &mut Option<Mapping>) -> f64 {
+        let cgra = env.problem().cgra();
+        let dfg = env.problem().dfg();
+        let mut acc = 0.0f64;
+        let mut steps = 0usize;
+        while !env.done() {
+            if steps >= self.config.playout_step_limit {
+                // Budget exhausted: score by how far the rollout got
+                // without a conflict.
+                let frac = env.placed_count() as f64 / env.problem().node_count() as f64;
+                return (acc + frac - 0.5).clamp(-1.0, 1.0);
+            }
+            steps += 1;
+            let legal = env.legal_actions();
+            if legal.is_empty() {
+                return (acc - 1.0).clamp(-1.0, 1.0);
+            }
+            let u = env.current_node().expect("not done");
+            // Grid positions of placed neighbours (parents and children).
+            let mut anchors: Vec<(usize, usize)> = Vec::new();
+            for e in dfg.in_edges(u).chain(dfg.out_edges(u)) {
+                let other = if e.src == u { e.dst } else { e.src };
+                if let Some(p) = env.placement(other) {
+                    let pe = cgra.pe(p.pe);
+                    anchors.push((pe.row, pe.col));
+                }
+            }
+            let jitter = self.rng.below(legal.len());
+            let mut ranked: Vec<(usize, PeId)> = legal.iter().copied().enumerate().collect();
+            ranked.sort_by_key(|(i, pe)| {
+                let info = cgra.pe(*pe);
+                let dist: usize = anchors
+                    .iter()
+                    .map(|&(r, c)| info.row.abs_diff(r) + info.col.abs_diff(c))
+                    .sum();
+                (dist, (*i + jitter) % legal.len())
+            });
+            // Router-aware greedy: try the nearest candidates and keep
+            // the first that routes cleanly; accept the final failure
+            // only when every candidate conflicts.
+            let tries = ranked.len().min(4);
+            let mut outcome = None;
+            for (k, &(_, pe)) in ranked.iter().take(tries).enumerate() {
+                let o = env.step(pe);
+                if o.failed_routes == 0 || k + 1 == tries {
+                    outcome = Some(o);
+                    break;
+                }
+                env.undo();
+            }
+            let outcome = outcome.expect("at least one candidate tried");
+            acc += norm_reward(outcome.reward);
+            if outcome.failed_routes > 0 {
+                // The playout already failed; finish cheaply.
+                return (acc - 1.0).clamp(-1.0, 1.0);
+            }
+        }
+        if env.success() {
+            *solution = env.final_mapping();
+            (acc + 1.0).clamp(-1.0, 1.0)
+        } else {
+            (acc - 1.0).clamp(-1.0, 1.0)
+        }
+    }
+
+    /// UCT / PUCT selection over the edges of `node`.
+    fn select_edge(&self, node: usize) -> usize {
+        let n = &self.nodes[node];
+        let parent_visits = f64::from(n.visits.max(1));
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, e) in n.edges.iter().enumerate() {
+            let score = if self.config.use_priors {
+                // PUCT (AlphaZero): Q + c * P * sqrt(N) / (1 + n).
+                e.q() + self.config.c_puct * e.prior * parent_visits.sqrt()
+                    / (1.0 + f64::from(e.visits))
+            } else if e.visits == 0 {
+                // Plain UCT (Eq. 4) explores unvisited children first.
+                f64::INFINITY
+            } else {
+                e.q()
+                    + 2.0
+                        * self.config.c_puct
+                        * (2.0 * parent_visits.ln() / f64::from(e.visits)).sqrt()
+            };
+            if score > best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+fn terminal_value(env: &MapEnv<'_>) -> f64 {
+    if env.success() {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetConfig;
+    use crate::problem::Problem;
+    use mapzero_arch::presets;
+    use mapzero_dfg::{suite, DfgBuilder, Opcode};
+
+    #[test]
+    fn search_finds_solution_for_tiny_kernel() {
+        let dfg = suite::by_name("sum").unwrap();
+        let cgra = presets::hrea();
+        let problem = Problem::new(&dfg, &cgra, 1).unwrap();
+        let env = MapEnv::new(&problem);
+        let net = MapZeroNet::new(cgra.pe_count(), NetConfig::tiny());
+        let mut mcts = Mcts::new(&net, MctsConfig { simulations: 200, ..MctsConfig::fast_test() });
+        let result = mcts.search(&env);
+        // With an early exit, a trivially-mappable kernel must be solved
+        // inside the search.
+        let mapping = result.solution.expect("sum maps on HReA at II=1");
+        assert!(mapping.validate(&dfg, &cgra).is_empty());
+    }
+
+    #[test]
+    fn visit_distribution_sums_to_one() {
+        let dfg = suite::by_name("mac").unwrap();
+        let cgra = presets::simple_mesh(4, 4);
+        let problem = Problem::new(&dfg, &cgra, 1).unwrap();
+        let env = MapEnv::new(&problem);
+        let net = MapZeroNet::new(16, NetConfig::tiny());
+        let mut mcts = Mcts::new(&net, MctsConfig::fast_test());
+        let result = mcts.search(&env);
+        let total: f32 = result.visit_distribution.iter().sum();
+        assert!((total - 1.0).abs() < 1e-4);
+        assert!(result.root_value.abs() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn expansion_cap_limits_branching() {
+        let dfg = suite::by_name("mac").unwrap();
+        let cgra = presets::simple_mesh(4, 4);
+        let problem = Problem::new(&dfg, &cgra, 1).unwrap();
+        let env = MapEnv::new(&problem);
+        let net = MapZeroNet::new(16, NetConfig::tiny());
+        let config = MctsConfig { expansion_cap: 3, simulations: 10, ..MctsConfig::default() };
+        let mut mcts = Mcts::new(&net, config);
+        let result = mcts.search(&env);
+        let nonzero = result.visit_distribution.iter().filter(|&&v| v > 0.0).count();
+        assert!(nonzero <= 3, "visited {nonzero} root actions, cap is 3");
+    }
+
+    #[test]
+    fn plain_uct_mode_also_works() {
+        let dfg = suite::by_name("sum").unwrap();
+        let cgra = presets::simple_mesh(4, 4);
+        let problem = Problem::new(&dfg, &cgra, 1).unwrap();
+        let env = MapEnv::new(&problem);
+        let net = MapZeroNet::new(16, NetConfig::tiny());
+        let config = MctsConfig { use_priors: false, simulations: 50, ..MctsConfig::fast_test() };
+        let mut mcts = Mcts::new(&net, config);
+        let result = mcts.search(&env);
+        assert!(result.visit_distribution[result.best_action.index()] > 0.0);
+    }
+
+    #[test]
+    fn impossible_instance_yields_no_solution() {
+        // Two loads one cycle apart on a 1x2 strip with II=1: the second
+        // placement always conflicts spatially; every rollout fails.
+        let mut b = DfgBuilder::new("hard");
+        let a = b.node(Opcode::Load);
+        let c = b.node(Opcode::Load);
+        let d = b.node(Opcode::Add);
+        let e = b.node(Opcode::Add);
+        b.edge(a, d).unwrap();
+        b.edge(c, e).unwrap();
+        b.edge(a, e).unwrap();
+        b.edge(c, d).unwrap();
+        let dfg = b.finish().unwrap();
+        let cgra = presets::simple_mesh(1, 4);
+        let problem = Problem::new(&dfg, &cgra, 1).unwrap();
+        let env = MapEnv::new(&problem);
+        let net = MapZeroNet::new(4, NetConfig::tiny());
+        let mut mcts = Mcts::new(&net, MctsConfig::fast_test());
+        let result = mcts.search(&env);
+        // d and e each need both a and c as neighbours on a strip —
+        // geometrically impossible, so no solution can be found.
+        assert!(result.solution.is_none());
+    }
+
+    #[test]
+    fn dead_end_states_expand_without_network_query() {
+        // Two adds are placed before the load (topological order); if a
+        // rollout parks an add on the only memory-capable PE, the load
+        // reaches a state with zero legal actions. The search must
+        // value that as a -1 dead end, not panic in the masked softmax.
+        let mut b = DfgBuilder::new("greedy-trap");
+        let a0 = b.node(Opcode::Add);
+        let a1 = b.node(Opcode::Add);
+        let ld = b.node(Opcode::Load);
+        let sink = b.node(Opcode::Add);
+        b.edge(a0, sink).unwrap();
+        b.edge(a1, sink).unwrap();
+        b.edge(ld, sink).unwrap();
+        let dfg = b.finish().unwrap();
+        let mut builder = mapzero_arch::CgraBuilder::new("one-mem", 2, 2)
+            .interconnect(mapzero_arch::Interconnect::Mesh)
+            .all_capabilities(mapzero_arch::Capability::COMPUTE);
+        builder = builder.capability(0, 0, mapzero_arch::Capability::ALL);
+        let cgra = builder.finish();
+        let problem = Problem::new(&dfg, &cgra, 2).unwrap();
+        let env = MapEnv::new(&problem);
+        let net = MapZeroNet::new(4, NetConfig::tiny());
+        let mut mcts = Mcts::new(
+            &net,
+            MctsConfig { simulations: 64, ..MctsConfig::fast_test() },
+        );
+        // Must terminate without panicking; dead ends are -1 leaves.
+        let result = mcts.search(&env);
+        assert!(result.visit_distribution.iter().sum::<f32>() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unfinished episode")]
+    fn search_on_done_episode_panics() {
+        let mut b = DfgBuilder::new("one");
+        b.node(Opcode::Add);
+        let dfg = b.finish().unwrap();
+        let cgra = presets::simple_mesh(2, 2);
+        let problem = Problem::new(&dfg, &cgra, 1).unwrap();
+        let mut env = MapEnv::new(&problem);
+        env.step(mapzero_arch::PeId(0));
+        let net = MapZeroNet::new(4, NetConfig::tiny());
+        let mut mcts = Mcts::new(&net, MctsConfig::fast_test());
+        let _ = mcts.search(&env);
+    }
+}

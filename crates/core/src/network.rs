@@ -1,0 +1,409 @@
+//! The MapZero network (Fig. 5): GAT encoders for the DFG and the CGRA
+//! slice, an FC encoder for the current node's metadata, an MLP trunk
+//! producing the joint state vector, and policy / value heads.
+
+use crate::embed::Observation;
+use mapzero_nn::{
+    clip_gradients, Adam, GatLayer, GcnLayer, Graph, Linear, Matrix, Mlp, Optimizer, Params,
+    SeedRng, VarId,
+};
+
+/// Which graph encoder the network uses (§2.2 argues for GAT; GCN is
+/// kept for the `ablation_design` comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EncoderKind {
+    /// Multi-head graph attention (the paper's choice).
+    #[default]
+    Gat,
+    /// Degree-normalized graph convolution (no attention).
+    Gcn,
+}
+
+/// A graph encoder layer of either kind.
+enum Encoder {
+    Gat(GatLayer),
+    Gcn(GcnLayer),
+}
+
+impl Encoder {
+    fn new(
+        kind: EncoderKind,
+        params: &mut Params,
+        in_dim: usize,
+        head_dim: usize,
+        heads: usize,
+        rng: &mut SeedRng,
+    ) -> Self {
+        match kind {
+            EncoderKind::Gat => Encoder::Gat(GatLayer::new(params, in_dim, head_dim, heads, rng)),
+            EncoderKind::Gcn => {
+                Encoder::Gcn(GcnLayer::new(params, in_dim, head_dim * heads, rng))
+            }
+        }
+    }
+
+    fn forward(
+        &self,
+        g: &mut Graph,
+        params: &Params,
+        x: VarId,
+        edges: &[(usize, usize)],
+    ) -> VarId {
+        match self {
+            Encoder::Gat(l) => l.forward(g, params, x, edges),
+            Encoder::Gcn(l) => l.forward(g, params, x, edges),
+        }
+    }
+}
+
+/// Network hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Per-head output width of the GAT layers.
+    pub head_dim: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Width of the metadata FC embedding.
+    pub meta_dim: usize,
+    /// Width of the joint state vector.
+    pub state_dim: usize,
+    /// Hidden width of the policy / value heads.
+    pub head_hidden: usize,
+    /// Weight-init seed.
+    pub seed: u64,
+    /// Graph encoder kind.
+    pub encoder: EncoderKind,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            head_dim: 16,
+            heads: 2,
+            meta_dim: 16,
+            state_dim: 64,
+            head_hidden: 64,
+            seed: 0,
+            encoder: EncoderKind::Gat,
+        }
+    }
+}
+
+impl NetConfig {
+    /// A tiny configuration for fast tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        NetConfig {
+            head_dim: 4,
+            heads: 2,
+            meta_dim: 8,
+            state_dim: 16,
+            head_hidden: 16,
+            ..NetConfig::default()
+        }
+    }
+}
+
+/// Network output for one state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Log-probability per PE (masked actions get a large negative
+    /// value).
+    pub log_probs: Vec<f32>,
+    /// Value estimate in [−1, 1].
+    pub value: f32,
+}
+
+impl Prediction {
+    /// Probabilities (exp of log-probs; masked ≈ 0).
+    #[must_use]
+    pub fn probs(&self) -> Vec<f32> {
+        self.log_probs.iter().map(|lp| lp.exp()).collect()
+    }
+
+    /// Index of the most likely action.
+    #[must_use]
+    pub fn argmax(&self) -> usize {
+        self.log_probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite log-probs"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// One training sample: an observation with its MCTS policy target and
+/// value target.
+#[derive(Debug, Clone)]
+pub struct TrainSample {
+    /// The observed state.
+    pub observation: Observation,
+    /// Target distribution over actions (MCTS visit proportions).
+    pub policy: Vec<f32>,
+    /// Target value in [−1, 1].
+    pub value: f32,
+}
+
+/// Losses of one optimization step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossBreakdown {
+    /// `(r − v)²` averaged over the batch.
+    pub value_loss: f32,
+    /// `−π·log p` averaged over the batch.
+    pub policy_loss: f32,
+    /// Sum of the two.
+    pub total: f32,
+    /// Pre-clip gradient norm.
+    pub grad_norm: f32,
+}
+
+/// The MapZero policy/value network.
+pub struct MapZeroNet {
+    /// Parameter store (exposed for checkpointing).
+    pub params: Params,
+    config: NetConfig,
+    action_count: usize,
+    gat_dfg1: Encoder,
+    gat_dfg2: Encoder,
+    gat_cgra1: Encoder,
+    gat_cgra2: Encoder,
+    fc_meta: Linear,
+    trunk: Mlp,
+    policy_head: Mlp,
+    value_head: Mlp,
+    optimizer: Adam,
+}
+
+const DFG_DIM: usize = mapzero_dfg::features::DFG_FEATURE_DIM;
+const CGRA_DIM: usize = mapzero_arch::features::PE_FEATURE_DIM;
+const META_DIM: usize = mapzero_dfg::features::METADATA_DIM;
+
+impl MapZeroNet {
+    /// Create a network for a fabric with `action_count` PEs.
+    ///
+    /// The GAT encoders only depend on feature dimensionality, so the
+    /// same weights transfer across fabrics of equal PE count (§4.5).
+    #[must_use]
+    pub fn new(action_count: usize, config: NetConfig) -> Self {
+        let mut params = Params::new();
+        let mut rng = SeedRng::new(config.seed);
+        let gat_out = config.head_dim * config.heads;
+        let kind = config.encoder;
+        let gat_dfg1 =
+            Encoder::new(kind, &mut params, DFG_DIM, config.head_dim, config.heads, &mut rng);
+        let gat_dfg2 =
+            Encoder::new(kind, &mut params, gat_out, config.head_dim, config.heads, &mut rng);
+        let gat_cgra1 =
+            Encoder::new(kind, &mut params, CGRA_DIM, config.head_dim, config.heads, &mut rng);
+        let gat_cgra2 =
+            Encoder::new(kind, &mut params, gat_out, config.head_dim, config.heads, &mut rng);
+        let fc_meta = Linear::new(&mut params, META_DIM, config.meta_dim, &mut rng);
+        let joint = gat_out * 2 + config.meta_dim;
+        let trunk = Mlp::new(&mut params, joint, &[config.state_dim, config.state_dim], &mut rng);
+        let policy_head =
+            Mlp::new(&mut params, config.state_dim, &[config.head_hidden, action_count], &mut rng);
+        let value_head = Mlp::new(&mut params, config.state_dim, &[config.head_hidden, 1], &mut rng);
+        MapZeroNet {
+            params,
+            config,
+            action_count,
+            gat_dfg1,
+            gat_dfg2,
+            gat_cgra1,
+            gat_cgra2,
+            fc_meta,
+            trunk,
+            policy_head,
+            value_head,
+            optimizer: Adam::new(),
+        }
+    }
+
+    /// Number of actions (PEs) this network scores.
+    #[must_use]
+    pub fn action_count(&self) -> usize {
+        self.action_count
+    }
+
+    /// The configuration used at construction.
+    #[must_use]
+    pub fn config(&self) -> NetConfig {
+        self.config
+    }
+
+    /// Forward to `(masked log-softmax logits, value)` tape variables.
+    fn forward(&self, g: &mut Graph, obs: &Observation) -> (VarId, VarId) {
+        let x_dfg = g.input(obs.dfg_nodes.clone());
+        let h1 = self.gat_dfg1.forward(g, &self.params, x_dfg, &obs.dfg_edges);
+        let h2 = self.gat_dfg2.forward(g, &self.params, h1, &obs.dfg_edges);
+        let dfg_emb = g.mean_rows(h2);
+
+        let x_cgra = g.input(obs.cgra_nodes.clone());
+        let c1 = self.gat_cgra1.forward(g, &self.params, x_cgra, &obs.cgra_edges);
+        let c2 = self.gat_cgra2.forward(g, &self.params, c1, &obs.cgra_edges);
+        let cgra_emb = g.mean_rows(c2);
+
+        let meta_in = g.input(obs.metadata.clone());
+        let meta_lin = self.fc_meta.forward(g, &self.params, meta_in);
+        let meta_emb = g.relu(meta_lin);
+
+        let joined = g.concat_cols(dfg_emb, cgra_emb);
+        let joined = g.concat_cols(joined, meta_emb);
+        let trunk_out = self.trunk.forward(g, &self.params, joined);
+        let state = g.relu(trunk_out);
+
+        let logits = self.policy_head.forward(g, &self.params, state);
+        let log_probs = g.log_softmax_masked(logits, &obs.mask);
+        let value_raw = self.value_head.forward(g, &self.params, state);
+        let value = g.tanh(value_raw);
+        (log_probs, value)
+    }
+
+    /// Inference: predict the action distribution and state value.
+    ///
+    /// # Panics
+    /// Panics if the observation mask has no legal action or its mask
+    /// length differs from the action count.
+    #[must_use]
+    pub fn predict(&self, obs: &Observation) -> Prediction {
+        assert_eq!(obs.mask.len(), self.action_count, "mask/action mismatch");
+        let mut g = Graph::new();
+        let (log_probs, value) = self.forward(&mut g, obs);
+        Prediction {
+            log_probs: g.value(log_probs).data().to_vec(),
+            value: g.value(value)[(0, 0)],
+        }
+    }
+
+    /// One optimization step on a batch of samples, minimizing
+    /// `(r − v)² − π·log p` (Alg. 1 line 21) with gradient clipping.
+    ///
+    /// # Panics
+    /// Panics on an empty batch.
+    pub fn train_batch(&mut self, batch: &[TrainSample], lr: f32, clip: f32) -> LossBreakdown {
+        assert!(!batch.is_empty(), "batch must not be empty");
+        self.params.zero_grads();
+        let mut value_loss_total = 0.0f32;
+        let mut policy_loss_total = 0.0f32;
+        let scale = 1.0 / batch.len() as f32;
+        for sample in batch {
+            let mut g = Graph::new();
+            let (log_probs, value) = self.forward(&mut g, &sample.observation);
+            // Value loss: (r - v)^2.
+            let target = g.input(Matrix::scalar(sample.value));
+            let diff = g.sub(value, target);
+            let vloss = g.mul(diff, diff);
+            // Policy loss: -sum(pi * log p) over legal actions.
+            let mut pi = sample.policy.clone();
+            for (i, &legal) in sample.observation.mask.iter().enumerate() {
+                if !legal {
+                    pi[i] = 0.0;
+                }
+            }
+            let pi_row = g.input(Matrix::row(&pi));
+            let weighted = g.mul(pi_row, log_probs);
+            let psum = g.sum_all(weighted);
+            let ploss = g.scale(psum, -1.0);
+            let combined = g.add(vloss, ploss);
+            let loss = g.scale(combined, scale);
+            g.backward(loss, &mut self.params);
+            value_loss_total += g.value(vloss)[(0, 0)];
+            policy_loss_total += g.value(ploss)[(0, 0)];
+        }
+        let grad_norm = clip_gradients(&mut self.params, clip);
+        self.optimizer.step(&mut self.params, lr);
+        self.params.zero_grads();
+        let value_loss = value_loss_total * scale;
+        let policy_loss = policy_loss_total * scale;
+        LossBreakdown { value_loss, policy_loss, total: value_loss + policy_loss, grad_norm }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::observe;
+    use crate::env::MapEnv;
+    use crate::problem::Problem;
+    use mapzero_arch::presets;
+    use mapzero_dfg::suite;
+
+    fn sample_obs() -> Observation {
+        let dfg = suite::by_name("sum").unwrap();
+        let cgra = presets::hrea();
+        let problem = Problem::new(&dfg, &cgra, 1).unwrap();
+        let env = MapEnv::new(&problem);
+        observe(&env)
+    }
+
+    #[test]
+    fn predict_produces_distribution() {
+        let net = MapZeroNet::new(16, NetConfig::tiny());
+        let obs = sample_obs();
+        let pred = net.predict(&obs);
+        let total: f32 = pred.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-4, "sums to {total}");
+        assert!(pred.value.abs() <= 1.0);
+        assert!(pred.argmax() < 16);
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let net = MapZeroNet::new(16, NetConfig::tiny());
+        let obs = sample_obs();
+        assert_eq!(net.predict(&obs), net.predict(&obs));
+    }
+
+    #[test]
+    fn masked_actions_get_zero_probability() {
+        let net = MapZeroNet::new(16, NetConfig::tiny());
+        let mut obs = sample_obs();
+        obs.mask[3] = false;
+        obs.mask[7] = false;
+        let pred = net.predict(&obs);
+        assert!(pred.probs()[3] < 1e-6);
+        assert!(pred.probs()[7] < 1e-6);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_fixed_target() {
+        let mut net = MapZeroNet::new(16, NetConfig::tiny());
+        let obs = sample_obs();
+        let mut policy = vec![0.0f32; 16];
+        policy[5] = 1.0;
+        let sample = TrainSample { observation: obs, policy, value: 0.8 };
+        let first = net.train_batch(std::slice::from_ref(&sample), 0.01, 5.0);
+        let mut last = first;
+        for _ in 0..30 {
+            last = net.train_batch(std::slice::from_ref(&sample), 0.01, 5.0);
+        }
+        assert!(
+            last.total < first.total,
+            "loss should fall: {} -> {}",
+            first.total,
+            last.total
+        );
+        // The policy should now prefer action 5.
+        let pred = net.predict(&sample.observation);
+        assert_eq!(pred.argmax(), 5);
+    }
+
+    #[test]
+    fn gradient_norm_reported_positive() {
+        let mut net = MapZeroNet::new(16, NetConfig::tiny());
+        let obs = sample_obs();
+        let sample =
+            TrainSample { observation: obs, policy: vec![1.0 / 16.0; 16], value: -0.5 };
+        let loss = net.train_batch(&[sample], 0.001, 10.0);
+        assert!(loss.grad_norm > 0.0);
+        assert!(loss.total.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must not be empty")]
+    fn empty_batch_panics() {
+        let mut net = MapZeroNet::new(16, NetConfig::tiny());
+        let _ = net.train_batch(&[], 0.01, 1.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! A fully-specified mapping problem instance at a fixed II.
+
+use crate::mapping::MapError;
+use mapzero_arch::Cgra;
+use mapzero_dfg::{mii, modulo_schedule_at, Dfg, NodeId, Schedule, ScheduleError};
+
+/// A (DFG, CGRA, II) triple with the modulo schedule and the placement
+/// order fixed.
+///
+/// All mappers operate on `Problem`s: the compiler builds one per II in
+/// its outer search loop (§4.2: "start with MII and gradually increase
+/// the target II if mapping fails").
+#[derive(Debug, Clone)]
+pub struct Problem<'a> {
+    dfg: &'a Dfg,
+    cgra: &'a Cgra,
+    schedule: Schedule,
+    /// Placement order: ascending time slice, topological rank breaking
+    /// ties (the paper's "scheduling order obtained by topological
+    /// sorting").
+    order: Vec<NodeId>,
+}
+
+impl<'a> Problem<'a> {
+    /// Build the problem for a specific II.
+    ///
+    /// # Errors
+    /// [`MapError::Unmappable`] when a required op class has no capable
+    /// PE; [`MapError::NoSchedule`] when modulo scheduling fails at `ii`.
+    pub fn new(dfg: &'a Dfg, cgra: &'a Cgra, ii: u32) -> Result<Self, MapError> {
+        let res = cgra.resource_model();
+        let schedule = modulo_schedule_at(dfg, &res, ii).map_err(|e| match e {
+            ScheduleError::UnsupportedClass(c) => MapError::Unmappable(format!(
+                "{} needs {c} ops but {} has no capable PE",
+                dfg.name(),
+                cgra.name()
+            )),
+            ScheduleError::Infeasible { ii } => {
+                MapError::NoSchedule(format!("II = {ii} infeasible for {}", dfg.name()))
+            }
+        })?;
+        let rank = dfg.topological_rank();
+        let mut order: Vec<NodeId> = dfg.node_ids().collect();
+        order.sort_by_key(|u| (schedule.time(*u), rank[u.index()]));
+        Ok(Problem { dfg, cgra, schedule, order })
+    }
+
+    /// The minimum II bound for this (DFG, CGRA) pair.
+    ///
+    /// # Errors
+    /// [`MapError::Unmappable`] when a required class is unsupported.
+    pub fn mii(dfg: &Dfg, cgra: &Cgra) -> Result<u32, MapError> {
+        mii::mii(dfg, &cgra.resource_model()).ok_or_else(|| {
+            MapError::Unmappable(format!(
+                "{} cannot execute on {}",
+                dfg.name(),
+                cgra.name()
+            ))
+        })
+    }
+
+    /// The data flow graph.
+    #[must_use]
+    pub fn dfg(&self) -> &'a Dfg {
+        self.dfg
+    }
+
+    /// The fabric.
+    #[must_use]
+    pub fn cgra(&self) -> &'a Cgra {
+        self.cgra
+    }
+
+    /// The modulo schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The target II.
+    #[must_use]
+    pub fn ii(&self) -> u32 {
+        self.schedule.ii()
+    }
+
+    /// Placement order of the DFG nodes.
+    #[must_use]
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.dfg.node_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapzero_arch::presets;
+    use mapzero_dfg::suite;
+
+    #[test]
+    fn order_respects_time_then_rank() {
+        let dfg = suite::by_name("conv2").unwrap();
+        let cgra = presets::hrea();
+        let mii = Problem::mii(&dfg, &cgra).unwrap();
+        let p = Problem::new(&dfg, &cgra, mii).unwrap();
+        let times: Vec<u32> = p.order().iter().map(|&u| p.schedule().time(u)).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(p.order().len(), dfg.node_count());
+    }
+
+    #[test]
+    fn mii_of_big_kernel_on_small_fabric() {
+        let dfg = suite::by_name("arf").unwrap(); // 54 nodes
+        let cgra = presets::hrea(); // 16 PEs
+        let mii = Problem::mii(&dfg, &cgra).unwrap();
+        assert_eq!(mii, 4); // ceil(54/16)
+    }
+
+    #[test]
+    fn unmappable_reported() {
+        let dfg = suite::by_name("sum").unwrap();
+        let cgra = mapzero_arch::CgraBuilder::new("no-mem", 2, 2)
+            .all_capabilities(mapzero_arch::Capability::COMPUTE)
+            .finish();
+        assert!(matches!(Problem::mii(&dfg, &cgra), Err(MapError::Unmappable(_))));
+        assert!(matches!(Problem::new(&dfg, &cgra, 4), Err(MapError::Unmappable(_))));
+    }
+
+    #[test]
+    fn infeasible_ii_reported() {
+        let dfg = suite::by_name("arf").unwrap();
+        let cgra = presets::hrea();
+        // II = 1 cannot fit 54 nodes on 16 PEs.
+        assert!(matches!(Problem::new(&dfg, &cgra, 1), Err(MapError::NoSchedule(_))));
+    }
+}

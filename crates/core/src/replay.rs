@@ -1,0 +1,174 @@
+//! Prioritized self-play replay buffer (§4.4).
+//!
+//! "…store the trajectories into a replay buffer of size 10,000. We
+//! randomly sample a batch of size 32 once the replay buffer is full…
+//! A sampling priority is maintained. Already sampled trajectories will
+//! be given a lower priority in the next round of sampling."
+
+use crate::network::TrainSample;
+use mapzero_nn::SeedRng;
+
+/// A bounded replay buffer with decay-on-sample priorities.
+#[derive(Default)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    samples: Vec<TrainSample>,
+    priorities: Vec<f64>,
+    next_slot: usize,
+}
+
+impl ReplayBuffer {
+    /// Create a buffer holding at most `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        ReplayBuffer {
+            capacity,
+            samples: Vec::with_capacity(capacity.min(4096)),
+            priorities: Vec::with_capacity(capacity.min(4096)),
+            next_slot: 0,
+        }
+    }
+
+    /// Number of stored samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// True when the buffer reached capacity (training begins then).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.samples.len() == self.capacity
+    }
+
+    /// Insert a sample with maximal priority, evicting round-robin when
+    /// full.
+    pub fn push(&mut self, sample: TrainSample) {
+        let priority = 1.0;
+        if self.samples.len() < self.capacity {
+            self.samples.push(sample);
+            self.priorities.push(priority);
+        } else {
+            self.samples[self.next_slot] = sample;
+            self.priorities[self.next_slot] = priority;
+            self.next_slot = (self.next_slot + 1) % self.capacity;
+        }
+    }
+
+    /// Sample a batch proportionally to priority and halve the priority
+    /// of everything drawn.
+    ///
+    /// Returns fewer than `batch` items only when the buffer is smaller
+    /// than `batch`.
+    pub fn sample(&mut self, batch: usize, rng: &mut SeedRng) -> Vec<TrainSample> {
+        let n = self.samples.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let want = batch.min(n);
+        let mut out = Vec::with_capacity(want);
+        for _ in 0..want {
+            let total: f64 = self.priorities.iter().sum();
+            let mut target = rng.unit() * total;
+            let mut idx = n - 1;
+            for (i, &p) in self.priorities.iter().enumerate() {
+                if target < p {
+                    idx = i;
+                    break;
+                }
+                target -= p;
+            }
+            self.priorities[idx] *= 0.5;
+            out.push(self.samples[idx].clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::Observation;
+    use mapzero_nn::Matrix;
+
+    fn sample(tag: f32) -> TrainSample {
+        TrainSample {
+            observation: Observation {
+                dfg_nodes: Matrix::scalar(tag),
+                dfg_edges: vec![],
+                cgra_nodes: Matrix::scalar(tag),
+                cgra_edges: vec![],
+                metadata: Matrix::scalar(tag),
+                mask: vec![true],
+            },
+            policy: vec![1.0],
+            value: tag,
+        }
+    }
+
+    #[test]
+    fn fills_then_evicts_round_robin() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(sample(i as f32));
+        }
+        assert_eq!(buf.len(), 3);
+        assert!(buf.is_full());
+        // Slots now hold samples 3, 4, 2 (0 and 1 evicted).
+        let values: Vec<f32> = buf.samples.iter().map(|s| s.value).collect();
+        assert!(values.contains(&3.0) && values.contains(&4.0) && values.contains(&2.0));
+    }
+
+    #[test]
+    fn sampling_respects_batch_and_buffer_size() {
+        let mut buf = ReplayBuffer::new(10);
+        for i in 0..4 {
+            buf.push(sample(i as f32));
+        }
+        let mut rng = SeedRng::new(0);
+        assert_eq!(buf.sample(2, &mut rng).len(), 2);
+        assert_eq!(buf.sample(32, &mut rng).len(), 4);
+        assert!(buf.sample(1, &mut rng).len() == 1);
+    }
+
+    #[test]
+    fn sampled_items_lose_priority() {
+        let mut buf = ReplayBuffer::new(2);
+        buf.push(sample(0.0));
+        buf.push(sample(1.0));
+        let mut rng = SeedRng::new(7);
+        // Draw many batches; priorities decay so both items keep being
+        // drawn with nonzero probability but totals stay finite.
+        let mut seen = [0usize; 2];
+        for _ in 0..50 {
+            for s in buf.sample(1, &mut rng) {
+                seen[s.value as usize] += 1;
+            }
+        }
+        assert!(seen[0] > 0 && seen[1] > 0, "decay must not starve items: {seen:?}");
+    }
+
+    #[test]
+    fn empty_buffer_samples_nothing() {
+        let mut buf = ReplayBuffer::new(4);
+        let mut rng = SeedRng::new(0);
+        assert!(buf.sample(8, &mut rng).is_empty());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ReplayBuffer::new(0);
+    }
+}

@@ -1,0 +1,547 @@
+//! Routing over the modulo routing resource graph.
+//!
+//! Two timing models, matching §3.3:
+//!
+//! * **Registered neighbour routing** (mesh-class fabrics): a value
+//!   advances at most one link per cycle and parks in a PE output
+//!   register each cycle. Placement and routing are coupled; the router
+//!   runs a 0/1-cost Dijkstra over `(PE, cycle)` states, where reusing a
+//!   register already claimed by the same signal is free.
+//! * **Circuit-switched crossbar** (HyCube): a value can traverse many
+//!   switches within one cycle boundary ("clockless repeaters", §3.2.2).
+//!   The router picks a departure cycle, holds the value in the
+//!   producer register until then, BFS-routes through free switches at
+//!   the boundary, and parks it in the consumer register until the
+//!   consumption cycle.
+//!
+//! Values of the same signal (producer node) share resources, so a
+//! multi-fan-out net is routed as a tree. Lifetimes longer than II rely
+//! on rotating registers (the DRESC convention).
+
+use crate::ledger::Ledger;
+use crate::mapping::{Placement, RouteHop};
+use mapzero_arch::{Cgra, PeId, RoutingStyle};
+use mapzero_dfg::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A successful route: the hops claimed and the number of *new*
+/// resources consumed (shared hops cost nothing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Resources along the route, in traversal order.
+    pub hops: Vec<RouteHop>,
+    /// Newly-claimed resource count (the routing-penalty contribution of
+    /// a successful route).
+    pub cost: usize,
+}
+
+/// Route the value of `src` (placed at `from`) to `dst` (placed at `to`)
+/// whose consumption deadline is `to.time + dist * ii`.
+///
+/// On success the route's resources are claimed in `ledger` and the
+/// route is returned; on failure the ledger is left untouched and
+/// `None` is returned.
+pub fn route_edge(
+    cgra: &Cgra,
+    ledger: &mut Ledger,
+    src: NodeId,
+    from: Placement,
+    to: Placement,
+    dist: u32,
+) -> Option<Route> {
+    let ii = ledger.ii();
+    let deadline = to.time + dist * ii;
+    debug_assert!(from.time < deadline, "schedule must leave at least one cycle");
+    match cgra.style() {
+        RoutingStyle::NeighborRegister => {
+            route_registered(cgra, ledger, src, from.pe, from.time, to.pe, deadline)
+        }
+        RoutingStyle::CircuitSwitched => {
+            route_circuit_switched(cgra, ledger, src, from.pe, from.time, to.pe, deadline)
+        }
+    }
+}
+
+/// Dijkstra over `(pe, cycle)` states for registered neighbour routing.
+fn route_registered(
+    cgra: &Cgra,
+    ledger: &mut Ledger,
+    signal: NodeId,
+    from: PeId,
+    t_start: u32,
+    to: PeId,
+    deadline: u32,
+) -> Option<Route> {
+    let ii = ledger.ii();
+    let pes = cgra.pe_count();
+    let horizon = (deadline - t_start) as usize; // steps available
+    // state index: step (1-based cycle offset) * pes + pe
+    let nstates = horizon * pes;
+    let mut best = vec![usize::MAX; nstates];
+    let mut prev: Vec<Option<usize>> = vec![None; nstates];
+    let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
+    let state = |step: usize, pe: PeId| (step - 1) * pes + pe.index();
+
+    // First hop: the value lands in the producer's own output register
+    // one cycle after issue; consumers later read it over a link.
+    {
+        let slot = (t_start + 1) % ii;
+        if ledger.reg_available(from, slot, signal) {
+            let cost = usize::from(ledger.reg(from, slot).is_none());
+            let s = state(1, from);
+            best[s] = cost;
+            heap.push(Reverse((cost, s)));
+        }
+    }
+
+    let mut goal: Option<usize> = None;
+    while let Some(Reverse((cost, s))) = heap.pop() {
+        if cost > best[s] {
+            continue;
+        }
+        let step = s / pes + 1;
+        let pe = PeId((s % pes) as u32);
+        let tau = t_start + step as u32;
+        if tau == deadline {
+            // The consumer reads from its own or a neighbour's register.
+            if pe == to || cgra.links_from(pe).contains(&to) {
+                goal = Some(s);
+                break;
+            }
+            continue;
+        }
+        let next_slot = (tau + 1) % ii;
+        for &next in std::iter::once(&pe).chain(cgra.links_from(pe)) {
+            if !ledger.reg_available(next, next_slot, signal) {
+                continue;
+            }
+            let hop_cost = usize::from(ledger.reg(next, next_slot).is_none());
+            let ns = state(step + 1, next);
+            let ncost = cost + hop_cost;
+            if ncost < best[ns] {
+                best[ns] = ncost;
+                prev[ns] = Some(s);
+                heap.push(Reverse((ncost, ns)));
+            }
+        }
+    }
+
+    let goal = goal?;
+    // Reconstruct and claim.
+    let mut chain = Vec::new();
+    let mut cur = Some(goal);
+    while let Some(s) = cur {
+        let step = s / pes + 1;
+        let pe = PeId((s % pes) as u32);
+        chain.push((pe, (t_start + step as u32) % ii));
+        cur = prev[s];
+    }
+    chain.reverse();
+    let cp = ledger.checkpoint();
+    let mut hops = Vec::with_capacity(chain.len());
+    let mut cost = 0;
+    for (pe, slot) in chain {
+        let was_free = ledger.reg(pe, slot).is_none();
+        if !ledger.claim_reg(pe, slot, signal) {
+            ledger.undo_to(cp);
+            return None;
+        }
+        cost += usize::from(was_free);
+        hops.push(RouteHop::Register { pe, slot });
+    }
+    Some(Route { hops, cost })
+}
+
+/// Circuit-switched routing: pick a departure cycle, cross the crossbar
+/// in one boundary, wait at the destination.
+fn route_circuit_switched(
+    cgra: &Cgra,
+    ledger: &mut Ledger,
+    signal: NodeId,
+    from: PeId,
+    t_start: u32,
+    to: PeId,
+    deadline: u32,
+) -> Option<Route> {
+    let ii = ledger.ii();
+    let mut best: Option<(usize, Vec<RouteHop>)> = None;
+
+    // Same-PE transfer: the value stays in the producer's register.
+    if from == to {
+        let cp = ledger.checkpoint();
+        let mut hops = Vec::new();
+        let mut cost = 0;
+        let mut ok = true;
+        for tau in t_start + 1..deadline {
+            let slot = tau % ii;
+            let was_free = ledger.reg(from, slot).is_none();
+            if !ledger.claim_reg(from, slot, signal) {
+                ok = false;
+                break;
+            }
+            cost += usize::from(was_free);
+            hops.push(RouteHop::Register { pe: from, slot });
+        }
+        if ok {
+            ledger.undo_to(cp);
+            best = Some((cost, hops));
+        } else {
+            ledger.undo_to(cp);
+        }
+    } else {
+        for t_dep in t_start..deadline {
+            let candidate = try_departure(
+                cgra, ledger, signal, from, t_start, to, deadline, t_dep,
+            );
+            if let Some((cost, hops)) = candidate {
+                let better = best.as_ref().map_or(true, |(c, _)| cost < *c);
+                if better {
+                    best = Some((cost, hops));
+                    if cost == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let (_, hops) = best?;
+    // Claim for real.
+    let cp = ledger.checkpoint();
+    let mut cost = 0;
+    for &hop in &hops {
+        let ok = match hop {
+            RouteHop::Register { pe, slot } => {
+                let was_free = ledger.reg(pe, slot).is_none();
+                let ok = ledger.claim_reg(pe, slot, signal);
+                cost += usize::from(ok && was_free);
+                ok
+            }
+            RouteHop::Switch { pe, slot } => {
+                let was_free = ledger.switch(pe, slot).is_none();
+                let ok = ledger.claim_switch(pe, slot, signal);
+                cost += usize::from(ok && was_free);
+                ok
+            }
+        };
+        if !ok {
+            ledger.undo_to(cp);
+            return None;
+        }
+    }
+    Some(Route { hops, cost })
+}
+
+/// Evaluate one departure cycle without leaving claims behind. Returns
+/// `(new-resource cost, hops)` on success.
+#[allow(clippy::too_many_arguments)]
+fn try_departure(
+    cgra: &Cgra,
+    ledger: &mut Ledger,
+    signal: NodeId,
+    from: PeId,
+    t_start: u32,
+    to: PeId,
+    deadline: u32,
+    t_dep: u32,
+) -> Option<(usize, Vec<RouteHop>)> {
+    let ii = ledger.ii();
+    let arrival = t_dep + 1;
+    debug_assert!(arrival <= deadline);
+    let mut hops = Vec::new();
+    let mut cost = 0usize;
+    // Hold at the producer until departure.
+    for tau in t_start + 1..=t_dep {
+        let slot = tau % ii;
+        if !ledger.reg_available(from, slot, signal) {
+            return None;
+        }
+        cost += usize::from(ledger.reg(from, slot).is_none());
+        hops.push(RouteHop::Register { pe: from, slot });
+    }
+    // Cross the crossbar at the boundary entering `arrival`.
+    let slot = arrival % ii;
+    let path = crossbar_bfs(cgra, ledger, signal, from, to, slot)?;
+    for &pe in &path {
+        cost += usize::from(ledger.switch(pe, slot).is_none());
+        hops.push(RouteHop::Switch { pe, slot });
+    }
+    // Wait at the consumer until the consumption cycle.
+    if arrival < deadline {
+        for tau in arrival..=deadline {
+            let slot = tau % ii;
+            if !ledger.reg_available(to, slot, signal) {
+                return None;
+            }
+            cost += usize::from(ledger.reg(to, slot).is_none());
+            hops.push(RouteHop::Register { pe: to, slot });
+        }
+    }
+    Some((cost, hops))
+}
+
+/// BFS through the crossbar grid at one boundary slot: returns the
+/// intermediate PEs (excluding endpoints) of a shortest path whose
+/// switches are available to `signal`.
+fn crossbar_bfs(
+    cgra: &Cgra,
+    ledger: &Ledger,
+    signal: NodeId,
+    from: PeId,
+    to: PeId,
+    slot: u32,
+) -> Option<Vec<PeId>> {
+    if cgra.links_from(from).contains(&to) {
+        return Some(Vec::new());
+    }
+    let pes = cgra.pe_count();
+    let mut prev: Vec<Option<PeId>> = vec![None; pes];
+    let mut seen = vec![false; pes];
+    seen[from.index()] = true;
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(x) = queue.pop_front() {
+        for &y in cgra.links_from(x) {
+            if seen[y.index()] {
+                continue;
+            }
+            if y == to {
+                prev[y.index()] = Some(x);
+                let mut path = Vec::new();
+                let mut cur = x;
+                while cur != from {
+                    path.push(cur);
+                    cur = prev[cur.index()].expect("bfs predecessor");
+                }
+                path.reverse();
+                return Some(path);
+            }
+            // Intermediate hop: the switch must be usable.
+            if ledger.switch_available(y, slot, signal) {
+                seen[y.index()] = true;
+                prev[y.index()] = Some(x);
+                queue.push_back(y);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapzero_arch::presets;
+
+    fn place(pe: u32, time: u32) -> Placement {
+        Placement { pe: PeId(pe), time }
+    }
+
+    mod registered {
+        use super::*;
+
+        #[test]
+        fn adjacent_single_cycle() {
+            let cgra = presets::simple_mesh(2, 2);
+            let mut ledger = Ledger::new(&cgra, 1);
+            let r =
+                route_edge(&cgra, &mut ledger, NodeId(0), place(0, 0), place(1, 1), 0)
+                    .unwrap();
+            // One register: the producer's output read by the neighbour.
+            assert_eq!(r.hops.len(), 1);
+            assert_eq!(r.cost, 1);
+        }
+
+        #[test]
+        fn multi_hop_needs_cycles() {
+            // 3x3 mesh, corner to corner is 4 hops; consumer at t=2 can
+            // only be reached if it is <= 2 hops away.
+            let cgra = presets::simple_mesh(3, 3);
+            let mut ledger = Ledger::new(&cgra, 8);
+            // pe0 -> pe8 with deadline 2 cycles: impossible.
+            assert!(route_edge(&cgra, &mut ledger, NodeId(0), place(0, 0), place(8, 2), 0)
+                .is_none());
+            // With 4 cycles of slack it works.
+            let r = route_edge(&cgra, &mut ledger, NodeId(0), place(0, 0), place(8, 4), 0)
+                .unwrap();
+            assert!(!r.hops.is_empty());
+        }
+
+        #[test]
+        fn fanout_shares_resources() {
+            let cgra = presets::simple_mesh(2, 2);
+            let mut ledger = Ledger::new(&cgra, 2);
+            let a =
+                route_edge(&cgra, &mut ledger, NodeId(0), place(0, 0), place(1, 1), 0)
+                    .unwrap();
+            // Second consumer of the same signal at the same cycle: the
+            // producer register is shared, cost 0.
+            let b =
+                route_edge(&cgra, &mut ledger, NodeId(0), place(0, 0), place(2, 1), 0)
+                    .unwrap();
+            assert_eq!(a.cost, 1);
+            assert_eq!(b.cost, 0, "fan-out must share the producer register");
+        }
+
+        #[test]
+        fn conflicting_signals_blocked() {
+            let cgra = presets::simple_mesh(1, 3);
+            let mut ledger = Ledger::new(&cgra, 1);
+            // Signal A holds pe1's register at slot 0 (the only slot).
+            assert!(ledger.claim_reg(PeId(1), 0, NodeId(42)));
+            // pe0 -> pe2 must pass through pe1's register at II=1 and a
+            // 2-cycle deadline; blocked by signal 42. Direct neighbour
+            // read also impossible (pe0 is not adjacent to pe2).
+            let got =
+                route_edge(&cgra, &mut ledger, NodeId(0), place(0, 0), place(2, 2), 0);
+            assert!(got.is_none());
+        }
+
+        #[test]
+        fn failed_route_leaves_no_claims() {
+            let cgra = presets::simple_mesh(1, 3);
+            let mut ledger = Ledger::new(&cgra, 1);
+            assert!(ledger.claim_reg(PeId(1), 0, NodeId(42)));
+            let cp = ledger.checkpoint();
+            let _ = route_edge(&cgra, &mut ledger, NodeId(0), place(0, 0), place(2, 2), 0);
+            // Checkpoint still valid == nothing appended.
+            ledger.undo_to(cp);
+            assert_eq!(ledger.reg(PeId(1), 0), Some(NodeId(42)));
+        }
+
+        #[test]
+        fn self_cycle_routes_in_place() {
+            let cgra = presets::simple_mesh(2, 2);
+            let mut ledger = Ledger::new(&cgra, 1);
+            // u -> u with dist 1 at II=1: deadline = t+1.
+            let r = route_edge(&cgra, &mut ledger, NodeId(3), place(0, 5), place(0, 5), 1)
+                .unwrap();
+            assert_eq!(r.hops.len(), 1);
+        }
+
+        #[test]
+        fn waiting_in_place_allowed() {
+            let cgra = presets::simple_mesh(2, 2);
+            let mut ledger = Ledger::new(&cgra, 4);
+            // Producer at t=0, consumer 3 cycles later on a neighbour.
+            let r = route_edge(&cgra, &mut ledger, NodeId(0), place(0, 0), place(1, 3), 0)
+                .unwrap();
+            assert_eq!(r.hops.len(), 3, "value parks for three cycles");
+        }
+    }
+
+    mod circuit_switched {
+        use super::*;
+
+        #[test]
+        fn long_distance_single_cycle() {
+            // HyCube: corner to corner within one cycle.
+            let cgra = presets::hycube();
+            let mut ledger = Ledger::new(&cgra, 1);
+            let r = route_edge(&cgra, &mut ledger, NodeId(0), place(0, 0), place(15, 1), 0)
+                .unwrap();
+            // Only switches, no waiting registers.
+            assert!(r.hops.iter().all(|h| matches!(h, RouteHop::Switch { .. })));
+            assert!(!r.hops.is_empty());
+        }
+
+        #[test]
+        fn adjacent_uses_no_switches() {
+            let cgra = presets::hycube();
+            let mut ledger = Ledger::new(&cgra, 1);
+            let r = route_edge(&cgra, &mut ledger, NodeId(0), place(0, 0), place(1, 1), 0)
+                .unwrap();
+            assert!(r.hops.is_empty());
+            assert_eq!(r.cost, 0);
+        }
+
+        #[test]
+        fn waiting_claims_registers() {
+            let cgra = presets::hycube();
+            let mut ledger = Ledger::new(&cgra, 4);
+            let r = route_edge(&cgra, &mut ledger, NodeId(0), place(0, 0), place(1, 3), 0)
+                .unwrap();
+            assert!(r.hops.iter().any(|h| matches!(h, RouteHop::Register { .. })));
+        }
+
+        #[test]
+        fn switch_congestion_forces_detour_or_failure() {
+            let cgra = presets::hycube();
+            let mut ledger = Ledger::new(&cgra, 1);
+            // Block the entire second column's switches with another
+            // signal at the only slot.
+            for row in 0..4 {
+                assert!(ledger.claim_switch(cgra.at(row, 1), 0, NodeId(99)));
+            }
+            // pe(0,0) -> pe(0,2) must cross column 1; all switches are
+            // blocked, so either it routes around... but column 1 is a
+            // full wall on a 4x4 mesh. It must fail.
+            let got = route_edge(
+                &cgra,
+                &mut ledger,
+                NodeId(0),
+                place(0, 0),
+                Placement { pe: cgra.at(0, 2), time: 1 },
+                0,
+            );
+            assert!(got.is_none());
+        }
+
+        #[test]
+        fn same_pe_transfer() {
+            let cgra = presets::hycube();
+            let mut ledger = Ledger::new(&cgra, 4);
+            let r = route_edge(&cgra, &mut ledger, NodeId(1), place(5, 0), place(5, 2), 0)
+                .unwrap();
+            assert_eq!(r.hops.len(), 1); // parks one intermediate cycle
+        }
+
+        #[test]
+        fn same_pe_back_to_back_needs_no_resources() {
+            // Consumer on the same PE one cycle later: direct register
+            // feedback, zero claims.
+            let cgra = presets::hycube();
+            let mut ledger = Ledger::new(&cgra, 2);
+            let r = route_edge(&cgra, &mut ledger, NodeId(1), place(5, 0), place(5, 1), 0)
+                .unwrap();
+            assert!(r.hops.is_empty());
+            assert_eq!(r.cost, 0);
+        }
+
+        #[test]
+        fn back_edge_wraps_across_iterations() {
+            // Self-cycle at II = 2: producer at t=1, consumer at t=1 of
+            // the next iteration (deadline t=3).
+            let cgra = presets::hycube();
+            let mut ledger = Ledger::new(&cgra, 2);
+            let r = route_edge(&cgra, &mut ledger, NodeId(0), place(3, 1), place(3, 1), 1)
+                .unwrap();
+            assert!(!r.hops.is_empty());
+            for hop in &r.hops {
+                let crate::mapping::RouteHop::Register { pe, .. } = hop else {
+                    panic!("self route stays in registers");
+                };
+                assert_eq!(*pe, PeId(3));
+            }
+        }
+
+        #[test]
+        fn crossbar_fanout_shares_switches() {
+            // Two consumers behind the same first hop: the shared switch
+            // is claimed once.
+            let cgra = presets::hycube();
+            let mut ledger = Ledger::new(&cgra, 1);
+            // pe(0,0) -> pe(0,2): crosses the switch at (0,1).
+            let a = route_edge(
+                &cgra, &mut ledger, NodeId(0), place(0, 0),
+                Placement { pe: cgra.at(0, 2), time: 1 }, 0,
+            ).unwrap();
+            // pe(0,0) -> pe(0,3): reuses (0,1) and claims (0,2).
+            let b = route_edge(
+                &cgra, &mut ledger, NodeId(0), place(0, 0),
+                Placement { pe: cgra.at(0, 3), time: 1 }, 0,
+            ).unwrap();
+            assert_eq!(a.cost, 1);
+            assert!(b.cost <= 2, "shared prefix must cap the cost, got {}", b.cost);
+        }
+    }
+}

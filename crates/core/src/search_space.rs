@@ -1,0 +1,64 @@
+//! Closed-form search-space size estimates (§2.5.1).
+//!
+//! "mapping a DFG with 14 nodes onto a 4×4 CGRA has 16!/2 ≈ 10¹³ total
+//! possibilities… mapping a 60-node DFG onto an 8×8 CGRA has up to
+//! 64!/4! ≈ 10⁸⁷ possibilities."
+
+/// Natural log of `n!` via the log-gamma series (exact summation for the
+/// small arguments used here).
+fn ln_factorial(n: u64) -> f64 {
+    (2..=n).map(|k| (k as f64).ln()).sum()
+}
+
+/// Log10 of the number of injective placements of `nodes` DFG nodes onto
+/// `pes` PEs at II = 1: `pes! / (pes - nodes)!`.
+///
+/// Returns `None` when `nodes > pes` (no spatial mapping exists).
+#[must_use]
+pub fn log10_placements(nodes: u64, pes: u64) -> Option<f64> {
+    if nodes > pes {
+        return None;
+    }
+    Some((ln_factorial(pes) - ln_factorial(pes - nodes)) / std::f64::consts::LN_10)
+}
+
+/// Log10 of the spatio-temporal search-space size at a given II: nodes
+/// choose among `pes * ii` slots with per-slice exclusiveness relaxed to
+/// the simple upper bound `(pes * ii)! / (pes * ii - nodes)!`.
+#[must_use]
+pub fn log10_placements_temporal(nodes: u64, pes: u64, ii: u64) -> Option<f64> {
+    log10_placements(nodes, pes * ii)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_14_nodes_4x4() {
+        // 16!/2! ~ 1.046e13 — the paper rounds to 10^13.
+        let lg = log10_placements(14, 16).unwrap();
+        assert!((lg - 13.0).abs() < 0.3, "{lg}");
+    }
+
+    #[test]
+    fn paper_example_60_nodes_8x8() {
+        // 64!/4! ~ 10^87.
+        let lg = log10_placements(60, 64).unwrap();
+        assert!((lg - 87.0).abs() < 1.0, "{lg}");
+    }
+
+    #[test]
+    fn too_many_nodes_is_none() {
+        assert!(log10_placements(17, 16).is_none());
+        // But II=2 doubles the slots.
+        assert!(log10_placements_temporal(17, 16, 2).is_some());
+    }
+
+    #[test]
+    fn grows_monotonically_with_ii() {
+        let a = log10_placements_temporal(14, 16, 1).unwrap();
+        let b = log10_placements_temporal(14, 16, 2).unwrap();
+        assert!(b > a);
+    }
+}

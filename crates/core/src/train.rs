@@ -1,0 +1,446 @@
+//! Self-play training (§3.6, Algorithm 1) with the metrics of Fig. 12.
+//!
+//! Episodes are generated with MCTS self-play on a curriculum of random
+//! DFGs (easy → hard, §3.6.2), converted to `(s, π, r)` samples,
+//! symmetry-augmented (§3.6.1) and stored in the prioritized replay
+//! buffer; batches are drawn to update the network by minimizing
+//! `(r − v)² − π·log p` with gradient clipping.
+
+use crate::agent::{AgentConfig, MapZeroAgent, TrajectoryStep};
+use crate::env::CONFLICT_PENALTY;
+use crate::mcts::MctsConfig;
+use crate::network::{MapZeroNet, NetConfig, TrainSample};
+use crate::problem::Problem;
+use crate::replay::ReplayBuffer;
+use crate::{augment, mapping::MapError};
+use mapzero_arch::Cgra;
+use mapzero_dfg::{random::curriculum, Dfg};
+use mapzero_nn::{LrSchedule, SeedRng};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of training epochs.
+    pub epochs: u32,
+    /// Self-play episodes per epoch.
+    pub episodes_per_epoch: usize,
+    /// Optimization batch size (paper: 32).
+    pub batch_size: usize,
+    /// Gradient updates per epoch.
+    pub updates_per_epoch: usize,
+    /// Replay-buffer capacity (paper: 10 000).
+    pub replay_capacity: usize,
+    /// Learning-rate schedule.
+    pub lr: LrSchedule,
+    /// Global gradient-norm clip.
+    pub clip: f32,
+    /// Maximum symmetry copies per sample.
+    pub augment_copies: usize,
+    /// Curriculum node-count range (paper: 3–30).
+    pub curriculum_nodes: (usize, usize),
+    /// Random DFGs per curriculum size.
+    pub curriculum_per_size: usize,
+    /// MCTS parameters used during self-play.
+    pub mcts: MctsConfig,
+    /// Per-episode wall-clock budget.
+    pub episode_deadline: Duration,
+    /// Self-play worker threads per epoch (§3.6.2: "we use
+    /// multi-threading during execution"). 1 = sequential.
+    pub workers: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 20,
+            episodes_per_epoch: 8,
+            batch_size: 32,
+            updates_per_epoch: 8,
+            replay_capacity: 10_000,
+            lr: LrSchedule { initial: 3e-3, decay: 0.7, step_every: 5, floor: 3e-4 },
+            clip: 5.0,
+            augment_copies: 4,
+            curriculum_nodes: (3, 30),
+            curriculum_per_size: 2,
+            mcts: MctsConfig { simulations: 24, ..MctsConfig::default() },
+            episode_deadline: Duration::from_secs(20),
+            workers: 4,
+            seed: 0,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A minutes-scale configuration for tests and examples.
+    #[must_use]
+    pub fn fast_test() -> Self {
+        TrainConfig {
+            epochs: 3,
+            episodes_per_epoch: 2,
+            batch_size: 8,
+            updates_per_epoch: 2,
+            replay_capacity: 512,
+            curriculum_nodes: (3, 8),
+            curriculum_per_size: 1,
+            mcts: MctsConfig::fast_test(),
+            episode_deadline: Duration::from_secs(5),
+            ..TrainConfig::default()
+        }
+    }
+}
+
+/// Metrics recorded for one epoch (the series plotted in Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochMetrics {
+    /// Epoch index.
+    pub epoch: u32,
+    /// Average total loss per update.
+    pub total_loss: f32,
+    /// Average value loss per update (Fig. 12(b)).
+    pub value_loss: f32,
+    /// Average policy loss per update (Fig. 12(c)).
+    pub policy_loss: f32,
+    /// Average self-play episode reward (Fig. 12(d)).
+    pub avg_reward: f64,
+    /// Routing penalty of the held-out evaluation episode
+    /// (Fig. 12(e); > −100 means a successful mapping).
+    pub eval_penalty: f64,
+    /// Learning rate (Fig. 12(f)).
+    pub lr: f32,
+    /// Fraction of self-play episodes that mapped successfully.
+    pub success_rate: f64,
+}
+
+/// The full learning curves of one training run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainingMetrics {
+    /// One entry per epoch.
+    pub epochs: Vec<EpochMetrics>,
+}
+
+impl TrainingMetrics {
+    /// Final epoch metrics, if any epoch ran.
+    #[must_use]
+    pub fn last(&self) -> Option<&EpochMetrics> {
+        self.epochs.last()
+    }
+}
+
+/// Self-play trainer bound to one fabric.
+pub struct Trainer {
+    cgra: Cgra,
+    net: MapZeroNet,
+    config: TrainConfig,
+    buffer: ReplayBuffer,
+    rng: SeedRng,
+    curriculum: Vec<Dfg>,
+    eval_dfg: Dfg,
+}
+
+impl Trainer {
+    /// Create a trainer with a freshly-initialized network.
+    #[must_use]
+    pub fn new(cgra: Cgra, net_config: NetConfig, config: TrainConfig) -> Self {
+        let net = MapZeroNet::new(cgra.pe_count(), net_config);
+        Trainer::with_net(cgra, net, config)
+    }
+
+    /// Create a trainer around an existing network (fine-tuning).
+    ///
+    /// # Panics
+    /// Panics if the network's action count differs from the fabric.
+    #[must_use]
+    pub fn with_net(cgra: Cgra, net: MapZeroNet, config: TrainConfig) -> Self {
+        assert_eq!(net.action_count(), cgra.pe_count(), "network/fabric mismatch");
+        let (lo, hi) = config.curriculum_nodes;
+        let curriculum = curriculum(lo, hi, config.curriculum_per_size, config.seed);
+        let eval_dfg = mapzero_dfg::random::random_dfg(
+            "eval",
+            &mapzero_dfg::random::RandomDfgConfig {
+                nodes: hi.min(cgra.pe_count()),
+                edges: hi.min(cgra.pe_count()) + 2,
+                self_cycles: 0,
+                max_fanin: 3,
+                seed: config.seed ^ 0xdead_beef,
+            },
+        );
+        Trainer {
+            buffer: ReplayBuffer::new(config.replay_capacity),
+            rng: SeedRng::new(config.seed),
+            cgra,
+            net,
+            config,
+            curriculum,
+            eval_dfg,
+        }
+    }
+
+    /// Add a specific kernel to the training curriculum (used for
+    /// fine-tuning on one DFG); returns `self` for chaining.
+    #[must_use]
+    pub fn with_kernel(mut self, dfg: Dfg) -> Self {
+        self.curriculum.push(dfg);
+        self
+    }
+
+    /// The fabric this trainer targets.
+    #[must_use]
+    pub fn cgra(&self) -> &Cgra {
+        &self.cgra
+    }
+
+    /// Run the configured number of epochs and return the learning
+    /// curves.
+    pub fn run(&mut self) -> TrainingMetrics {
+        let mut metrics = TrainingMetrics::default();
+        for epoch in 0..self.config.epochs {
+            metrics.epochs.push(self.run_epoch(epoch));
+        }
+        metrics
+    }
+
+    /// Run a single epoch: self-play, replay updates, evaluation.
+    pub fn run_epoch(&mut self, epoch: u32) -> EpochMetrics {
+        let lr = self.config.lr.at(epoch);
+        // Curriculum position advances with the epoch, easy -> hard.
+        let span = self.curriculum.len().max(1);
+        let window = ((epoch as usize + 1) * span).div_ceil(self.config.epochs as usize);
+        let mut reward_sum = 0.0;
+        let mut successes = 0usize;
+        let picks: Vec<Dfg> = (0..self.config.episodes_per_epoch)
+            .map(|_| self.curriculum[self.rng.below(window.clamp(1, span))].clone())
+            .collect();
+        for outcome in self.run_episodes(&picks) {
+            let (reward, success, trajectory) = outcome;
+            reward_sum += reward;
+            successes += usize::from(success);
+            for sample in trajectory_to_samples(&trajectory, success) {
+                for aug in augment::augment(&sample, &self.cgra, self.config.augment_copies) {
+                    self.buffer.push(aug);
+                }
+            }
+        }
+
+        // Gradient updates.
+        let mut vloss = 0.0f32;
+        let mut ploss = 0.0f32;
+        let mut updates = 0usize;
+        for _ in 0..self.config.updates_per_epoch {
+            if self.buffer.len() < self.config.batch_size {
+                break;
+            }
+            let batch = self.buffer.sample(self.config.batch_size, &mut self.rng);
+            let loss = self.net.train_batch(&batch, lr, self.config.clip);
+            vloss += loss.value_loss;
+            ploss += loss.policy_loss;
+            updates += 1;
+        }
+        let updates_f = updates.max(1) as f32;
+        let (value_loss, policy_loss) = (vloss / updates_f, ploss / updates_f);
+
+        // Held-out evaluation.
+        let eval_penalty = self.evaluate();
+
+        EpochMetrics {
+            epoch,
+            total_loss: value_loss + policy_loss,
+            value_loss,
+            policy_loss,
+            avg_reward: reward_sum / self.config.episodes_per_epoch.max(1) as f64,
+            eval_penalty,
+            lr,
+            success_rate: successes as f64 / self.config.episodes_per_epoch.max(1) as f64,
+        }
+    }
+
+    /// Run a batch of self-play episodes, using worker threads when
+    /// configured; returns per-episode (reward, success, trajectory) in
+    /// input order.
+    fn run_episodes(&self, picks: &[Dfg]) -> Vec<(f64, bool, Vec<TrajectoryStep>)> {
+        let run_one = |dfg: &Dfg| -> (f64, bool, Vec<TrajectoryStep>) {
+            let Ok(mii) = Problem::mii(dfg, &self.cgra) else {
+                return (0.0, false, Vec::new());
+            };
+            let Ok(problem) = Problem::new(dfg, &self.cgra, mii) else {
+                return (0.0, false, Vec::new());
+            };
+            // Self-play per Algorithm 1: the MCTS leaf evaluation is
+            // the network value (no playout shortcut), so every action
+            // is committed and recorded as an (s, pi, r) step.
+            let agent_config = AgentConfig {
+                mcts: crate::mcts::MctsConfig { playout: false, ..self.config.mcts },
+                use_mcts: true,
+                backtrack_budget: 32,
+                mcts_backtrack_cutoff: u64::MAX,
+                collect_trajectory: true,
+            };
+            let agent = MapZeroAgent::new(&self.net, agent_config);
+            let result = agent.run_episode(&problem, self.config.episode_deadline);
+            (result.total_reward, result.mapping.is_some(), result.trajectory)
+        };
+        if self.config.workers <= 1 || picks.len() <= 1 {
+            return picks.iter().map(run_one).collect();
+        }
+        let chunk = picks.len().div_ceil(self.config.workers);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = picks
+                .chunks(chunk)
+                .map(|slice| scope.spawn(move |_| slice.iter().map(run_one).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("self-play worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope")
+    }
+
+    /// Map the held-out DFG greedily and report the routing penalty
+    /// (total negative reward; > −100 means success).
+    fn evaluate(&self) -> f64 {
+        let Ok(mii) = Problem::mii(&self.eval_dfg, &self.cgra) else {
+            return -f64::from(u32::MAX);
+        };
+        let Ok(problem) = Problem::new(&self.eval_dfg, &self.cgra, mii) else {
+            return -f64::from(u32::MAX);
+        };
+        let agent_config = AgentConfig {
+            mcts: crate::mcts::MctsConfig { playout: false, ..self.config.mcts },
+            use_mcts: true,
+            backtrack_budget: 0, // evaluation measures raw decisions
+            mcts_backtrack_cutoff: u64::MAX,
+            collect_trajectory: false,
+        };
+        let agent = MapZeroAgent::new(&self.net, agent_config);
+        let result = agent.run_episode(&problem, self.config.episode_deadline);
+        if result.mapping.is_some() && result.total_reward == 0.0 {
+            // Perfect episode: distinguishable from "no data".
+            return 0.0;
+        }
+        result.total_reward
+    }
+
+    /// Consume the trainer, keeping the trained network.
+    #[must_use]
+    pub fn into_net(self) -> MapZeroNet {
+        self.net
+    }
+
+    /// Borrow the network (e.g. for checkpointing mid-training).
+    #[must_use]
+    pub fn net(&self) -> &MapZeroNet {
+        &self.net
+    }
+}
+
+/// Convert a recorded trajectory into training samples: the value target
+/// of step `t` is the clamped normalized return
+/// `Σ_{k≥t} r_k / 100 + terminal bonus`.
+#[must_use]
+pub fn trajectory_to_samples(trajectory: &[TrajectoryStep], success: bool) -> Vec<TrainSample> {
+    let bonus = if success { 1.0 } else { -1.0 };
+    let mut samples = Vec::with_capacity(trajectory.len());
+    let mut suffix = 0.0f64;
+    let mut rev = Vec::with_capacity(trajectory.len());
+    for step in trajectory.iter().rev() {
+        suffix += step.reward / CONFLICT_PENALTY;
+        rev.push((suffix + bonus).clamp(-1.0, 1.0));
+    }
+    rev.reverse();
+    for (step, value) in trajectory.iter().zip(rev) {
+        samples.push(TrainSample {
+            observation: step.observation.clone(),
+            policy: step.policy.clone(),
+            value: value as f32,
+        });
+    }
+    samples
+}
+
+/// Errors surfaced by high-level training helpers.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The fabric cannot execute the curriculum kernels.
+    Unusable(MapError),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Unusable(e) => write!(f, "fabric unusable for training: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapzero_arch::presets;
+
+    #[test]
+    fn trajectory_returns_are_clamped_and_ordered() {
+        use crate::embed::Observation;
+        use mapzero_nn::Matrix;
+        let step = |reward: f64| TrajectoryStep {
+            observation: Observation {
+                dfg_nodes: Matrix::scalar(0.0),
+                dfg_edges: vec![],
+                cgra_nodes: Matrix::scalar(0.0),
+                cgra_edges: vec![],
+                metadata: Matrix::scalar(0.0),
+                mask: vec![true],
+            },
+            policy: vec![1.0],
+            reward,
+        };
+        let traj = vec![step(0.0), step(-100.0), step(0.0)];
+        let samples = trajectory_to_samples(&traj, false);
+        assert_eq!(samples.len(), 3);
+        // All targets within [-1, 1].
+        assert!(samples.iter().all(|s| s.value.abs() <= 1.0));
+        // Failure trajectory: first step already sees the future conflict.
+        assert!(samples[0].value <= -1.0 + 1e-6);
+        // Success bonus dominates a clean run.
+        let good = trajectory_to_samples(&[step(0.0)], true);
+        assert!((good[0].value - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn training_epoch_produces_metrics() {
+        let cgra = presets::simple_mesh(4, 4);
+        let mut trainer = Trainer::new(cgra, NetConfig::tiny(), TrainConfig::fast_test());
+        let metrics = trainer.run();
+        assert_eq!(metrics.epochs.len(), 3);
+        let last = metrics.last().unwrap();
+        assert!(last.lr > 0.0);
+        assert!(last.total_loss.is_finite());
+        assert!(last.avg_reward.is_finite());
+    }
+
+    #[test]
+    fn learning_rate_follows_schedule() {
+        let cgra = presets::simple_mesh(2, 2);
+        let config = TrainConfig {
+            epochs: 2,
+            lr: LrSchedule { initial: 0.01, decay: 0.5, step_every: 1, floor: 1e-5 },
+            ..TrainConfig::fast_test()
+        };
+        let mut trainer = Trainer::new(cgra, NetConfig::tiny(), config);
+        let metrics = trainer.run();
+        assert!(metrics.epochs[0].lr > metrics.epochs[1].lr);
+    }
+
+    #[test]
+    #[should_panic(expected = "network/fabric mismatch")]
+    fn mismatched_net_panics() {
+        let cgra = presets::simple_mesh(4, 4);
+        let net = MapZeroNet::new(4, NetConfig::tiny());
+        let _ = Trainer::with_net(cgra, net, TrainConfig::fast_test());
+    }
+}

@@ -1,0 +1,198 @@
+//! Static DFG analyses: ASAP/ALAP levels, slack, critical path, and
+//! summary statistics used by the mappers' heuristics and reports.
+
+use crate::{Dfg, NodeId};
+
+/// ASAP (as-soon-as-possible) start level per node over forward edges,
+/// with unit latencies from the opcode model.
+#[must_use]
+pub fn asap(dfg: &Dfg) -> Vec<u32> {
+    let mut level = vec![0u32; dfg.node_count()];
+    for &u in dfg.topological_order() {
+        for e in dfg.in_edges(u) {
+            if e.dist == 0 {
+                let ready = level[e.src.index()] + dfg.node(e.src).opcode.latency();
+                level[u.index()] = level[u.index()].max(ready);
+            }
+        }
+    }
+    level
+}
+
+/// ALAP (as-late-as-possible) start level per node, right-aligned to
+/// the ASAP critical-path length.
+#[must_use]
+pub fn alap(dfg: &Dfg) -> Vec<u32> {
+    let asap_levels = asap(dfg);
+    let horizon = asap_levels.iter().copied().max().unwrap_or(0);
+    let mut level = vec![horizon; dfg.node_count()];
+    for &u in dfg.topological_order().iter().rev() {
+        for e in dfg.out_edges(u) {
+            if e.dist == 0 {
+                let deadline =
+                    level[e.dst.index()].saturating_sub(dfg.node(u).opcode.latency());
+                level[u.index()] = level[u.index()].min(deadline);
+            }
+        }
+    }
+    level
+}
+
+/// Scheduling slack (`alap − asap`) per node; zero-slack nodes lie on a
+/// critical path.
+#[must_use]
+pub fn slack(dfg: &Dfg) -> Vec<u32> {
+    asap(dfg).iter().zip(alap(dfg)).map(|(a, l)| l - a).collect()
+}
+
+/// Length of the critical path in cycles (the II=∞ latency bound).
+#[must_use]
+pub fn critical_path_length(dfg: &Dfg) -> u32 {
+    asap(dfg)
+        .iter()
+        .enumerate()
+        .map(|(i, &lvl)| lvl + dfg.node(NodeId(i as u32)).opcode.latency())
+        .max()
+        .unwrap_or(0)
+}
+
+/// One critical path (node sequence with zero slack), source to sink.
+#[must_use]
+pub fn critical_path(dfg: &Dfg) -> Vec<NodeId> {
+    let slacks = slack(dfg);
+    let asap_levels = asap(dfg);
+    // Start from the zero-slack source with the smallest ASAP level,
+    // then repeatedly follow a zero-slack forward successor.
+    let mut current = dfg
+        .node_ids()
+        .filter(|u| slacks[u.index()] == 0 && asap_levels[u.index()] == 0)
+        .min_by_key(|u| u.index());
+    let mut path = Vec::new();
+    while let Some(u) = current {
+        path.push(u);
+        current = dfg
+            .out_edges(u)
+            .filter(|e| e.dist == 0 && slacks[e.dst.index()] == 0)
+            .filter(|e| {
+                asap_levels[e.dst.index()]
+                    == asap_levels[u.index()] + dfg.node(u).opcode.latency()
+            })
+            .map(|e| e.dst)
+            .min_by_key(|n| n.index());
+    }
+    path
+}
+
+/// Aggregate statistics for reports and difficulty heuristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DfgStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count (incl. back edges).
+    pub edges: usize,
+    /// Loop-carried edges.
+    pub back_edges: usize,
+    /// Critical path length in cycles.
+    pub critical_path: u32,
+    /// Maximum fan-out.
+    pub max_fanout: usize,
+    /// Maximum fan-in.
+    pub max_fanin: usize,
+    /// Average node slack.
+    pub avg_slack: f64,
+    /// Per-class op counts (logical, arithmetic, memory).
+    pub class_counts: [usize; 3],
+}
+
+/// Compute [`DfgStats`].
+#[must_use]
+pub fn stats(dfg: &Dfg) -> DfgStats {
+    let slacks = slack(dfg);
+    DfgStats {
+        nodes: dfg.node_count(),
+        edges: dfg.edge_count(),
+        back_edges: dfg.edges().filter(|e| e.dist > 0).count(),
+        critical_path: critical_path_length(dfg),
+        max_fanout: crate::random::max_fanout(dfg),
+        max_fanin: crate::random::max_fanin_of(dfg),
+        avg_slack: slacks.iter().map(|&s| f64::from(s)).sum::<f64>()
+            / dfg.node_count().max(1) as f64,
+        class_counts: dfg.class_counts(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DfgBuilder, Opcode};
+
+    /// a -> b -> d, a -> c -> d with an extra hop under c.
+    fn sample() -> Dfg {
+        let mut b = DfgBuilder::new("s");
+        let a = b.node(Opcode::Load);
+        let x = b.node(Opcode::Add);
+        let y = b.node(Opcode::Mul);
+        let z = b.node(Opcode::Sub); // extra stage on the y-branch
+        let d = b.node(Opcode::Store);
+        b.edge(a, x).unwrap();
+        b.edge(a, y).unwrap();
+        b.edge(y, z).unwrap();
+        b.edge(x, d).unwrap();
+        b.edge(z, d).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn asap_levels() {
+        let g = sample();
+        assert_eq!(asap(&g), vec![0, 1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn alap_gives_slack_to_short_branch() {
+        let g = sample();
+        let al = alap(&g);
+        // x can start at 2 (its only consumer starts at 3).
+        assert_eq!(al[1], 2);
+        // Critical-path nodes have alap == asap.
+        assert_eq!(al[0], 0);
+        assert_eq!(al[2], 1);
+    }
+
+    #[test]
+    fn slack_zero_on_critical_path_only() {
+        let g = sample();
+        assert_eq!(slack(&g), vec![0, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn critical_path_walks_longest_chain() {
+        let g = sample();
+        assert_eq!(critical_path_length(&g), 4);
+        let path = critical_path(&g);
+        let ids: Vec<u32> = path.iter().map(|n| n.0).collect();
+        assert_eq!(ids, vec![0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let g = sample();
+        let s = stats(&g);
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.edges, 5);
+        assert_eq!(s.back_edges, 0);
+        assert_eq!(s.max_fanout, 2);
+        assert_eq!(s.critical_path, 4);
+        assert!((s.avg_slack - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_node_analyses() {
+        let mut b = DfgBuilder::new("one");
+        b.node(Opcode::Const);
+        let g = b.finish().unwrap();
+        assert_eq!(asap(&g), vec![0]);
+        assert_eq!(alap(&g), vec![0]);
+        assert_eq!(critical_path(&g).len(), 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Graphviz DOT export for visual inspection of DFGs.
+
+use crate::Dfg;
+use std::fmt::Write as _;
+
+/// Render the DFG in Graphviz DOT syntax.
+///
+/// Back edges are drawn dashed and labeled with their iteration distance.
+#[must_use]
+pub fn to_dot(dfg: &Dfg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", dfg.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    for u in dfg.node_ids() {
+        let node = dfg.node(u);
+        let shape = match node.opcode.class() {
+            crate::OpClass::Memory => "box",
+            crate::OpClass::Logical => "diamond",
+            crate::OpClass::Arithmetic => "ellipse",
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}:{}\" shape={}];",
+            u.0, u.0, node.opcode, shape
+        );
+    }
+    for e in dfg.edges() {
+        if e.dist == 0 {
+            let _ = writeln!(out, "  n{} -> n{};", e.src.0, e.dst.0);
+        } else {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [style=dashed label=\"{}\"];",
+                e.src.0, e.dst.0, e.dist
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DfgBuilder, Opcode};
+
+    #[test]
+    fn dot_is_deterministic() {
+        let g = crate::suite::by_name("mac").unwrap();
+        assert_eq!(to_dot(&g), to_dot(&g));
+    }
+
+    #[test]
+    fn dot_node_count_matches_graph() {
+        let g = crate::suite::by_name("sum").unwrap();
+        let dot = to_dot(&g);
+        let nodes = dot.lines().filter(|l| l.contains("[label=")).count();
+        assert_eq!(nodes, g.node_count());
+        let edges = dot.matches(" -> ").count();
+        assert_eq!(edges, g.edge_count());
+    }
+
+    #[test]
+    fn dot_contains_nodes_edges_and_distances() {
+        let mut b = DfgBuilder::new("viz");
+        let a = b.node(Opcode::Load);
+        let c = b.node(Opcode::Add);
+        b.edge(a, c).unwrap();
+        b.back_edge(c, c, 1).unwrap();
+        let dot = to_dot(&b.finish().unwrap());
+        assert!(dot.contains("digraph \"viz\""));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("shape=box")); // load is a memory op
+    }
+}

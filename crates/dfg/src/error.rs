@@ -1,0 +1,39 @@
+//! Error type for DFG construction and validation.
+
+use std::fmt;
+
+/// Errors produced while building or validating a [`crate::Dfg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfgError {
+    /// An edge referenced a node id that does not exist.
+    UnknownNode(u32),
+    /// The same directed edge (with the same distance) was added twice.
+    DuplicateEdge { src: u32, dst: u32 },
+    /// A forward (distance-0) edge closes a cycle; loop-carried
+    /// dependences must use `back_edge` with distance ≥ 1.
+    ForwardCycle,
+    /// A back edge was declared with distance 0.
+    ZeroDistanceBackEdge { src: u32, dst: u32 },
+    /// The graph has no nodes.
+    Empty,
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            DfgError::DuplicateEdge { src, dst } => {
+                write!(f, "duplicate edge {src} -> {dst}")
+            }
+            DfgError::ForwardCycle => {
+                write!(f, "forward edges form a cycle; use back_edge for loop-carried deps")
+            }
+            DfgError::ZeroDistanceBackEdge { src, dst } => {
+                write!(f, "back edge {src} -> {dst} must have distance >= 1")
+            }
+            DfgError::Empty => write!(f, "data flow graph has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for DfgError {}

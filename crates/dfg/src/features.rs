@@ -1,0 +1,176 @@
+//! Per-node feature vectors (§3.2.1 of the paper).
+//!
+//! Each DFG node is encoded into a 10-dimensional vector:
+//! (1) id, (2) scheduling order from topological sorting, (3) scheduled
+//! time slice, (4) scheduled modulo time slice, (5) in-degree,
+//! (6) out-degree, (7) opcode, (8) has self-cycle, (9) number of DFG
+//! nodes in the same modulo time slice, (10) id of the assigned PE.
+//!
+//! Feature (10) evolves with the mapping state, so callers supply the
+//! current assignment (`None` for unmapped nodes, encoded as −1).
+
+use crate::{Dfg, NodeId, Schedule};
+
+/// Dimensionality of the DFG node feature vector.
+pub const DFG_FEATURE_DIM: usize = 10;
+
+/// Produce the raw (unnormalized) feature matrix, one row per node.
+///
+/// `assigned_pe[i]` is the PE id node `i` currently occupies, if any.
+///
+/// # Panics
+/// Panics if `assigned_pe.len() != dfg.node_count()`.
+#[must_use]
+pub fn node_features(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    assigned_pe: &[Option<usize>],
+) -> Vec<[f32; DFG_FEATURE_DIM]> {
+    assert_eq!(assigned_pe.len(), dfg.node_count(), "one assignment slot per node");
+    let rank = dfg.topological_rank();
+    dfg.node_ids()
+        .map(|u| {
+            let node = dfg.node(u);
+            [
+                u.0 as f32,
+                rank[u.index()] as f32,
+                schedule.time(u) as f32,
+                schedule.modulo_slot(u) as f32,
+                dfg.in_degree(u) as f32,
+                dfg.out_degree(u) as f32,
+                node.opcode.code() as f32,
+                f32::from(u8::from(node.has_self_cycle)),
+                schedule.modulo_peers(u) as f32,
+                assigned_pe[u.index()].map_or(-1.0, |p| p as f32),
+            ]
+        })
+        .collect()
+}
+
+/// Normalize a feature matrix in place so every column lies roughly in
+/// [−1, 1], which keeps the GAT inputs well-conditioned.
+///
+/// Scaling constants: ids / ranks / degrees / peer counts by node count,
+/// time slices by makespan, modulo slot by II, opcode by opcode count,
+/// assigned PE by `num_pes`.
+pub fn normalize_features(
+    features: &mut [[f32; DFG_FEATURE_DIM]],
+    dfg: &Dfg,
+    schedule: &Schedule,
+    num_pes: usize,
+) {
+    let n = dfg.node_count().max(1) as f32;
+    let makespan = schedule.makespan().max(1) as f32;
+    let ii = schedule.ii().max(1) as f32;
+    let ops = crate::Opcode::ALL.len() as f32;
+    let pes = num_pes.max(1) as f32;
+    for row in features.iter_mut() {
+        row[0] /= n;
+        row[1] /= n;
+        row[2] /= makespan;
+        row[3] /= ii;
+        row[4] /= n;
+        row[5] /= n;
+        row[6] /= ops;
+        // row[7] already boolean
+        row[8] /= n;
+        row[9] /= pes; // unmapped (-1) maps to a small negative value
+    }
+}
+
+/// Convenience: raw features for a completely unmapped DFG.
+#[must_use]
+pub fn unmapped_features(dfg: &Dfg, schedule: &Schedule) -> Vec<[f32; DFG_FEATURE_DIM]> {
+    node_features(dfg, schedule, &vec![None; dfg.node_count()])
+}
+
+/// Metadata vector for the node currently being placed (§3.2.4): its own
+/// feature row plus the fraction of nodes already mapped.
+pub const METADATA_DIM: usize = DFG_FEATURE_DIM + 1;
+
+/// Build the metadata vector for `node` given the current assignment.
+#[must_use]
+pub fn node_metadata(
+    features: &[[f32; DFG_FEATURE_DIM]],
+    node: NodeId,
+    mapped_fraction: f32,
+) -> [f32; METADATA_DIM] {
+    let mut meta = [0.0f32; METADATA_DIM];
+    meta[..DFG_FEATURE_DIM].copy_from_slice(&features[node.index()]);
+    meta[DFG_FEATURE_DIM] = mapped_fraction;
+    meta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mii::ResourceModel;
+    use crate::{modulo_schedule, DfgBuilder, Opcode};
+
+    fn small() -> (Dfg, Schedule) {
+        let mut b = DfgBuilder::new("t");
+        let a = b.node(Opcode::Load);
+        let m = b.node(Opcode::Mul);
+        let s = b.node(Opcode::Store);
+        b.edge(a, m).unwrap();
+        b.edge(m, s).unwrap();
+        b.back_edge(s, s, 1).unwrap();
+        let g = b.finish().unwrap();
+        let sch = modulo_schedule(&g, &ResourceModel::homogeneous(4), 8).unwrap();
+        (g, sch)
+    }
+
+    #[test]
+    fn feature_rows_match_paper_fields() {
+        let (g, sch) = small();
+        let f = unmapped_features(&g, &sch);
+        assert_eq!(f.len(), 3);
+        // id
+        assert_eq!(f[0][0], 0.0);
+        assert_eq!(f[2][0], 2.0);
+        // degrees
+        assert_eq!(f[1][4], 1.0);
+        assert_eq!(f[1][5], 1.0);
+        // self cycle flag on the store node
+        assert_eq!(f[2][7], 1.0);
+        assert_eq!(f[0][7], 0.0);
+        // unmapped PE id is -1
+        assert!(f.iter().all(|r| r[9] == -1.0));
+    }
+
+    #[test]
+    fn assignment_shows_up_in_feature_ten() {
+        let (g, sch) = small();
+        let f = node_features(&g, &sch, &[Some(5), None, None]);
+        assert_eq!(f[0][9], 5.0);
+        assert_eq!(f[1][9], -1.0);
+    }
+
+    #[test]
+    fn normalized_features_bounded() {
+        let (g, sch) = small();
+        let mut f = unmapped_features(&g, &sch);
+        normalize_features(&mut f, &g, &sch, 16);
+        for row in &f {
+            for (i, v) in row.iter().enumerate() {
+                assert!(v.abs() <= 1.5, "feature {i} out of range: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn metadata_appends_progress() {
+        let (g, sch) = small();
+        let f = unmapped_features(&g, &sch);
+        let m = node_metadata(&f, crate::NodeId(1), 0.5);
+        assert_eq!(m[..DFG_FEATURE_DIM], f[1]);
+        assert_eq!(m[DFG_FEATURE_DIM], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one assignment slot per node")]
+    fn wrong_assignment_length_panics() {
+        let (g, sch) = small();
+        let _ = node_features(&g, &sch, &[None]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Structured loop-kernel builders.
+//!
+//! Where [`crate::suite`] reproduces Table 2's exact vertex/edge counts
+//! with seeded synthesis, this module builds *structurally faithful*
+//! kernels — convolutions, matrix multiplies, FIR filters, reductions,
+//! stencils — for users who want realistic dataflow shapes rather than
+//! statistics. All builders return validated DFGs.
+
+use crate::{Dfg, DfgBuilder, NodeId, Opcode};
+
+/// 1-D convolution / FIR filter with `taps` coefficient taps: `taps`
+/// loads, `taps` constant coefficients, `taps` multiplies and an adder
+/// tree, ending in one store.
+///
+/// # Panics
+/// Panics if `taps == 0`.
+#[must_use]
+pub fn fir(taps: usize) -> Dfg {
+    assert!(taps > 0, "need at least one tap");
+    let mut b = DfgBuilder::new(format!("fir{taps}"));
+    let mut products = Vec::with_capacity(taps);
+    for _ in 0..taps {
+        let x = b.node(Opcode::Load);
+        let c = b.node(Opcode::Const);
+        let m = b.node(Opcode::Mul);
+        b.edge(x, m).expect("fresh nodes");
+        b.edge(c, m).expect("fresh nodes");
+        products.push(m);
+    }
+    let sum = adder_tree(&mut b, &products);
+    let out = b.node(Opcode::Store);
+    b.edge(sum, out).expect("fresh node");
+    b.finish().expect("builder produces valid kernels")
+}
+
+/// 2-D convolution with a `k x k` kernel window: `k²` loads and
+/// multiplies feeding an adder tree.
+///
+/// # Panics
+/// Panics if `k == 0`.
+#[must_use]
+pub fn conv2d(k: usize) -> Dfg {
+    assert!(k > 0, "kernel must be non-empty");
+    let mut b = DfgBuilder::new(format!("conv2d_{k}x{k}"));
+    let mut products = Vec::with_capacity(k * k);
+    for _ in 0..k * k {
+        let x = b.node(Opcode::Load);
+        let c = b.node(Opcode::Const);
+        let m = b.node(Opcode::Mul);
+        b.edge(x, m).expect("fresh nodes");
+        b.edge(c, m).expect("fresh nodes");
+        products.push(m);
+    }
+    let sum = adder_tree(&mut b, &products);
+    let st = b.node(Opcode::Store);
+    b.edge(sum, st).expect("fresh node");
+    b.finish().expect("builder produces valid kernels")
+}
+
+/// Inner-product kernel of a matrix multiply: `n` multiply-accumulate
+/// lanes with a loop-carried accumulator.
+///
+/// # Panics
+/// Panics if `n == 0`.
+#[must_use]
+pub fn matmul_inner(n: usize) -> Dfg {
+    assert!(n > 0, "need at least one lane");
+    let mut b = DfgBuilder::new(format!("matmul_inner{n}"));
+    let mut products = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = b.node(Opcode::Load);
+        let x = b.node(Opcode::Load);
+        let m = b.node(Opcode::Mul);
+        b.edge(a, m).expect("fresh nodes");
+        b.edge(x, m).expect("fresh nodes");
+        products.push(m);
+    }
+    let partial = adder_tree(&mut b, &products);
+    let acc = b.node(Opcode::Add);
+    b.edge(partial, acc).expect("fresh node");
+    b.back_edge(acc, acc, 1).expect("self accumulation");
+    let st = b.node(Opcode::Store);
+    b.edge(acc, st).expect("fresh node");
+    b.finish().expect("builder produces valid kernels")
+}
+
+/// Tree reduction over `n` loaded elements.
+///
+/// # Panics
+/// Panics if `n == 0`.
+#[must_use]
+pub fn reduction(n: usize) -> Dfg {
+    assert!(n > 0, "need at least one element");
+    let mut b = DfgBuilder::new(format!("reduce{n}"));
+    let leaves: Vec<NodeId> = (0..n).map(|_| b.node(Opcode::Load)).collect();
+    let root = adder_tree(&mut b, &leaves);
+    let st = b.node(Opcode::Store);
+    b.edge(root, st).expect("fresh node");
+    b.finish().expect("builder produces valid kernels")
+}
+
+/// 1-D 3-point stencil over `lanes` parallel output lanes: neighbouring
+/// lanes share loads (the classic stencil reuse diamond).
+///
+/// # Panics
+/// Panics if `lanes == 0`.
+#[must_use]
+pub fn stencil3(lanes: usize) -> Dfg {
+    assert!(lanes > 0, "need at least one lane");
+    let mut b = DfgBuilder::new(format!("stencil3_{lanes}"));
+    // lanes + 2 input loads; lane i uses loads i, i+1, i+2.
+    let loads: Vec<NodeId> = (0..lanes + 2).map(|_| b.node(Opcode::Load)).collect();
+    for i in 0..lanes {
+        let s0 = b.node(Opcode::Add);
+        b.edge(loads[i], s0).expect("fresh nodes");
+        b.edge(loads[i + 1], s0).expect("fresh nodes");
+        let s1 = b.node(Opcode::Add);
+        b.edge(s0, s1).expect("fresh nodes");
+        b.edge(loads[i + 2], s1).expect("fresh nodes");
+        let sh = b.node(Opcode::Shr); // divide by window size
+        b.edge(s1, sh).expect("fresh nodes");
+        let st = b.node(Opcode::Store);
+        b.edge(sh, st).expect("fresh nodes");
+    }
+    b.finish().expect("builder produces valid kernels")
+}
+
+/// Butterfly stage of an FFT over `points` complex points (simplified
+/// to one op per real component): pairs combined by add/sub with a
+/// twiddle multiply.
+///
+/// # Panics
+/// Panics if `points` is not an even positive number.
+#[must_use]
+pub fn fft_stage(points: usize) -> Dfg {
+    assert!(points >= 2 && points % 2 == 0, "need an even number of points");
+    let mut b = DfgBuilder::new(format!("fft_stage{points}"));
+    let inputs: Vec<NodeId> = (0..points).map(|_| b.node(Opcode::Load)).collect();
+    for pair in 0..points / 2 {
+        let hi = inputs[2 * pair];
+        let lo = inputs[2 * pair + 1];
+        let w = b.node(Opcode::Const);
+        let t = b.node(Opcode::Mul);
+        b.edge(lo, t).expect("fresh nodes");
+        b.edge(w, t).expect("fresh nodes");
+        let plus = b.node(Opcode::Add);
+        let minus = b.node(Opcode::Sub);
+        b.edge(hi, plus).expect("fresh nodes");
+        b.edge(t, plus).expect("fresh nodes");
+        b.edge(hi, minus).expect("fresh nodes");
+        b.edge(t, minus).expect("fresh nodes");
+        for n in [plus, minus] {
+            let st = b.node(Opcode::Store);
+            b.edge(n, st).expect("fresh nodes");
+        }
+    }
+    b.finish().expect("builder produces valid kernels")
+}
+
+/// Balanced binary adder tree over `leaves`; returns the root.
+fn adder_tree(b: &mut DfgBuilder, leaves: &[NodeId]) -> NodeId {
+    assert!(!leaves.is_empty(), "tree needs leaves");
+    let mut level: Vec<NodeId> = leaves.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                let s = b.node(Opcode::Add);
+                b.edge(pair[0], s).expect("fresh node");
+                b.edge(pair[1], s).expect("fresh node");
+                next.push(s);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::mii::ResourceModel;
+
+    #[test]
+    fn fir_structure() {
+        let g = fir(4);
+        // 4 loads + 4 consts + 4 muls + 3 adds + 1 store = 16.
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.class_counts()[mapzero_class_index()], 5); // 4 loads + store
+        assert_eq!(analysis::critical_path_length(&g), 5); // load,mul,add,add,store
+    }
+
+    fn mapzero_class_index() -> usize {
+        crate::OpClass::Memory.index()
+    }
+
+    #[test]
+    fn conv2d_grows_quadratically() {
+        assert!(conv2d(3).node_count() > conv2d(2).node_count());
+        let g = conv2d(3);
+        // 9 windows: 9 loads, 9 consts, 9 muls, 8 adds, 1 store.
+        assert_eq!(g.node_count(), 36);
+    }
+
+    #[test]
+    fn matmul_inner_carries_accumulator() {
+        let g = matmul_inner(4);
+        assert!(g.node_ids().any(|u| g.node(u).has_self_cycle));
+        assert_eq!(crate::rec_mii(&g), 1);
+    }
+
+    #[test]
+    fn reduction_tree_depth_is_logarithmic() {
+        let g = reduction(8);
+        // loads(1) + 3 tree levels + store = 5.
+        assert_eq!(analysis::critical_path_length(&g), 5);
+        let g16 = reduction(16);
+        assert_eq!(analysis::critical_path_length(&g16), 6);
+    }
+
+    #[test]
+    fn stencil_shares_loads_across_lanes() {
+        let g = stencil3(4);
+        // Interior loads feed three lanes.
+        let max_fanout = crate::random::max_fanout(&g);
+        assert!(max_fanout >= 3, "load sharing expected, got {max_fanout}");
+        assert_eq!(g.node_count(), 4 + 2 + 4 * 4);
+    }
+
+    #[test]
+    fn fft_stage_shape() {
+        let g = fft_stage(8);
+        // Per pair: 2 loads + const + mul + add + sub + 2 stores = 8.
+        assert_eq!(g.node_count(), 4 * 8);
+        assert!(crate::random::is_weakly_connected(&fft_stage(2)));
+    }
+
+    #[test]
+    fn all_kernels_schedulable_on_16_pes() {
+        let res = ResourceModel::homogeneous(16);
+        for g in [fir(4), conv2d(3), matmul_inner(4), reduction(8), stencil3(3), fft_stage(4)]
+        {
+            let s = crate::modulo_schedule(&g, &res, 64)
+                .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+            assert!(s.ii() >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even number of points")]
+    fn fft_rejects_odd() {
+        let _ = fft_stage(3);
+    }
+}

@@ -1,0 +1,213 @@
+//! Minimum initiation interval (MII) computation.
+//!
+//! `MII = max(ResMII, RecMII)` where ResMII is the resource-constrained
+//! lower bound and RecMII is the recurrence-constrained lower bound.
+
+use crate::{Dfg, OpClass};
+
+/// Per-modulo-slice hardware capacity seen by the scheduler.
+///
+/// `total` is the number of PEs in one time slice of the CGRA; `per_class`
+/// is the number of PEs able to execute each [`OpClass`]
+/// (indexed by [`OpClass::index`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceModel {
+    /// Total PEs available per time slice.
+    pub total: usize,
+    /// PEs able to execute each functional class, indexed by
+    /// [`OpClass::index`].
+    pub per_class: [usize; 3],
+}
+
+impl ResourceModel {
+    /// A homogeneous array of `total` PEs that all support every class.
+    #[must_use]
+    pub fn homogeneous(total: usize) -> Self {
+        ResourceModel { total, per_class: [total; 3] }
+    }
+}
+
+/// Resource-constrained minimum II.
+///
+/// `ResMII = max(ceil(|V| / total), max_class ceil(|V_class| / |PE_class|))`.
+/// Returns `None` if some required functional class has zero capable PEs
+/// (the DFG can never be mapped to this fabric).
+#[must_use]
+pub fn res_mii(dfg: &Dfg, res: &ResourceModel) -> Option<u32> {
+    if res.total == 0 {
+        return None;
+    }
+    let mut mii = div_ceil(dfg.node_count(), res.total);
+    for class in OpClass::ALL {
+        let need = dfg.class_counts()[class.index()];
+        if need == 0 {
+            continue;
+        }
+        let have = res.per_class[class.index()];
+        if have == 0 {
+            return None;
+        }
+        mii = mii.max(div_ceil(need, have));
+    }
+    Some(mii.max(1) as u32)
+}
+
+/// Recurrence-constrained minimum II.
+///
+/// The smallest `ii` such that no dependence cycle has total latency
+/// exceeding `ii * distance`. Computed by checking, for increasing `ii`,
+/// whether the constraint graph with edge weights `latency - ii * dist`
+/// has a positive cycle (Bellman-Ford on negated weights).
+#[must_use]
+pub fn rec_mii(dfg: &Dfg) -> u32 {
+    if dfg.max_dist() == 0 {
+        return 1;
+    }
+    // Upper bound: a cycle's latency is at most the sum of all edge
+    // latencies; dist >= 1, so II <= total latency.
+    let upper: i64 = dfg
+        .edges()
+        .map(|e| i64::from(dfg.node(e.src).opcode.latency()))
+        .sum::<i64>()
+        .max(1);
+    for ii in 1..=upper {
+        if !has_positive_cycle(dfg, ii) {
+            return ii as u32;
+        }
+    }
+    upper as u32
+}
+
+/// Full MII; `None` if the fabric lacks a required functional class.
+#[must_use]
+pub fn mii(dfg: &Dfg, res: &ResourceModel) -> Option<u32> {
+    Some(res_mii(dfg, res)?.max(rec_mii(dfg)))
+}
+
+fn div_ceil(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+/// True if some cycle has `sum(latency) - ii * sum(dist) > 0`.
+fn has_positive_cycle(dfg: &Dfg, ii: i64) -> bool {
+    let n = dfg.node_count();
+    // Longest-path relaxation; a positive cycle keeps improving.
+    let mut dist = vec![0i64; n];
+    for _round in 0..n {
+        let mut changed = false;
+        for e in dfg.edges() {
+            let w = i64::from(dfg.node(e.src).opcode.latency()) - ii * i64::from(e.dist);
+            let cand = dist[e.src.index()] + w;
+            if cand > dist[e.dst.index()] {
+                dist[e.dst.index()] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DfgBuilder, Opcode};
+
+    fn chain(n: usize) -> Dfg {
+        let mut b = DfgBuilder::new("chain");
+        let ids: Vec<_> = (0..n).map(|_| b.node(Opcode::Add)).collect();
+        for w in ids.windows(2) {
+            b.edge(w[0], w[1]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn res_mii_scales_with_nodes() {
+        let g = chain(10);
+        assert_eq!(res_mii(&g, &ResourceModel::homogeneous(16)), Some(1));
+        assert_eq!(res_mii(&g, &ResourceModel::homogeneous(4)), Some(3));
+        assert_eq!(res_mii(&g, &ResourceModel::homogeneous(10)), Some(1));
+    }
+
+    #[test]
+    fn res_mii_accounts_for_class_shortage() {
+        let mut b = DfgBuilder::new("mem-heavy");
+        let l0 = b.node(Opcode::Load);
+        let l1 = b.node(Opcode::Load);
+        let l2 = b.node(Opcode::Load);
+        let s = b.node(Opcode::Add);
+        b.edge(l0, s).unwrap();
+        b.edge(l1, s).unwrap();
+        b.edge(l2, s).unwrap();
+        let g = b.finish().unwrap();
+        // 16 PEs total but only 1 supports memory: three loads need II 3.
+        let res = ResourceModel { total: 16, per_class: [16, 16, 1] };
+        assert_eq!(res_mii(&g, &res), Some(3));
+    }
+
+    #[test]
+    fn res_mii_none_when_class_unsupported() {
+        let g = chain(3);
+        let res = ResourceModel { total: 4, per_class: [4, 0, 4] };
+        assert_eq!(res_mii(&g, &res), None);
+    }
+
+    #[test]
+    fn rec_mii_of_dag_is_one() {
+        assert_eq!(rec_mii(&chain(5)), 1);
+    }
+
+    #[test]
+    fn rec_mii_of_self_cycle_is_one() {
+        let mut b = DfgBuilder::new("acc");
+        let a = b.node(Opcode::Add);
+        b.back_edge(a, a, 1).unwrap();
+        assert_eq!(rec_mii(&b.finish().unwrap()), 1);
+    }
+
+    #[test]
+    fn rec_mii_of_long_cycle() {
+        // 3-node cycle with a single distance-1 back edge: latency 3 per
+        // iteration carried over 1 iteration -> RecMII 3.
+        let mut b = DfgBuilder::new("loop3");
+        let a = b.node(Opcode::Add);
+        let c = b.node(Opcode::Mul);
+        let d = b.node(Opcode::Sub);
+        b.edge(a, c).unwrap();
+        b.edge(c, d).unwrap();
+        b.back_edge(d, a, 1).unwrap();
+        assert_eq!(rec_mii(&b.finish().unwrap()), 3);
+    }
+
+    #[test]
+    fn rec_mii_divides_by_distance() {
+        // Same 3-cycle but the carried dependence spans 3 iterations.
+        let mut b = DfgBuilder::new("loop3d3");
+        let a = b.node(Opcode::Add);
+        let c = b.node(Opcode::Mul);
+        let d = b.node(Opcode::Sub);
+        b.edge(a, c).unwrap();
+        b.edge(c, d).unwrap();
+        b.back_edge(d, a, 3).unwrap();
+        assert_eq!(rec_mii(&b.finish().unwrap()), 1);
+    }
+
+    #[test]
+    fn mii_is_max_of_bounds() {
+        let mut b = DfgBuilder::new("both");
+        let a = b.node(Opcode::Add);
+        let c = b.node(Opcode::Mul);
+        let d = b.node(Opcode::Sub);
+        b.edge(a, c).unwrap();
+        b.edge(c, d).unwrap();
+        b.back_edge(d, a, 1).unwrap();
+        let g = b.finish().unwrap();
+        // RecMII = 3 dominates ResMII = 1 on a 2x2 array.
+        assert_eq!(mii(&g, &ResourceModel::homogeneous(4)), Some(3));
+        // A single-PE array pushes ResMII to 3 as well.
+        assert_eq!(mii(&g, &ResourceModel::homogeneous(1)), Some(3));
+    }
+}

@@ -1,0 +1,256 @@
+//! Operation codes and functional classes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The functional class an operation belongs to.
+///
+/// The paper's CGRA abstraction encodes, per PE, three boolean
+/// capabilities: "whether this PE can perform logical, arithmetic, and
+/// memory access operations" (§3.2.2). Opcodes are grouped accordingly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Integer arithmetic (add, multiply, …).
+    Arithmetic,
+    /// Bitwise / comparison / selection operations.
+    Logical,
+    /// Memory accesses (loads and stores).
+    Memory,
+}
+
+impl OpClass {
+    /// All classes, in a fixed order matching the feature encoding.
+    pub const ALL: [OpClass; 3] = [OpClass::Logical, OpClass::Arithmetic, OpClass::Memory];
+
+    /// Index of this class inside [`OpClass::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Logical => 0,
+            OpClass::Arithmetic => 1,
+            OpClass::Memory => 2,
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::Arithmetic => "arith",
+            OpClass::Logical => "logic",
+            OpClass::Memory => "mem",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Operation code of a DFG node.
+///
+/// The set covers the loop-kernel operations used by the paper's
+/// benchmark suite (Microbench / ExPRESS / Embench-IoT kernels after LLVM
+/// extraction): word-level arithmetic, bitwise logic, comparisons /
+/// selects, and memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Opcode {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division.
+    Div,
+    /// Left shift.
+    Shl,
+    /// Arithmetic right shift.
+    Shr,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NOT.
+    Not,
+    /// Integer comparison.
+    Cmp,
+    /// Two-way select (conditional move).
+    Select,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Loop-invariant constant feed.
+    Const,
+    /// Accumulator / loop-carried phi.
+    Phi,
+}
+
+impl Opcode {
+    /// All opcodes in a fixed order; the position doubles as the numeric
+    /// encoding used in node feature vectors.
+    pub const ALL: [Opcode; 16] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Not,
+        Opcode::Cmp,
+        Opcode::Select,
+        Opcode::Load,
+        Opcode::Store,
+        Opcode::Const,
+        Opcode::Phi,
+    ];
+
+    /// Numeric encoding of the opcode (index in [`Opcode::ALL`]).
+    #[must_use]
+    pub fn code(self) -> usize {
+        Opcode::ALL
+            .iter()
+            .position(|&o| o == self)
+            .expect("opcode present in ALL")
+    }
+
+    /// Functional class of the opcode.
+    #[must_use]
+    pub fn class(self) -> OpClass {
+        match self {
+            Opcode::Add
+            | Opcode::Sub
+            | Opcode::Mul
+            | Opcode::Div
+            | Opcode::Const
+            | Opcode::Phi => OpClass::Arithmetic,
+            Opcode::Shl
+            | Opcode::Shr
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Not
+            | Opcode::Cmp
+            | Opcode::Select => OpClass::Logical,
+            Opcode::Load | Opcode::Store => OpClass::Memory,
+        }
+    }
+
+    /// Execution latency in cycles.
+    ///
+    /// The paper's timing model (as in CGRA-ME) issues one operation per
+    /// PE per cycle; all operations complete in a single cycle.
+    #[must_use]
+    pub fn latency(self) -> u32 {
+        1
+    }
+
+    /// Short lowercase mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::Div => "div",
+            Opcode::Shl => "shl",
+            Opcode::Shr => "shr",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::Not => "not",
+            Opcode::Cmp => "cmp",
+            Opcode::Select => "select",
+            Opcode::Load => "load",
+            Opcode::Store => "store",
+            Opcode::Const => "const",
+            Opcode::Phi => "phi",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Error returned when parsing an [`Opcode`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOpcodeError(pub String);
+
+impl fmt::Display for ParseOpcodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown opcode mnemonic `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseOpcodeError {}
+
+impl FromStr for Opcode {
+    type Err = ParseOpcodeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Opcode::ALL
+            .iter()
+            .copied()
+            .find(|o| o.mnemonic() == s)
+            .ok_or_else(|| ParseOpcodeError(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_dense_and_unique() {
+        for (i, op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(op.code(), i);
+        }
+    }
+
+    #[test]
+    fn every_opcode_round_trips_through_mnemonic() {
+        for op in Opcode::ALL {
+            let parsed: Opcode = op.mnemonic().parse().unwrap();
+            assert_eq!(parsed, op);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        let err = "frobnicate".parse::<Opcode>().unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn classes_partition_opcodes() {
+        assert_eq!(Opcode::Add.class(), OpClass::Arithmetic);
+        assert_eq!(Opcode::And.class(), OpClass::Logical);
+        assert_eq!(Opcode::Load.class(), OpClass::Memory);
+        assert_eq!(Opcode::Store.class(), OpClass::Memory);
+        // Every opcode belongs to exactly one of the three classes.
+        for op in Opcode::ALL {
+            assert!(OpClass::ALL.contains(&op.class()));
+        }
+    }
+
+    #[test]
+    fn class_indices_match_all_order() {
+        for (i, c) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn latency_is_single_cycle() {
+        for op in Opcode::ALL {
+            assert_eq!(op.latency(), 1);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Deterministic weight initialization.
+
+use crate::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG wrapper used for all weight initialization, keeping
+/// every training run reproducible.
+#[derive(Debug, Clone)]
+pub struct SeedRng {
+    inner: StdRng,
+}
+
+impl SeedRng {
+    /// Create from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SeedRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Xavier/Glorot-uniform initialized matrix for a layer with
+    /// `fan_in` inputs and `fan_out` outputs.
+    #[must_use]
+    pub fn xavier(&mut self, fan_in: usize, fan_out: usize) -> Matrix {
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let data: Vec<f32> =
+            (0..fan_in * fan_out).map(|_| self.inner.gen_range(-bound..bound)).collect();
+        Matrix::from_vec(fan_in, fan_out, data)
+    }
+
+    /// Uniform matrix in `[-bound, bound]`.
+    #[must_use]
+    pub fn uniform(&mut self, rows: usize, cols: usize, bound: f32) -> Matrix {
+        let data: Vec<f32> =
+            (0..rows * cols).map(|_| self.inner.gen_range(-bound..bound)).collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// A uniform f64 in `[0, 1)` (used by stochastic components that
+    /// want to share the seed).
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen_range(0.0..1.0)
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SeedRng::new(5);
+        let mut b = SeedRng::new(5);
+        assert_eq!(a.xavier(4, 4), b.xavier(4, 4));
+    }
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = SeedRng::new(1);
+        let m = rng.xavier(10, 10);
+        let bound = (6.0f32 / 20.0).sqrt();
+        assert!(m.data().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeedRng::new(1);
+        let mut b = SeedRng::new(2);
+        assert_ne!(a.uniform(3, 3, 1.0), b.uniform(3, 3, 1.0));
+    }
+}

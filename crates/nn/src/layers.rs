@@ -1,0 +1,359 @@
+//! Network layers: fully-connected, MLP, and multi-head graph attention.
+
+use crate::{Graph, Matrix, ParamId, Params, SeedRng, VarId};
+
+/// A fully-connected layer `y = x W + b`.
+#[derive(Debug, Clone, Copy)]
+pub struct Linear {
+    /// Weight parameter (`in_dim x out_dim`).
+    pub weight: ParamId,
+    /// Bias parameter (`1 x out_dim`).
+    pub bias: ParamId,
+}
+
+impl Linear {
+    /// Create a layer with Xavier-initialized weights and zero bias.
+    #[must_use]
+    pub fn new(params: &mut Params, in_dim: usize, out_dim: usize, rng: &mut SeedRng) -> Self {
+        Linear {
+            weight: params.register(rng.xavier(in_dim, out_dim)),
+            bias: params.register(Matrix::zeros(1, out_dim)),
+        }
+    }
+
+    /// Forward pass for a batch `x` of shape `(n x in_dim)`.
+    pub fn forward(&self, g: &mut Graph, params: &Params, x: VarId) -> VarId {
+        let w = g.param(params, self.weight);
+        let b = g.param(params, self.bias);
+        let xw = g.matmul(x, w);
+        g.add_bias(xw, b)
+    }
+}
+
+/// A multilayer perceptron with ReLU between layers (linear output).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Create an MLP with the given layer widths, e.g. `[64, 32, 1]`
+    /// builds `in -> 64 -> 32 -> 1`.
+    ///
+    /// # Panics
+    /// Panics if `widths` is empty.
+    #[must_use]
+    pub fn new(params: &mut Params, in_dim: usize, widths: &[usize], rng: &mut SeedRng) -> Self {
+        assert!(!widths.is_empty(), "MLP needs at least one layer");
+        let mut layers = Vec::with_capacity(widths.len());
+        let mut prev = in_dim;
+        for &w in widths {
+            layers.push(Linear::new(params, prev, w, rng));
+            prev = w;
+        }
+        Mlp { layers }
+    }
+
+    /// Forward pass; ReLU after every layer except the last.
+    pub fn forward(&self, g: &mut Graph, params: &Params, mut x: VarId) -> VarId {
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(g, params, x);
+            if i + 1 < self.layers.len() {
+                x = g.relu(x);
+            }
+        }
+        x
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+/// One multi-head graph attention layer (Eqs. 5–8 of the paper).
+///
+/// Per head `k`: scores `e_uv = LeakyReLU(a_dstᵀ W h_u + a_srcᵀ W h_v)`
+/// are normalized with a per-destination softmax (Eq. 6) and aggregated
+/// as `h'_u = σ(Σ_v α_uv W h_v)`; heads are concatenated (Eq. 8).
+/// Self-loops are appended so every node attends to itself.
+#[derive(Debug, Clone)]
+pub struct GatLayer {
+    heads: Vec<GatHead>,
+    negative_slope: f32,
+}
+
+#[derive(Debug, Clone)]
+struct GatHead {
+    weight: ParamId,
+    att_dst: ParamId,
+    att_src: ParamId,
+}
+
+impl GatLayer {
+    /// Create a layer with `heads` attention heads, each producing
+    /// `head_dim` features (output width = `heads * head_dim`).
+    ///
+    /// # Panics
+    /// Panics if `heads == 0`.
+    #[must_use]
+    pub fn new(
+        params: &mut Params,
+        in_dim: usize,
+        head_dim: usize,
+        heads: usize,
+        rng: &mut SeedRng,
+    ) -> Self {
+        assert!(heads > 0, "need at least one attention head");
+        let heads = (0..heads)
+            .map(|_| GatHead {
+                weight: params.register(rng.xavier(in_dim, head_dim)),
+                att_dst: params.register(rng.uniform(head_dim, 1, 0.3)),
+                att_src: params.register(rng.uniform(head_dim, 1, 0.3)),
+            })
+            .collect();
+        GatLayer { heads, negative_slope: 0.2 }
+    }
+
+    /// Number of heads.
+    #[must_use]
+    pub fn head_count(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Forward pass.
+    ///
+    /// `x` is the `(n x in_dim)` node-feature matrix; `edges` lists
+    /// `(src, dst)` pairs meaning *messages flow src → dst*. Self-loops
+    /// `(u, u)` are appended automatically. Output is
+    /// `(n x heads*head_dim)` after an ELU-like nonlinearity (tanh is
+    /// used as σ for bounded embeddings).
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        params: &Params,
+        x: VarId,
+        edges: &[(usize, usize)],
+    ) -> VarId {
+        let n = g.value(x).rows();
+        let mut src_idx: Vec<usize> = edges.iter().map(|&(s, _)| s).collect();
+        let mut dst_idx: Vec<usize> = edges.iter().map(|&(_, d)| d).collect();
+        for u in 0..n {
+            src_idx.push(u);
+            dst_idx.push(u);
+        }
+        let mut head_outputs = Vec::with_capacity(self.heads.len());
+        for head in &self.heads {
+            let w = g.param(params, head.weight);
+            let hw = g.matmul(x, w); // (n x d)
+            let a_dst = g.param(params, head.att_dst); // (d x 1)
+            let a_src = g.param(params, head.att_src);
+            let score_dst = g.matmul(hw, a_dst); // (n x 1)
+            let score_src = g.matmul(hw, a_src);
+            let e_dst = g.gather_rows(score_dst, &dst_idx); // (E x 1)
+            let e_src = g.gather_rows(score_src, &src_idx);
+            let e_sum = g.add(e_dst, e_src);
+            let e = g.leaky_relu(e_sum, self.negative_slope);
+            let alpha = g.segment_softmax(e, &dst_idx); // per-dst softmax
+            let msg_in = g.gather_rows(hw, &src_idx); // (E x d)
+            let msg = g.col_mul(alpha, msg_in);
+            let agg = g.scatter_add_rows(msg, &dst_idx, n); // (n x d)
+            head_outputs.push(g.tanh(agg));
+        }
+        let mut out = head_outputs[0];
+        for &h in &head_outputs[1..] {
+            out = g.concat_cols(out, h);
+        }
+        out
+    }
+}
+
+
+/// A graph convolution layer with mean aggregation (Kipf-Welling style,
+/// degree-normalized): `h'_u = tanh(mean_{v in N(u) ∪ {u}} W h_v)`.
+///
+/// Kept as the ablation counterpart to [`GatLayer`]: identical
+/// interface, no attention. The paper argues for GAT ("varied attention
+/// factors are promising for learning heterogeneous hardware
+/// structures", §2.2); `ablation_design` measures the difference.
+#[derive(Debug, Clone)]
+pub struct GcnLayer {
+    weight: ParamId,
+    bias: ParamId,
+}
+
+impl GcnLayer {
+    /// Create with Xavier-initialized weights.
+    #[must_use]
+    pub fn new(params: &mut Params, in_dim: usize, out_dim: usize, rng: &mut SeedRng) -> Self {
+        GcnLayer {
+            weight: params.register(rng.xavier(in_dim, out_dim)),
+            bias: params.register(Matrix::zeros(1, out_dim)),
+        }
+    }
+
+    /// Forward pass with the same conventions as [`GatLayer::forward`]
+    /// (messages flow src → dst; self-loops appended).
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        params: &Params,
+        x: VarId,
+        edges: &[(usize, usize)],
+    ) -> VarId {
+        let n = g.value(x).rows();
+        let mut src_idx: Vec<usize> = edges.iter().map(|&(s, _)| s).collect();
+        let mut dst_idx: Vec<usize> = edges.iter().map(|&(_, d)| d).collect();
+        for u in 0..n {
+            src_idx.push(u);
+            dst_idx.push(u);
+        }
+        // In-degree (incl. self loop) per destination for normalization.
+        let mut deg = vec![0.0f32; n];
+        for &d in &dst_idx {
+            deg[d] += 1.0;
+        }
+        let w = g.param(params, self.weight);
+        let b = g.param(params, self.bias);
+        let hw0 = g.matmul(x, w);
+        let hw = g.add_bias(hw0, b);
+        let msg = g.gather_rows(hw, &src_idx);
+        let agg = g.scatter_add_rows(msg, &dst_idx, n);
+        let inv_deg = Matrix::from_vec(n, 1, deg.iter().map(|d| 1.0 / d.max(1.0)).collect());
+        let inv = g.input(inv_deg);
+        let mean = g.col_mul(inv, agg);
+        g.tanh(mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_shapes() {
+        let mut params = Params::new();
+        let mut rng = SeedRng::new(0);
+        let l = Linear::new(&mut params, 5, 3, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Matrix::zeros(7, 5));
+        let y = l.forward(&mut g, &params, x);
+        assert_eq!((g.value(y).rows(), g.value(y).cols()), (7, 3));
+    }
+
+    #[test]
+    fn mlp_depth_and_shapes() {
+        let mut params = Params::new();
+        let mut rng = SeedRng::new(0);
+        let mlp = Mlp::new(&mut params, 8, &[16, 4, 1], &mut rng);
+        assert_eq!(mlp.depth(), 3);
+        let mut g = Graph::new();
+        let x = g.input(Matrix::zeros(2, 8));
+        let y = mlp.forward(&mut g, &params, x);
+        assert_eq!((g.value(y).rows(), g.value(y).cols()), (2, 1));
+    }
+
+    #[test]
+    fn gat_output_shape_is_heads_times_dim() {
+        let mut params = Params::new();
+        let mut rng = SeedRng::new(3);
+        let gat = GatLayer::new(&mut params, 6, 4, 2, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Matrix::filled(5, 6, 0.1));
+        let y = gat.forward(&mut g, &params, x, &[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!((g.value(y).rows(), g.value(y).cols()), (5, 8));
+    }
+
+    #[test]
+    fn gat_isolated_node_attends_to_itself() {
+        // Node 2 has no edges; self-loop keeps its output finite.
+        let mut params = Params::new();
+        let mut rng = SeedRng::new(3);
+        let gat = GatLayer::new(&mut params, 4, 4, 1, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Matrix::filled(3, 4, 0.5));
+        let y = gat.forward(&mut g, &params, x, &[(0, 1)]);
+        assert!(g.value(y).data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn gat_gradients_flow_to_all_parameters() {
+        let mut params = Params::new();
+        let mut rng = SeedRng::new(9);
+        let gat = GatLayer::new(&mut params, 4, 3, 2, &mut rng);
+        let mut g = Graph::new();
+        let data: Vec<f32> = (0..20).map(|i| (i as f32 * 0.37).sin()).collect();
+        let x = g.input(Matrix::from_vec(5, 4, data));
+        let y = gat.forward(&mut g, &params, x, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let sq = g.mul(y, y);
+        let loss = g.sum_all(sq);
+        g.backward(loss, &mut params);
+        for id in params.ids() {
+            assert!(params.grad(id).norm() > 0.0, "no gradient reached {id:?}");
+        }
+    }
+
+    #[test]
+    fn gcn_shapes_and_gradients() {
+        let mut params = Params::new();
+        let mut rng = SeedRng::new(5);
+        let gcn = GcnLayer::new(&mut params, 4, 3, &mut rng);
+        let mut g = Graph::new();
+        let data: Vec<f32> = (0..20).map(|i| (i as f32 * 0.31).sin()).collect();
+        let x = g.input(Matrix::from_vec(5, 4, data));
+        let y = gcn.forward(&mut g, &params, x, &[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!((g.value(y).rows(), g.value(y).cols()), (5, 3));
+        let sq = g.mul(y, y);
+        let loss = g.sum_all(sq);
+        g.backward(loss, &mut params);
+        for id in params.ids() {
+            assert!(params.grad(id).norm() > 0.0, "no gradient reached {id:?}");
+        }
+    }
+
+    #[test]
+    fn gcn_mean_aggregation_is_degree_invariant() {
+        // A node fed by k identical neighbours gets the same output
+        // regardless of k (mean, not sum).
+        let mut params = Params::new();
+        let mut rng = SeedRng::new(6);
+        let gcn = GcnLayer::new(&mut params, 2, 2, &mut rng);
+        let run = |edges: &[(usize, usize)], rows: usize| {
+            let mut g = Graph::new();
+            let x = g.input(Matrix::filled(rows, 2, 0.4));
+            let y = gcn.forward(&mut g, &params, x, edges);
+            g.value(y).row_slice(0).to_vec()
+        };
+        let two = run(&[(1, 0), (2, 0)], 3);
+        let four = run(&[(1, 0), (2, 0), (3, 0), (4, 0)], 5);
+        for (a, b) in two.iter().zip(&four) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gat_message_direction_matters() {
+        // A lone directed edge 0 -> 1 must change node 1's embedding,
+        // not node 0's (beyond its self-loop).
+        let mut params = Params::new();
+        let mut rng = SeedRng::new(11);
+        let gat = GatLayer::new(&mut params, 3, 3, 1, &mut rng);
+        let base = Matrix::from_rows(&[&[0.1, 0.2, 0.3], &[0.4, 0.5, 0.6]]);
+        let run = |edges: &[(usize, usize)], params: &Params| {
+            let mut g = Graph::new();
+            let x = g.input(base.clone());
+            let y = gat.forward(&mut g, params, x, edges);
+            g.value(y).clone()
+        };
+        let with_edge = run(&[(0, 1)], &params);
+        let without = run(&[], &params);
+        // Node 0's row is unchanged, node 1's differs.
+        let row0_diff: f32 =
+            (0..3).map(|c| (with_edge[(0, c)] - without[(0, c)]).abs()).sum();
+        let row1_diff: f32 =
+            (0..3).map(|c| (with_edge[(1, c)] - without[(1, c)]).abs()).sum();
+        assert!(row0_diff < 1e-6);
+        assert!(row1_diff > 1e-6);
+    }
+}

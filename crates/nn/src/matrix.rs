@@ -1,0 +1,280 @@
+//! Dense row-major f32 matrices.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix filled with a constant.
+    #[must_use]
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        m.data.fill(value);
+        m
+    }
+
+    /// Build from row slices.
+    ///
+    /// # Panics
+    /// Panics on empty input or ragged rows.
+    #[must_use]
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "need at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Build from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must match dimensions");
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix { rows, cols, data }
+    }
+
+    /// A 1×1 matrix.
+    #[must_use]
+    pub fn scalar(v: f32) -> Self {
+        Matrix::from_vec(1, 1, vec![v])
+    }
+
+    /// A 1×n row vector.
+    #[must_use]
+    pub fn row(values: &[f32]) -> Self {
+        Matrix::from_rows(&[values])
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying row-major data.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    #[must_use]
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Fill with a constant.
+    pub fn fill(&mut self, v: f32) {
+        self.data.fill(v);
+    }
+
+    /// Matrix product `self x rhs`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let lhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(lhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Element-wise addition in place.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Scale every element in place.
+    pub fn scale_assign(&mut self, k: f32) {
+        for a in &mut self.data {
+            *a *= k;
+        }
+    }
+
+    /// Map every element.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Frobenius norm.
+    #[must_use]
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| f64::from(*v) * f64::from(*v)).sum::<f64>().sqrt() as f32
+    }
+
+    /// Maximum absolute difference to another matrix (∞-norm of the
+    /// difference); used by tests.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> f32 {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:8.4} ", self[(r, c)])?;
+            }
+            writeln!(f, "{}]", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        a.add_assign(&b);
+        a.scale_assign(0.5);
+        assert_eq!(a, Matrix::filled(2, 2, 1.5));
+    }
+
+    #[test]
+    fn norm_matches_hand_computation() {
+        let a = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged rows")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_largest() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[1.5, 1.0]]);
+        assert!((a.max_abs_diff(&b) - 1.0).abs() < 1e-6);
+    }
+}

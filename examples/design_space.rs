@@ -1,0 +1,52 @@
+//! Design-space exploration (§4.8): sweep interconnect styles and
+//! memory-port coverage for a 4×4 fabric against a small workload, then
+//! print the area/performance Pareto front.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use mapzero::core::dse::{explore, pareto_count, DseConfig};
+use mapzero::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    let workload: Vec<Dfg> = ["sum", "mac", "conv2"]
+        .iter()
+        .map(|n| suite::by_name(n).expect("kernel exists"))
+        .collect();
+    let config = DseConfig { rows: 4, cols: 4, time_limit: Duration::from_secs(5), ..Default::default() };
+
+    // The exact mapper scores candidates: deterministic and optimal-II.
+    let mut mapper = ExactMapper::default();
+    println!(
+        "exploring {} fabric candidates against {} kernels …\n",
+        mapzero::core::dse::candidates(&config).len(),
+        workload.len()
+    );
+    let points = explore(&workload, &config, &mut mapper);
+    let front = pareto_count(&points);
+
+    println!("{:<14} {:>7} {:>9} {:>7}  interconnects / memory", "fabric", "area", "sum(II)", "mapped");
+    for (i, p) in points.iter().enumerate() {
+        let marker = if i < front { "*" } else { " " };
+        let styles: Vec<String> =
+            p.cgra.interconnects().iter().map(ToString::to_string).collect();
+        let mem = p
+            .cgra
+            .pe_ids()
+            .filter(|&pe| p.cgra.pe(pe).capability.memory)
+            .count();
+        println!(
+            "{marker}{:<13} {:>7.1} {:>9.1} {:>5}/{}  {} | {} mem ports",
+            p.cgra.name(),
+            p.area,
+            p.total_ii,
+            p.mapped,
+            workload.len(),
+            styles.join("+"),
+            mem
+        );
+    }
+    println!("\n* = Pareto-optimal (area vs total II); {front} points on the front");
+}

@@ -1,0 +1,90 @@
+//! The paper's motivational case study (Fig. 3): map a 5-node DFG onto
+//! the 2×3 fabric whose shaded corner PEs have stronger routing
+//! capability, and show how placement choices make or break the
+//! mapping.
+//!
+//! ```text
+//! cargo run --release --example motivational
+//! ```
+
+use mapzero::core::env::MapEnv;
+use mapzero::core::viz;
+use mapzero::prelude::*;
+
+fn main() {
+    // Fig. 3(b): A feeds B and C; E consumes B, C and D.
+    let mut b = DfgBuilder::new("fig3");
+    let a = b.node(Opcode::Load);
+    let nb = b.node(Opcode::Add);
+    let nc = b.node(Opcode::Mul);
+    let nd = b.node(Opcode::Const);
+    let ne = b.node(Opcode::Add);
+    b.edge(a, nb).expect("valid edge");
+    b.edge(a, nc).expect("valid edge");
+    b.edge(nb, ne).expect("valid edge");
+    b.edge(nc, ne).expect("valid edge");
+    b.edge(nd, ne).expect("valid edge");
+    let dfg = b.finish().expect("valid DFG");
+
+    // Fig. 3(a): 2x3 mesh with extra links on the shaded PEs.
+    let cgra = presets::motivational2x3();
+    println!("fabric `{}`, II target from the schedule:", cgra.name());
+    for p in cgra.pe_ids() {
+        println!(
+            "  {p}: fan-in {} fan-out {}",
+            cgra.in_degree(p),
+            cgra.out_degree(p)
+        );
+    }
+
+    let problem = Problem::new(&dfg, &cgra, 3).expect("schedulable at II=3");
+
+    // Fig. 3(d): a failing placement — A on a weak edge PE starves E.
+    let mut bad = MapEnv::new(&problem);
+    let fail = try_place(&mut bad, &[0, 1, 3, 2, 4]);
+    println!("\nnaive placement (A on pe0):    {} routing failures", fail);
+
+    // Fig. 3(c): a successful placement using the strong corners.
+    let mut good = MapEnv::new(&problem);
+    let ok = try_place(&mut good, &[1, 3, 0, 2, 4]);
+    println!("informed placement (A on pe1): {} routing failures", ok);
+    if good.success() {
+        let mapping = good.final_mapping().expect("successful episode");
+        println!("\n{}", viz::summary(&mapping, &dfg, &cgra));
+        println!("{}", viz::ascii_grids(&mapping, &dfg, &cgra));
+    }
+
+    // MapZero finds a valid mapping on its own.
+    let mut compiler = Compiler::new(MapZeroConfig::fast_test());
+    let report = compiler.map(&dfg, &cgra).expect("mappable");
+    match report.mapping {
+        Some(m) => println!(
+            "MapZero found II = {} with {} backtracks in {:.1?}",
+            m.ii, report.backtracks, report.elapsed
+        ),
+        None => println!("MapZero did not find a mapping (unexpected)"),
+    }
+}
+
+/// Place the nodes (in schedule order) on the given PE ids; returns the
+/// number of routing failures.
+fn try_place(env: &mut MapEnv<'_>, pes: &[u32]) -> usize {
+    let mut failures = 0;
+    for &pe in pes {
+        if env.done() {
+            break;
+        }
+        let action = PeId(pe);
+        if !env.action_mask()[action.index()] {
+            failures += 1;
+            // Fall back to any legal PE to keep the episode moving.
+            let legal = env.legal_actions();
+            if let Some(&alt) = legal.first() {
+                failures += env.step(alt).failed_routes;
+            }
+            continue;
+        }
+        failures += env.step(action).failed_routes;
+    }
+    failures
+}
