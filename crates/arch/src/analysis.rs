@@ -86,7 +86,7 @@ pub fn reachable_within(cgra: &Cgra, src: PeId, hops: u32) -> Vec<PeId> {
     cgra.pe_ids()
         .filter(|&p| {
             p != src
-                && paths[src.index()][p.index()].map_or(false, |d| d <= hops)
+                && paths[src.index()][p.index()].is_some_and(|d| d <= hops)
         })
         .collect()
 }

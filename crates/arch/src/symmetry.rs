@@ -176,7 +176,7 @@ mod tests {
     fn permutation_is_bijective() {
         let g = presets::simple_mesh(4, 4);
         let perm = Transform::Rot90.permutation(&g).unwrap();
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for p in &perm {
             assert!(!seen[p.index()]);
             seen[p.index()] = true;

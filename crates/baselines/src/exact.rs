@@ -160,7 +160,7 @@ impl Mapper for ExactMapper {
             };
             // Budget slice per II so an unroutable MII cannot starve
             // the larger IIs (mirrors the MapZero compiler loop).
-            let remaining_iis = u32::from(mii + self.config.max_extra_ii - ii) + 1;
+            let remaining_iis = mii + self.config.max_extra_ii - ii + 1;
             let now = Instant::now();
             let slice_deadline = if now >= deadline {
                 deadline
@@ -185,6 +185,7 @@ impl Mapper for ExactMapper {
         }
         Ok(MapReport {
             mapper: self.name().to_owned(),
+            engine: self.name().to_owned(),
             kernel: dfg.name().to_owned(),
             fabric: cgra.name().to_owned(),
             mii,

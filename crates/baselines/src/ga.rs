@@ -232,6 +232,7 @@ impl Mapper for GaMapper {
         }
         Ok(MapReport {
             mapper: self.name().to_owned(),
+            engine: self.name().to_owned(),
             kernel: dfg.name().to_owned(),
             fabric: cgra.name().to_owned(),
             mii,

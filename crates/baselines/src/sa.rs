@@ -214,6 +214,7 @@ pub(crate) fn run_annealing_mapper(
     }
     Ok(MapReport {
         mapper: name.to_owned(),
+        engine: name.to_owned(),
         kernel: dfg.name().to_owned(),
         fabric: cgra.name().to_owned(),
         mii,

@@ -69,7 +69,7 @@ fn main() {
                 let result = agent.run_episode(&problem, limit);
                 secs += start.elapsed().as_secs_f64();
                 backtracks += result.backtracks;
-                if result.mapping.map_or(false, |m| m.ii == mii) {
+                if result.mapping.is_some_and(|m| m.ii == mii) {
                     hits += 1;
                 }
             }

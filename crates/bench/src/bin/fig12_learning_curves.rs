@@ -32,7 +32,7 @@ fn main() {
         ..TrainConfig::default()
     };
     let mut trainer = Trainer::new(cgra, net, config);
-    let metrics = trainer.run();
+    let metrics = trainer.run().expect("learning-curve training converges");
 
     let header =
         ["epoch", "total loss", "value loss", "policy loss", "avg reward", "eval penalty", "lr", "success"];

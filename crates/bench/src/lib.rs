@@ -173,6 +173,7 @@ pub fn run_or_fail(
 fn failed_report(name: &str, dfg: &Dfg, cgra: &Cgra) -> MapReport {
     MapReport {
         mapper: name.to_owned(),
+        engine: name.to_owned(),
         kernel: dfg.name().to_owned(),
         fabric: cgra.name().to_owned(),
         mii: 0,

@@ -12,9 +12,10 @@ use crate::mapping::Mapping;
 use crate::mcts::{Mcts, MctsConfig};
 use crate::network::MapZeroNet;
 use crate::problem::Problem;
+use crate::supervise::Budget;
 use mapzero_arch::PeId;
 use std::collections::HashSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Agent configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,6 +89,10 @@ pub struct EpisodeResult {
     pub trajectory: Vec<TrajectoryStep>,
     /// True when the episode stopped on the deadline.
     pub timed_out: bool,
+    /// Most nodes simultaneously placed at any point of the episode —
+    /// how close the search got, even when backtracking later unwound
+    /// the progress. Feeds partial-result reports on timeout.
+    pub peak_placed: usize,
 }
 
 /// The MapZero placement agent.
@@ -106,7 +111,15 @@ impl<'n> MapZeroAgent<'n> {
     /// Run one mapping episode on `problem` with a wall-clock deadline.
     #[must_use]
     pub fn run_episode(&self, problem: &Problem<'_>, deadline: Duration) -> EpisodeResult {
-        let start = Instant::now();
+        self.run_episode_budgeted(problem, &Budget::with_deadline(deadline))
+    }
+
+    /// Budget-aware [`MapZeroAgent::run_episode`]: the placement loop
+    /// *and* the MCTS inside each decision poll the shared `budget`, so
+    /// an exhausted budget interrupts mid-search rather than waiting for
+    /// the current (possibly long) decision to finish.
+    #[must_use]
+    pub fn run_episode_budgeted(&self, problem: &Problem<'_>, budget: &Budget) -> EpisodeResult {
         let mut env = MapEnv::new(problem);
         let mut mcts = Mcts::new(self.net, self.config.mcts);
         let mut banned: Vec<HashSet<PeId>> = vec![HashSet::new(); problem.node_count() + 1];
@@ -119,9 +132,10 @@ impl<'n> MapZeroAgent<'n> {
         let mut backtracks = 0u64;
         let mut steps = 0u64;
         let mut timed_out = false;
+        let mut peak_placed = 0usize;
 
         while !env.done() {
-            if start.elapsed() > deadline {
+            if budget.exhausted() {
                 timed_out = true;
                 break;
             }
@@ -133,6 +147,7 @@ impl<'n> MapZeroAgent<'n> {
                 &banned[depth],
                 &mut cached[depth],
                 backtracks >= self.config.mcts_backtrack_cutoff,
+                budget,
             );
             let Some((action, policy, solution)) = decision else {
                 // Everything at this depth is banned or illegal:
@@ -163,12 +178,14 @@ impl<'n> MapZeroAgent<'n> {
                     total_reward: env.total_reward(),
                     trajectory,
                     timed_out: false,
+                    peak_placed: problem.node_count(),
                 };
             }
             let observation =
                 if self.config.collect_trajectory { Some(observe(&env)) } else { None };
             let outcome = env.step(action);
             steps += 1;
+            peak_placed = peak_placed.max(env.placed_count());
             // Any stale policy cached for the next depth belonged to a
             // different prefix.
             cached[env.placed_count()] = None;
@@ -191,6 +208,7 @@ impl<'n> MapZeroAgent<'n> {
             total_reward: env.total_reward(),
             trajectory,
             timed_out,
+            peak_placed,
         }
     }
 
@@ -208,6 +226,7 @@ impl<'n> MapZeroAgent<'n> {
         banned: &HashSet<PeId>,
         cached: &mut Option<Vec<f32>>,
         cheap_mode: bool,
+        budget: &Budget,
     ) -> Option<(PeId, Vec<f32>, Option<Mapping>)> {
         let legal: Vec<PeId> =
             env.legal_actions().into_iter().filter(|a| !banned.contains(a)).collect();
@@ -215,7 +234,7 @@ impl<'n> MapZeroAgent<'n> {
             return None;
         }
         if let Some(policy) = cached.as_ref() {
-            let action = best_by_score(&legal, policy, env);
+            let action = best_by_score(&legal, policy, env)?;
             return Some((action, policy.clone(), None));
         }
         if cheap_mode {
@@ -223,23 +242,23 @@ impl<'n> MapZeroAgent<'n> {
             // by the distance tie-break in `best_by_score`.
             let pe_count = env.problem().cgra().pe_count();
             let flat = vec![1.0 / pe_count as f32; pe_count];
-            let action = best_by_score(&legal, &flat, env);
+            let action = best_by_score(&legal, &flat, env)?;
             *cached = Some(flat.clone());
             return Some((action, flat, None));
         }
         if self.config.use_mcts {
-            let result = mcts.search(env);
+            let result = mcts.search_with_budget(env, budget);
             if result.solution.is_some() {
                 return Some((result.best_action, result.visit_distribution, result.solution));
             }
-            let action = best_by_score(&legal, &result.visit_distribution, env);
+            let action = best_by_score(&legal, &result.visit_distribution, env)?;
             *cached = Some(result.visit_distribution.clone());
             Some((action, result.visit_distribution, None))
         } else {
             // Greedy policy placement (no-MCTS ablation).
             let pred = self.net.predict(&observe(env));
             let probs = pred.probs();
-            let action = best_by_score(&legal, &probs, env);
+            let action = best_by_score(&legal, &probs, env)?;
             *cached = Some(probs.clone());
             let pe_count = env.problem().cgra().pe_count();
             let mut policy = vec![0.0f32; pe_count];
@@ -254,7 +273,9 @@ impl<'n> MapZeroAgent<'n> {
 /// current node's placed neighbours. The tie-break makes the
 /// post-backtrack walk down the ranking degrade gracefully into the
 /// same distance-ordered systematic search the exact mapper uses.
-fn best_by_score(legal: &[PeId], scores: &[f32], env: &MapEnv<'_>) -> PeId {
+/// Returns `None` on an empty candidate set; NaN scores (a poisoned
+/// network) order below every finite score instead of panicking.
+fn best_by_score(legal: &[PeId], scores: &[f32], env: &MapEnv<'_>) -> Option<PeId> {
     let cgra = env.problem().cgra();
     let dfg = env.problem().dfg();
     let mut anchors: Vec<(usize, usize)> = Vec::new();
@@ -274,16 +295,11 @@ fn best_by_score(legal: &[PeId], scores: &[f32], env: &MapEnv<'_>) -> PeId {
             .map(|&(r, c)| info.row.abs_diff(r) + info.col.abs_diff(c))
             .sum()
     };
-    legal
-        .iter()
-        .copied()
-        .max_by(|a, b| {
-            scores[a.index()]
-                .partial_cmp(&scores[b.index()])
-                .expect("finite scores")
-                .then_with(|| dist(*b).cmp(&dist(*a)))
-        })
-        .expect("legal non-empty")
+    legal.iter().copied().max_by(|a, b| {
+        scores[a.index()]
+            .total_cmp(&scores[b.index()])
+            .then_with(|| dist(*b).cmp(&dist(*a)))
+    })
 }
 
 #[cfg(test)]
@@ -357,5 +373,24 @@ mod tests {
         let result = agent.run_episode(&problem, Duration::from_millis(0));
         assert!(result.timed_out);
         assert!(result.mapping.is_none());
+    }
+
+    #[test]
+    fn expansion_budget_interrupts_episode_and_reports_progress() {
+        let dfg = suite::by_name("arf").unwrap();
+        let cgra = presets::hrea();
+        let mii = Problem::mii(&dfg, &cgra).unwrap();
+        let problem = Problem::new(&dfg, &cgra, mii).unwrap();
+        let net = agent_net(16);
+        let agent = MapZeroAgent::new(&net, AgentConfig::fast_test());
+        let budget = Budget::with_deadline(Duration::from_secs(60)).with_expansion_cap(30);
+        let result = agent.run_episode_budgeted(&problem, &budget);
+        // 54 nodes cannot be placed within 30 tree expansions; the
+        // episode must stop on the drained budget, having recorded how
+        // far it got.
+        assert!(result.timed_out);
+        assert!(result.mapping.is_none());
+        assert!(result.peak_placed > 0, "some progress before the cap");
+        assert!(result.peak_placed < problem.node_count());
     }
 }

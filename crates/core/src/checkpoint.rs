@@ -33,7 +33,15 @@ impl fmt::Display for CheckpointError {
     }
 }
 
-impl std::error::Error for CheckpointError {}
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Weights(e) => Some(e),
+            CheckpointError::BadName(_) => None,
+        }
+    }
+}
 
 impl From<io::Error> for CheckpointError {
     fn from(e: io::Error) -> Self {
@@ -57,7 +65,12 @@ pub fn save_compiler(compiler: &Compiler, dir: impl AsRef<Path>) -> Result<usize
     fs::create_dir_all(dir)?;
     let mut count = 0;
     for pe_count in compiler.net_sizes() {
-        let net = compiler.net_for(pe_count).expect("listed size exists");
+        // `net_sizes` lists exactly the keys of the net map, so the
+        // lookup cannot miss; skip (not panic) if it somehow does.
+        let Some(net) = compiler.net_for(pe_count) else {
+            debug_assert!(false, "net_sizes listed a missing size {pe_count}");
+            continue;
+        };
         save_params(&net.params, dir.join(format!("net_{pe_count}.mzw")))?;
         count += 1;
     }
@@ -135,6 +148,38 @@ mod tests {
         assert_eq!(load_compiler(&mut fresh, &dir).unwrap(), 2);
         assert!(fresh.net_for(16).is_some());
         assert!(fresh.net_for(64).is_some());
+    }
+
+    #[test]
+    fn corrupted_checkpoint_is_a_clean_error() {
+        let dir = temp_dir("corrupt");
+        let dfg = suite::by_name("sum").unwrap();
+        let cgra = presets::hrea();
+        let mut a = Compiler::new(MapZeroConfig::fast_test());
+        let _ = a.map(&dfg, &cgra).unwrap();
+        assert_eq!(save_compiler(&a, &dir).unwrap(), 1);
+
+        // Truncate the weight file mid-payload.
+        let path = dir.join("net_16.mzw");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let mut b = Compiler::new(MapZeroConfig::fast_test());
+        let err = load_compiler(&mut b, &dir).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Weights(_) | CheckpointError::Io(_)),
+            "truncation must surface as a structured error, got {err}"
+        );
+        // The error chain is inspectable.
+        assert!(std::error::Error::source(&err).is_some());
+
+        // Flip payload bytes instead of truncating.
+        let mut garbled = bytes;
+        for b in garbled.iter_mut().skip(16) {
+            *b ^= 0xA5;
+        }
+        std::fs::write(&path, &garbled).unwrap();
+        let mut c = Compiler::new(MapZeroConfig::fast_test());
+        assert!(load_compiler(&mut c, &dir).is_err());
     }
 
     #[test]

@@ -3,12 +3,20 @@
 //! "we set MapZero and all the baseline compilers to start with MII and
 //! gradually increase the target II if mapping fails under the current
 //! II" (§4.2).
+//!
+//! The compiler doubles as the *supervisor* of the pipeline (see
+//! DESIGN.md §Robustness): every mapping attempt runs under a shared
+//! [`Budget`] and inside a panic-isolation boundary, and when the
+//! primary engine runs out of budget an optional fallback mapper gets
+//! the remaining deadline before the compiler reports
+//! [`MapError::Timeout`] with partial-progress statistics.
 
 use crate::agent::{AgentConfig, MapZeroAgent};
-use crate::mapping::{MapError, MapReport, Mapper};
+use crate::mapping::{MapError, MapReport, Mapper, PartialMapStats};
 use crate::network::{MapZeroNet, NetConfig};
 use crate::problem::Problem;
-use crate::train::{TrainConfig, Trainer};
+use crate::supervise::{isolated, Budget};
+use crate::train::{TrainConfig, TrainError, Trainer, TrainingMetrics};
 use mapzero_arch::Cgra;
 use mapzero_dfg::Dfg;
 use std::collections::HashMap;
@@ -27,6 +35,10 @@ pub struct MapZeroConfig {
     pub attempts_per_ii: usize,
     /// Default wall-clock budget when using [`Compiler::map`].
     pub time_limit: Duration,
+    /// Optional cap on total MCTS tree expansions across all attempts
+    /// of one `map` call — a deterministic work budget that composes
+    /// with the wall-clock limit (`None` = time-limited only).
+    pub expansion_budget: Option<u64>,
     /// Optional pre-training run per fabric (§3.6.2); `None` maps with
     /// a randomly-initialized network (slower, more backtracking).
     pub pretrain: Option<TrainConfig>,
@@ -40,6 +52,7 @@ impl Default for MapZeroConfig {
             max_extra_ii: 4,
             attempts_per_ii: 2,
             time_limit: Duration::from_secs(300),
+            expansion_budget: None,
             pretrain: Some(TrainConfig::default()),
         }
     }
@@ -56,23 +69,46 @@ impl MapZeroConfig {
             max_extra_ii: 3,
             attempts_per_ii: 2,
             time_limit: Duration::from_secs(60),
+            expansion_budget: None,
             pretrain: None,
         }
     }
 }
+
+/// Fraction of the remaining deadline reserved for the primary engine
+/// when a fallback mapper is installed; the rest is the fallback's
+/// guaranteed slot.
+const PRIMARY_SHARE: f64 = 0.7;
 
 /// The MapZero compiler. Caches one network per action-space size, so
 /// fabrics with equal PE counts share weights (§4.5).
 pub struct Compiler {
     config: MapZeroConfig,
     nets: HashMap<usize, MapZeroNet>,
+    fallback: Option<Box<dyn Mapper + Send>>,
 }
 
 impl Compiler {
     /// Create a compiler.
     #[must_use]
     pub fn new(config: MapZeroConfig) -> Self {
-        Compiler { config, nets: HashMap::new() }
+        Compiler { config, nets: HashMap::new(), fallback: None }
+    }
+
+    /// Install a fallback mapper (typically the SA baseline) that runs
+    /// under the remaining deadline when MapZero itself fails or times
+    /// out. The report's `engine` field records who actually produced
+    /// the mapping.
+    #[must_use]
+    pub fn with_fallback(mut self, fallback: Box<dyn Mapper + Send>) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// Name of the installed fallback engine, if any.
+    #[must_use]
+    pub fn fallback_name(&self) -> Option<&str> {
+        self.fallback.as_deref().map(Mapper::name)
     }
 
     /// The active configuration.
@@ -102,11 +138,19 @@ impl Compiler {
 
     /// Explicitly pre-train on a fabric (otherwise done lazily when
     /// `pretrain` is configured).
-    pub fn pretrain_on(&mut self, cgra: &Cgra, config: TrainConfig) -> crate::train::TrainingMetrics {
+    ///
+    /// # Errors
+    /// Returns [`TrainError::Diverged`] when training diverged past its
+    /// rollback-retry allowance; the network cache is left unchanged.
+    pub fn pretrain_on(
+        &mut self,
+        cgra: &Cgra,
+        config: TrainConfig,
+    ) -> Result<TrainingMetrics, TrainError> {
         let mut trainer = Trainer::new(cgra.clone(), self.config.net, config);
-        let metrics = trainer.run();
+        let metrics = trainer.run()?;
         self.nets.insert(cgra.pe_count(), trainer.into_net());
-        metrics
+        Ok(metrics)
     }
 
     /// Fine-tune the fabric's network on one particular DFG (§3.6.2:
@@ -114,24 +158,33 @@ impl Compiler {
     /// agent can be further fine-tuned on the particular DFG").
     ///
     /// Returns the fine-tuning learning curves.
+    ///
+    /// # Errors
+    /// Returns [`TrainError::Diverged`] when fine-tuning diverged past
+    /// its retry allowance. The fabric's network stays usable either
+    /// way: the trainer rolls back to the last healthy snapshot before
+    /// giving up, and that network is re-installed.
     pub fn fine_tune(
         &mut self,
         dfg: &Dfg,
         cgra: &Cgra,
         mut config: TrainConfig,
-    ) -> crate::train::TrainingMetrics {
+    ) -> Result<TrainingMetrics, TrainError> {
         self.ensure_net(cgra);
-        let net = self
-            .nets
-            .remove(&cgra.pe_count())
-            .expect("ensured above");
+        let Some(net) = self.nets.remove(&cgra.pe_count()) else {
+            return Err(TrainError::Unusable(MapError::Internal(
+                "network missing after ensure_net".to_owned(),
+            )));
+        };
         // Fine-tuning trains on the target kernel only.
         config.curriculum_per_size = 0;
         let mut trainer =
             Trainer::with_net(cgra.clone(), net, config).with_kernel(dfg.clone());
-        let metrics = trainer.run();
+        let result = trainer.run();
+        // Re-install even on divergence: the trainer has rolled back to
+        // the last healthy parameters by then.
         self.nets.insert(cgra.pe_count(), trainer.into_net());
-        metrics
+        result
     }
 
     fn ensure_net(&mut self, cgra: &Cgra) {
@@ -139,17 +192,23 @@ impl Compiler {
             return;
         }
         if let Some(train_config) = self.config.pretrain {
-            let _ = self.pretrain_on(cgra, train_config);
-        } else {
-            self.nets
-                .insert(cgra.pe_count(), MapZeroNet::new(cgra.pe_count(), self.config.net));
+            if self.pretrain_on(cgra, train_config).is_ok() {
+                return;
+            }
+            // Divergent pre-training degrades to an untrained network:
+            // mapping still works, just with more backtracking.
         }
+        self.nets
+            .insert(cgra.pe_count(), MapZeroNet::new(cgra.pe_count(), self.config.net));
     }
 
     /// Map with the configured default time limit.
     ///
     /// # Errors
-    /// Returns [`MapError`] for structurally unmappable instances.
+    /// Returns [`MapError`] for structurally unmappable instances,
+    /// [`MapError::Timeout`] when the budget expired with no mapping
+    /// (and the fallback, if any, also failed), and
+    /// [`MapError::Internal`] for a contained panic.
     pub fn map(&mut self, dfg: &Dfg, cgra: &Cgra) -> Result<MapReport, MapError> {
         self.map_with_limit(dfg, cgra, self.config.time_limit)
     }
@@ -157,59 +216,140 @@ impl Compiler {
     /// Map with an explicit wall-clock budget.
     ///
     /// # Errors
-    /// Returns [`MapError`] for structurally unmappable instances.
+    /// Same contract as [`Compiler::map`].
     pub fn map_with_limit(
         &mut self,
         dfg: &Dfg,
         cgra: &Cgra,
         time_limit: Duration,
     ) -> Result<MapReport, MapError> {
+        let mut budget = Budget::with_deadline(time_limit);
+        if let Some(cap) = self.config.expansion_budget {
+            budget = budget.with_expansion_cap(cap);
+        }
+        self.map_with_budget(dfg, cgra, &budget)
+    }
+
+    /// Map under an explicit [`Budget`] — the full supervised pipeline:
+    ///
+    /// 1. The II search runs attempts under per-attempt slices of the
+    ///    budget; each attempt is panic-isolated (a fault in routing or
+    ///    search becomes [`MapError::Internal`], not an unwind).
+    /// 2. When a fallback engine is installed, the primary only gets
+    ///    [`PRIMARY_SHARE`] of the deadline; on primary failure the
+    ///    fallback runs under whatever deadline remains, and the
+    ///    report's `engine` field records who produced the mapping.
+    /// 3. A budget that expires with no mapping from either engine is
+    ///    an error: [`MapError::Timeout`] carrying [`PartialMapStats`]
+    ///    (best II, peak nodes placed, backtracks, explored states).
+    ///
+    /// # Errors
+    /// Same contract as [`Compiler::map`].
+    pub fn map_with_budget(
+        &mut self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        budget: &Budget,
+    ) -> Result<MapReport, MapError> {
         let start = Instant::now();
         let mii = Problem::mii(dfg, cgra)?;
         self.ensure_net(cgra);
-        let net = self.nets.get(&cgra.pe_count()).expect("ensured above");
-        let agent = MapZeroAgent::new(net, self.config.agent);
 
-        let mut backtracks = 0u64;
-        let mut explored = 0u64;
+        // Reserve the tail of the deadline for the fallback engine, so
+        // a primary that burns its whole share still leaves the
+        // fallback a real time slot.
+        let primary_budget = match (self.fallback.is_some(), budget.remaining_time()) {
+            (true, Some(remaining)) => budget.slice(remaining.mul_f64(PRIMARY_SHARE)),
+            _ => budget.clone(),
+        };
+
+        let mut stats =
+            PartialMapStats { total_nodes: dfg.node_count(), ..PartialMapStats::default() };
         let mut timed_out = false;
+        let mut primary_exhausted = false;
         let mut mapping = None;
-        'outer: for ii in mii..=mii + self.config.max_extra_ii {
-            let problem = match Problem::new(dfg, cgra, ii) {
-                Ok(p) => p,
-                Err(MapError::NoSchedule(_)) => continue,
-                Err(e) => return Err(e),
+        {
+            let Some(net) = self.nets.get(&cgra.pe_count()) else {
+                return Err(MapError::Internal("network missing after ensure_net".to_owned()));
             };
-            // Split the remaining budget across the remaining II
-            // candidates so an unroutable MII cannot starve higher IIs.
-            let remaining_iis = u32::from(mii + self.config.max_extra_ii - ii) + 1;
-            for _attempt in 0..self.config.attempts_per_ii {
-                let remaining = time_limit.saturating_sub(start.elapsed());
-                if remaining.is_zero() {
-                    timed_out = true;
-                    break 'outer;
-                }
-                let slice = remaining / remaining_iis / self.config.attempts_per_ii as u32;
-                let result = agent.run_episode(&problem, slice.max(remaining / 8));
-                backtracks += result.backtracks;
-                explored += result.steps;
-                timed_out |= result.timed_out;
-                if result.mapping.is_some() {
-                    mapping = result.mapping;
-                    break 'outer;
+            let agent = MapZeroAgent::new(net, self.config.agent);
+            'outer: for ii in mii..=mii + self.config.max_extra_ii {
+                let problem = match Problem::new(dfg, cgra, ii) {
+                    Ok(p) => p,
+                    Err(MapError::NoSchedule(_)) => continue,
+                    Err(e) => return Err(e),
+                };
+                // Split the remaining budget across the remaining II
+                // candidates so an unroutable MII cannot starve higher
+                // IIs.
+                let remaining_iis = mii + self.config.max_extra_ii - ii + 1;
+                for _attempt in 0..self.config.attempts_per_ii {
+                    if primary_budget.exhausted() {
+                        timed_out = true;
+                        primary_exhausted = true;
+                        break 'outer;
+                    }
+                    let slice = match primary_budget.remaining_time() {
+                        Some(remaining) => {
+                            let per =
+                                remaining / remaining_iis / self.config.attempts_per_ii as u32;
+                            primary_budget.slice(per.max(remaining / 8))
+                        }
+                        None => primary_budget.clone(),
+                    };
+                    let result = isolated("mapping attempt", || {
+                        agent.run_episode_budgeted(&problem, &slice)
+                    })?;
+                    stats.backtracks += result.backtracks;
+                    stats.explored += result.steps;
+                    stats.nodes_placed = stats.nodes_placed.max(result.peak_placed);
+                    timed_out |= result.timed_out;
+                    if let Some(m) = result.mapping {
+                        stats.best_ii = Some(m.ii);
+                        mapping = Some(m);
+                        break 'outer;
+                    }
                 }
             }
         }
 
+        // Graceful degradation: give the fallback engine the remaining
+        // deadline when the primary came up empty.
+        let mut engine = "MapZero".to_owned();
+        if mapping.is_none() {
+            if let Some(fb) = self.fallback.as_mut() {
+                let slot = budget
+                    .remaining_time()
+                    .unwrap_or(self.config.time_limit);
+                if !slot.is_zero() {
+                    if let Ok(rep) = fb.map(dfg, cgra, slot) {
+                        stats.backtracks += rep.backtracks;
+                        stats.explored += rep.explored;
+                        if let Some(m) = rep.mapping {
+                            stats.best_ii = Some(m.ii);
+                            stats.nodes_placed = dfg.node_count();
+                            engine = fb.name().to_owned();
+                            mapping = Some(m);
+                        }
+                    }
+                }
+            }
+        }
+
+        if mapping.is_none() && (primary_exhausted || budget.exhausted()) {
+            return Err(MapError::Timeout { best_partial: stats });
+        }
+
         Ok(MapReport {
             mapper: "MapZero".to_owned(),
+            engine,
             kernel: dfg.name().to_owned(),
             fabric: cgra.name().to_owned(),
             mii,
             mapping,
             elapsed: start.elapsed(),
-            backtracks,
-            explored,
+            backtracks: stats.backtracks,
+            explored: stats.explored,
             timed_out,
         })
     }
@@ -283,14 +423,77 @@ mod tests {
     }
 
     #[test]
-    fn zero_time_budget_times_out() {
+    fn zero_time_budget_is_a_structured_timeout() {
         let cgra = presets::hrea();
         let mut compiler = Compiler::new(MapZeroConfig::fast_test());
-        // Force net creation first so the timeout applies to mapping.
         let dfg = suite::by_name("accumulate").unwrap();
-        let report = compiler.map_with_limit(&dfg, &cgra, Duration::ZERO).unwrap();
-        assert!(report.timed_out);
-        assert!(report.mapping.is_none());
+        let err = compiler.map_with_limit(&dfg, &cgra, Duration::ZERO).unwrap_err();
+        let MapError::Timeout { best_partial } = err else {
+            panic!("expected Timeout, got {err:?}");
+        };
+        assert_eq!(best_partial.total_nodes, dfg.node_count());
+        assert_eq!(best_partial.best_ii, None);
+    }
+
+    #[test]
+    fn expansion_budget_alone_bounds_the_search() {
+        let cgra = presets::hrea();
+        let config = MapZeroConfig { expansion_budget: Some(10), ..MapZeroConfig::fast_test() };
+        let mut compiler = Compiler::new(config);
+        // 54 nodes cannot map within 10 tree expansions.
+        let dfg = suite::by_name("arf").unwrap();
+        let err = compiler.map(&dfg, &cgra).unwrap_err();
+        let MapError::Timeout { best_partial } = err else {
+            panic!("expected Timeout, got {err:?}");
+        };
+        assert!(best_partial.explored > 0 || best_partial.nodes_placed > 0);
+    }
+
+    #[test]
+    fn successful_map_reports_primary_engine() {
+        let cgra = presets::hrea();
+        let mut compiler = Compiler::new(MapZeroConfig::fast_test());
+        let dfg = suite::by_name("sum").unwrap();
+        let report = compiler.map(&dfg, &cgra).unwrap();
+        assert_eq!(report.engine, "MapZero");
+        assert!(report.mapping.is_some());
+    }
+
+    /// A fallback stub that records invocation and always fails.
+    struct NeverMaps {
+        called: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl Mapper for NeverMaps {
+        fn name(&self) -> &str {
+            "never"
+        }
+        fn map(
+            &mut self,
+            _dfg: &Dfg,
+            _cgra: &Cgra,
+            _limit: Duration,
+        ) -> Result<MapReport, MapError> {
+            self.called.store(true, std::sync::atomic::Ordering::Relaxed);
+            Err(MapError::Unmappable("stub".into()))
+        }
+    }
+
+    #[test]
+    fn failed_fallback_still_times_out_with_stats() {
+        let called = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let fb = NeverMaps { called: std::sync::Arc::clone(&called) };
+        let cgra = presets::hrea();
+        let config = MapZeroConfig { expansion_budget: Some(10), ..MapZeroConfig::fast_test() };
+        let mut compiler = Compiler::new(config).with_fallback(Box::new(fb));
+        assert_eq!(compiler.fallback_name(), Some("never"));
+        let dfg = suite::by_name("arf").unwrap();
+        let err = compiler.map(&dfg, &cgra).unwrap_err();
+        assert!(matches!(err, MapError::Timeout { .. }), "{err:?}");
+        assert!(
+            called.load(std::sync::atomic::Ordering::Relaxed),
+            "fallback must be consulted before giving up"
+        );
     }
 }
 
@@ -305,7 +508,7 @@ mod fine_tune_tests {
         let cgra = presets::hrea();
         let dfg = suite::by_name("mac").unwrap();
         let mut compiler = Compiler::new(MapZeroConfig::fast_test());
-        let metrics = compiler.fine_tune(&dfg, &cgra, TrainConfig::fast_test());
+        let metrics = compiler.fine_tune(&dfg, &cgra, TrainConfig::fast_test()).unwrap();
         assert!(!metrics.epochs.is_empty());
         // The tuned network still maps the kernel.
         let report = compiler.map(&dfg, &cgra).unwrap();

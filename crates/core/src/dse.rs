@@ -163,9 +163,9 @@ pub fn explore(
         .collect();
     let mut indexed: Vec<(bool, DesignPoint)> =
         front.into_iter().zip(points.drain(..)).collect();
-    indexed.sort_by(|a, b| {
-        b.0.cmp(&a.0).then(a.1.area.partial_cmp(&b.1.area).expect("finite area"))
-    });
+    // `total_cmp`: areas are finite by construction, but a total order
+    // keeps the sort panic-free even if one degenerates to NaN.
+    indexed.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.area.total_cmp(&b.1.area)));
     indexed.into_iter().map(|(_, p)| p).collect()
 }
 
@@ -247,6 +247,7 @@ mod tests {
             let ii = 1 + (1000 / (cgra.link_count() + 1)) as u32;
             Ok(MapReport {
                 mapper: "stub".into(),
+                engine: "stub".into(),
                 kernel: dfg.name().into(),
                 fabric: cgra.name().into(),
                 mii: 1,

@@ -264,7 +264,15 @@ impl<'a> MapEnv<'a> {
         if !self.success() {
             return None;
         }
-        let placements = self.placements.iter().map(|p| p.expect("done")).collect();
+        // `success()` means every node is placed; a hole here would be a
+        // broken invariant, so degrade to "no mapping" instead of panic.
+        let placements = match self.placements.iter().copied().collect::<Option<Vec<_>>>() {
+            Some(p) => p,
+            None => {
+                debug_assert!(false, "successful episode with an unplaced node");
+                return None;
+            }
+        };
         let routes = self
             .routes
             .iter()

@@ -76,33 +76,47 @@ impl Ledger {
         self.ii
     }
 
+    /// Flat index of a `(pe, slot)` coordinate. Callers are produced by
+    /// the problem's action space and the router's neighbour walks, so
+    /// both components are in range by construction; the debug_asserts
+    /// pin that invariant while release builds fall back to "absent /
+    /// unclaimable" via the checked accessors below.
     fn idx(&self, pe: PeId, slot: u32) -> usize {
-        debug_assert!(slot < self.ii);
+        debug_assert!(slot < self.ii, "slot {slot} out of range for II {}", self.ii);
+        debug_assert!(pe.index() < self.pes, "{pe} out of range for {} PEs", self.pes);
         slot as usize * self.pes + pe.index()
+    }
+
+    /// Flat index of a `(row, slot)` memory-bus coordinate (same
+    /// invariant as [`Ledger::idx`]).
+    fn bus_idx(&self, row: usize, slot: u32) -> usize {
+        debug_assert!(slot < self.ii, "slot {slot} out of range for II {}", self.ii);
+        debug_assert!(row < self.rows, "row {row} out of range for {} rows", self.rows);
+        slot as usize * self.rows + row
     }
 
     /// Occupant of a functional unit.
     #[must_use]
     pub fn fu(&self, pe: PeId, slot: u32) -> Option<NodeId> {
-        self.fu[self.idx(pe, slot)]
+        self.fu.get(self.idx(pe, slot)).copied().flatten()
     }
 
     /// Signal in a register.
     #[must_use]
     pub fn reg(&self, pe: PeId, slot: u32) -> Option<NodeId> {
-        self.reg[self.idx(pe, slot)]
+        self.reg.get(self.idx(pe, slot)).copied().flatten()
     }
 
     /// Signal in a switch.
     #[must_use]
     pub fn switch(&self, pe: PeId, slot: u32) -> Option<NodeId> {
-        self.switch[self.idx(pe, slot)]
+        self.switch.get(self.idx(pe, slot)).copied().flatten()
     }
 
     /// Memory op on a row bus.
     #[must_use]
     pub fn membus(&self, row: usize, slot: u32) -> Option<NodeId> {
-        self.membus[slot as usize * self.rows + row]
+        self.membus.get(self.bus_idx(row, slot)).copied().flatten()
     }
 
     /// Take a checkpoint for later [`Ledger::undo_to`].
@@ -118,23 +132,33 @@ impl Ledger {
     /// undone past it).
     pub fn undo_to(&mut self, cp: Checkpoint) {
         assert!(cp.0 <= self.journal.len(), "checkpoint from the future");
+        // The loop condition guarantees the journal is non-empty.
         while self.journal.len() > cp.0 {
-            let r = self.journal.pop().expect("journal non-empty");
+            let Some(r) = self.journal.pop() else { break };
             match r {
                 Resource::Fu { pe, slot } => {
                     let i = self.idx(pe, slot);
-                    self.fu[i] = None;
+                    if let Some(cell) = self.fu.get_mut(i) {
+                        *cell = None;
+                    }
                 }
                 Resource::Reg { pe, slot } => {
                     let i = self.idx(pe, slot);
-                    self.reg[i] = None;
+                    if let Some(cell) = self.reg.get_mut(i) {
+                        *cell = None;
+                    }
                 }
                 Resource::Switch { pe, slot } => {
                     let i = self.idx(pe, slot);
-                    self.switch[i] = None;
+                    if let Some(cell) = self.switch.get_mut(i) {
+                        *cell = None;
+                    }
                 }
                 Resource::MemBus { row, slot } => {
-                    self.membus[slot as usize * self.rows + row] = None;
+                    let i = self.bus_idx(row, slot);
+                    if let Some(cell) = self.membus.get_mut(i) {
+                        *cell = None;
+                    }
                 }
             }
         }
@@ -144,10 +168,12 @@ impl Ledger {
     /// claiming nothing) if occupied.
     pub fn claim_fu(&mut self, pe: PeId, slot: u32, node: NodeId) -> bool {
         let i = self.idx(pe, slot);
-        if self.fu[i].is_some() {
+        // An out-of-range coordinate is simply unclaimable.
+        let Some(cell) = self.fu.get_mut(i) else { return false };
+        if cell.is_some() {
             return false;
         }
-        self.fu[i] = Some(node);
+        *cell = Some(node);
         self.journal.push(Resource::Fu { pe, slot });
         true
     }
@@ -156,11 +182,12 @@ impl Ledger {
     /// free and not journaled. Returns `false` on conflict.
     pub fn claim_reg(&mut self, pe: PeId, slot: u32, signal: NodeId) -> bool {
         let i = self.idx(pe, slot);
-        match self.reg[i] {
+        let Some(cell) = self.reg.get_mut(i) else { return false };
+        match *cell {
             Some(s) if s == signal => true,
             Some(_) => false,
             None => {
-                self.reg[i] = Some(signal);
+                *cell = Some(signal);
                 self.journal.push(Resource::Reg { pe, slot });
                 true
             }
@@ -170,11 +197,12 @@ impl Ledger {
     /// Claim a switch for `signal`; same-signal sharing allowed.
     pub fn claim_switch(&mut self, pe: PeId, slot: u32, signal: NodeId) -> bool {
         let i = self.idx(pe, slot);
-        match self.switch[i] {
+        let Some(cell) = self.switch.get_mut(i) else { return false };
+        match *cell {
             Some(s) if s == signal => true,
             Some(_) => false,
             None => {
-                self.switch[i] = Some(signal);
+                *cell = Some(signal);
                 self.journal.push(Resource::Switch { pe, slot });
                 true
             }
@@ -183,11 +211,12 @@ impl Ledger {
 
     /// Claim a row memory bus for `node`.
     pub fn claim_membus(&mut self, row: usize, slot: u32, node: NodeId) -> bool {
-        let i = slot as usize * self.rows + row;
-        if self.membus[i].is_some() {
+        let i = self.bus_idx(row, slot);
+        let Some(cell) = self.membus.get_mut(i) else { return false };
+        if cell.is_some() {
             return false;
         }
-        self.membus[i] = Some(node);
+        *cell = Some(node);
         self.journal.push(Resource::MemBus { row, slot });
         true
     }
@@ -214,7 +243,7 @@ impl Ledger {
     #[must_use]
     pub fn free_fus(&self, slot: u32) -> usize {
         (0..self.pes)
-            .filter(|&p| self.fu[slot as usize * self.pes + p].is_none())
+            .filter(|&p| self.fu(PeId(p as u32), slot).is_none())
             .count()
     }
 
@@ -223,7 +252,7 @@ impl Ledger {
     #[must_use]
     pub fn slice_occupancy(&self, slot: u32) -> Vec<Option<usize>> {
         (0..self.pes)
-            .map(|p| self.fu[slot as usize * self.pes + p].map(|n| n.index()))
+            .map(|p| self.fu(PeId(p as u32), slot).map(|n| n.index()))
             .collect()
     }
 }

@@ -55,14 +55,16 @@ pub mod problem;
 pub mod replay;
 pub mod router;
 pub mod search_space;
+pub mod supervise;
 pub mod train;
 pub mod viz;
 
 pub use agent::{AgentConfig, MapZeroAgent};
 pub use compiler::{Compiler, MapZeroConfig};
 pub use env::{MapEnv, StepOutcome};
-pub use mapping::{MapError, MapReport, Mapper, Mapping, Placement};
+pub use mapping::{MapError, MapReport, Mapper, Mapping, PartialMapStats, Placement};
 pub use mcts::{Mcts, MctsConfig};
 pub use network::{MapZeroNet, NetConfig, Prediction};
 pub use problem::Problem;
-pub use train::{TrainConfig, Trainer, TrainingMetrics};
+pub use supervise::Budget;
+pub use train::{TrainConfig, TrainError, Trainer, TrainingMetrics};

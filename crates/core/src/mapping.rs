@@ -135,11 +135,45 @@ impl Mapping {
     }
 }
 
+/// How far a failed or interrupted mapping attempt got — attached to
+/// [`MapError::Timeout`] so callers can triage a budget overrun
+/// (almost done vs. hopeless) without re-running the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PartialMapStats {
+    /// Best initiation interval for which a complete mapping was found
+    /// before the budget ran out (`None` = no complete mapping at all).
+    pub best_ii: Option<u32>,
+    /// Most nodes simultaneously placed in any attempt.
+    pub nodes_placed: usize,
+    /// Nodes in the kernel (`nodes_placed == total_nodes` means a full
+    /// placement existed but was found after the deadline, or the
+    /// deadline hit during the final routing step).
+    pub total_nodes: usize,
+    /// Backtracking operations across all attempts.
+    pub backtracks: u64,
+    /// Placement attempts explored across all attempts.
+    pub explored: u64,
+}
+
+impl fmt::Display for PartialMapStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.best_ii {
+            Some(ii) => write!(f, "best II {ii}")?,
+            None => write!(f, "{}/{} nodes placed", self.nodes_placed, self.total_nodes)?,
+        }
+        write!(f, ", {} backtracks, {} explored", self.backtracks, self.explored)
+    }
+}
+
 /// Statistics and result of one mapping attempt.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MapReport {
     /// The mapper that produced this report.
     pub mapper: String,
+    /// The engine that actually produced the mapping: normally the same
+    /// as `mapper`, but the fallback engine's name (e.g. "SA") when the
+    /// supervisor degraded to a baseline under the remaining deadline.
+    pub engine: String,
     /// Kernel name.
     pub kernel: String,
     /// Fabric name.
@@ -183,13 +217,35 @@ impl MapReport {
     }
 }
 
-/// Why a mapper could not even start on a problem instance.
+/// Why a mapping attempt failed.
+///
+/// The taxonomy separates *structural* failures (`Unmappable`,
+/// `NoSchedule` — retrying cannot help), *resource* failures (`Timeout`
+/// — retry with a larger budget, guided by the attached
+/// [`PartialMapStats`]), *training* failures (`Diverged` — the network
+/// optimization blew up past its retry allowance) and *defects*
+/// (`Internal` — a contained panic; report it, the process is fine).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MapError {
     /// The DFG needs an operation class no PE supports.
     Unmappable(String),
     /// No schedule exists within the II bound.
     NoSchedule(String),
+    /// The budget (wall clock or expansion allowance) ran out before
+    /// any complete mapping was found and no fallback engine succeeded.
+    Timeout {
+        /// How far the search got before the budget expired.
+        best_partial: PartialMapStats,
+    },
+    /// Training diverged (non-finite loss or exploding gradients) and
+    /// exhausted its rollback retries.
+    Diverged {
+        /// Epoch at which the final, unrecoverable divergence occurred.
+        epoch: u32,
+    },
+    /// A panic inside the mapping pipeline was contained and converted
+    /// to an error (message includes the panic payload).
+    Internal(String),
 }
 
 impl fmt::Display for MapError {
@@ -197,6 +253,13 @@ impl fmt::Display for MapError {
         match self {
             MapError::Unmappable(m) => write!(f, "unmappable: {m}"),
             MapError::NoSchedule(m) => write!(f, "no schedule: {m}"),
+            MapError::Timeout { best_partial } => {
+                write!(f, "budget exhausted ({best_partial})")
+            }
+            MapError::Diverged { epoch } => {
+                write!(f, "training diverged at epoch {epoch} (retries exhausted)")
+            }
+            MapError::Internal(m) => write!(f, "internal fault: {m}"),
         }
     }
 }
@@ -340,6 +403,7 @@ mod tests {
     fn report_ratios() {
         let report = MapReport {
             mapper: "X".into(),
+            engine: "X".into(),
             kernel: "k".into(),
             fabric: "f".into(),
             mii: 2,
@@ -353,5 +417,44 @@ mod tests {
         let failed = MapReport { mapping: None, ..report };
         assert_eq!(failed.ii_ratio(), 0.0);
         assert!(!failed.success());
+    }
+
+    #[test]
+    fn error_taxonomy_displays_are_distinct_and_informative() {
+        let stats = PartialMapStats {
+            best_ii: None,
+            nodes_placed: 7,
+            total_nodes: 12,
+            backtracks: 3,
+            explored: 40,
+        };
+        let errors = [
+            MapError::Unmappable("no memory PE".into()),
+            MapError::NoSchedule("II 4 infeasible".into()),
+            MapError::Timeout { best_partial: stats },
+            MapError::Diverged { epoch: 9 },
+            MapError::Internal("router panicked".into()),
+        ];
+        let texts: Vec<String> = errors.iter().map(ToString::to_string).collect();
+        for (i, a) in texts.iter().enumerate() {
+            for b in texts.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        assert!(texts[2].contains("7/12 nodes placed"), "{}", texts[2]);
+        assert!(texts[3].contains("epoch 9"), "{}", texts[3]);
+        assert!(texts[4].contains("router panicked"), "{}", texts[4]);
+    }
+
+    #[test]
+    fn partial_stats_prefer_best_ii_when_present() {
+        let stats = PartialMapStats {
+            best_ii: Some(3),
+            nodes_placed: 12,
+            total_nodes: 12,
+            backtracks: 0,
+            explored: 5,
+        };
+        assert!(stats.to_string().contains("best II 3"));
     }
 }

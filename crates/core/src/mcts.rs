@@ -14,6 +14,7 @@ use crate::embed::observe;
 use crate::env::{MapEnv, CONFLICT_PENALTY};
 use crate::mapping::Mapping;
 use crate::network::MapZeroNet;
+use crate::supervise::Budget;
 use mapzero_arch::PeId;
 
 /// MCTS hyper-parameters.
@@ -140,10 +141,27 @@ impl<'n> Mcts<'n> {
     /// # Panics
     /// Panics if the episode is already done or no action is legal.
     pub fn search(&mut self, root_env: &MapEnv<'_>) -> SearchResult {
+        self.search_with_budget(root_env, &Budget::unlimited())
+    }
+
+    /// Budget-aware [`Mcts::search`]: the simulation loop polls
+    /// `budget` between rollouts and stops early when it is exhausted,
+    /// so a compile deadline interrupts *inside* a placement decision
+    /// rather than at the next episode boundary. Tree expansions are
+    /// charged to the budget's shared expansion pool.
+    ///
+    /// With fewer simulations the returned policy is noisier but still
+    /// well-formed (the root is always expanded, even on an exhausted
+    /// budget, so `best_action` is always a legal move).
+    ///
+    /// # Panics
+    /// Panics if the episode is already done or no action is legal.
+    pub fn search_with_budget(&mut self, root_env: &MapEnv<'_>, budget: &Budget) -> SearchResult {
         assert!(!root_env.done(), "search requires an unfinished episode");
         self.reset();
         let (root, _) = self.expand(root_env);
         self.root = root;
+        budget.charge(1);
         assert!(
             !self.nodes[root].edges.is_empty(),
             "no legal action at the root"
@@ -151,8 +169,13 @@ impl<'n> Mcts<'n> {
         let mut root_return = 0.0f64;
         let mut solution = None;
         for _ in 0..self.config.simulations {
+            if budget.exhausted() {
+                break;
+            }
+            let before = self.nodes.len();
             let mut env = root_env.clone();
             let value = self.simulate(self.root, &mut env, &mut solution);
+            budget.charge((self.nodes.len() - before) as u64);
             root_return += value;
             if solution.is_some() {
                 break;
@@ -164,7 +187,10 @@ impl<'n> Mcts<'n> {
         let total: u32 = root_node.edges.iter().map(|e| e.visits).sum();
         for e in &root_node.edges {
             if total > 0 {
-                visit_distribution[e.action.index()] = e.visits as f32 / total as f32;
+                // Actions are PEs, so `index() < pe_count` always holds.
+                if let Some(v) = visit_distribution.get_mut(e.action.index()) {
+                    *v = e.visits as f32 / total as f32;
+                }
             }
         }
         let best_action = root_node
@@ -172,7 +198,12 @@ impl<'n> Mcts<'n> {
             .iter()
             .max_by_key(|e| e.visits)
             .map(|e| e.action)
-            .expect("root has edges");
+            .unwrap_or_else(|| {
+                // Unreachable: root edges were asserted non-empty above.
+                // Degrade to PE 0 rather than panic mid-search.
+                debug_assert!(false, "root lost its edges during search");
+                PeId(0)
+            });
         let sims = self.nodes[self.root].visits.max(1);
         SearchResult {
             best_action,
@@ -251,8 +282,10 @@ impl<'n> Mcts<'n> {
             .into_iter()
             .map(|pe| (pe, f64::from(pred.log_probs[pe.index()].exp())))
             .collect();
-        // Keep the most promising `expansion_cap` actions.
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite priors"));
+        // Keep the most promising `expansion_cap` actions. `total_cmp`
+        // gives a total order even if a prior degenerates to NaN (a
+        // poisoned network must not panic the search; NaNs sort last).
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         scored.truncate(self.config.expansion_cap);
         let norm: f64 = scored.iter().map(|(_, p)| *p).sum::<f64>().max(1e-12);
         let edges = scored
@@ -290,7 +323,12 @@ impl<'n> Mcts<'n> {
             if legal.is_empty() {
                 return (acc - 1.0).clamp(-1.0, 1.0);
             }
-            let u = env.current_node().expect("not done");
+            let Some(u) = env.current_node() else {
+                // `!env.done()` at the loop head guarantees a current
+                // node; treat a violation as a dead-end playout.
+                debug_assert!(false, "playout env has no current node");
+                return (acc - 1.0).clamp(-1.0, 1.0);
+            };
             // Grid positions of placed neighbours (parents and children).
             let mut anchors: Vec<(usize, usize)> = Vec::new();
             for e in dfg.in_edges(u).chain(dfg.out_edges(u)) {
@@ -323,7 +361,12 @@ impl<'n> Mcts<'n> {
                 }
                 env.undo();
             }
-            let outcome = outcome.expect("at least one candidate tried");
+            let Some(outcome) = outcome else {
+                // `tries >= 1` because `legal` is non-empty, so the loop
+                // always records an outcome; fail the playout otherwise.
+                debug_assert!(false, "no playout candidate was tried");
+                return (acc - 1.0).clamp(-1.0, 1.0);
+            };
             acc += norm_reward(outcome.reward);
             if outcome.failed_routes > 0 {
                 // The playout already failed; finish cheaply.
@@ -494,6 +537,38 @@ mod tests {
         // Must terminate without panicking; dead ends are -1 leaves.
         let result = mcts.search(&env);
         assert!(result.visit_distribution.iter().sum::<f32>() > 0.0);
+    }
+
+    #[test]
+    fn expired_budget_still_returns_a_legal_action() {
+        let dfg = suite::by_name("mac").unwrap();
+        let cgra = presets::simple_mesh(4, 4);
+        let problem = Problem::new(&dfg, &cgra, 1).unwrap();
+        let env = MapEnv::new(&problem);
+        let net = MapZeroNet::new(16, NetConfig::tiny());
+        let mut mcts = Mcts::new(&net, MctsConfig::fast_test());
+        let budget = Budget::with_deadline(std::time::Duration::ZERO);
+        let result = mcts.search_with_budget(&env, &budget);
+        assert!(env.legal_actions().contains(&result.best_action));
+        // Only the root was expanded; no simulations ran.
+        assert_eq!(mcts.tree_size(), 1);
+    }
+
+    #[test]
+    fn expansion_budget_bounds_tree_growth() {
+        let dfg = suite::by_name("mac").unwrap();
+        let cgra = presets::simple_mesh(4, 4);
+        let problem = Problem::new(&dfg, &cgra, 1).unwrap();
+        let env = MapEnv::new(&problem);
+        let net = MapZeroNet::new(16, NetConfig::tiny());
+        let config = MctsConfig { simulations: 500, playout: false, ..MctsConfig::fast_test() };
+        let mut mcts = Mcts::new(&net, config);
+        let budget = Budget::unlimited().with_expansion_cap(8);
+        let _ = mcts.search_with_budget(&env, &budget);
+        // Each simulation expands at most one leaf, so the tree may
+        // overshoot the cap by a single node before the next poll.
+        assert!(mcts.tree_size() <= 9, "tree grew to {}", mcts.tree_size());
+        assert!(budget.exhausted());
     }
 
     #[test]

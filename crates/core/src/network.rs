@@ -127,7 +127,9 @@ impl Prediction {
         self.log_probs
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite log-probs"))
+            // `total_cmp`: a NaN log-prob (poisoned weights) sorts low
+            // instead of panicking inference.
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0)
     }
@@ -224,6 +226,15 @@ impl MapZeroNet {
     #[must_use]
     pub fn action_count(&self) -> usize {
         self.action_count
+    }
+
+    /// Replace the parameters with a previously-cloned snapshot and
+    /// reset the optimizer state. Used by the trainer's divergence
+    /// rollback: keeping Adam's moment estimates would immediately
+    /// re-apply the exploded update direction the rollback just undid.
+    pub fn restore_params(&mut self, params: Params) {
+        self.params = params;
+        self.optimizer = Adam::new();
     }
 
     /// The configuration used at construction.

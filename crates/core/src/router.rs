@@ -50,6 +50,9 @@ pub fn route_edge(
     to: Placement,
     dist: u32,
 ) -> Option<Route> {
+    // Chaos-testing hook: robustness tests arm a countdown panic here to
+    // prove the supervisor contains faults from deep inside the mapper.
+    crate::supervise::route_fault_point();
     let ii = ledger.ii();
     let deadline = to.time + dist * ii;
     debug_assert!(from.time < deadline, "schedule must leave at least one cycle");
@@ -90,14 +93,20 @@ fn route_registered(
         if ledger.reg_available(from, slot, signal) {
             let cost = usize::from(ledger.reg(from, slot).is_none());
             let s = state(1, from);
-            best[s] = cost;
-            heap.push(Reverse((cost, s)));
+            // `horizon == 0` (a degenerate schedule) means no states at
+            // all: the route is simply unreachable.
+            if let Some(b) = best.get_mut(s) {
+                *b = cost;
+                heap.push(Reverse((cost, s)));
+            }
         }
     }
 
     let mut goal: Option<usize> = None;
     while let Some(Reverse((cost, s))) = heap.pop() {
-        if cost > best[s] {
+        // Heap entries only ever hold indices produced by `state()`, so
+        // `s < nstates`; treat a stale/foreign entry as already beaten.
+        if best.get(s).is_none_or(|&b| cost > b) {
             continue;
         }
         let step = s / pes + 1;
@@ -119,7 +128,9 @@ fn route_registered(
             let hop_cost = usize::from(ledger.reg(next, next_slot).is_none());
             let ns = state(step + 1, next);
             let ncost = cost + hop_cost;
-            if ncost < best[ns] {
+            // `step + 1 <= horizon` here (tau < deadline), so `ns` is in
+            // range; skip the relaxation rather than panic if not.
+            if best.get(ns).is_some_and(|&b| ncost < b) {
                 best[ns] = ncost;
                 prev[ns] = Some(s);
                 heap.push(Reverse((ncost, ns)));
@@ -128,14 +139,15 @@ fn route_registered(
     }
 
     let goal = goal?;
-    // Reconstruct and claim.
+    // Reconstruct and claim. Predecessors were recorded for every state
+    // the heap relaxed, so the walk terminates at the first hop.
     let mut chain = Vec::new();
     let mut cur = Some(goal);
     while let Some(s) = cur {
         let step = s / pes + 1;
         let pe = PeId((s % pes) as u32);
         chain.push((pe, (t_start + step as u32) % ii));
-        cur = prev[s];
+        cur = prev.get(s).copied().flatten();
     }
     chain.reverse();
     let cp = ledger.checkpoint();
@@ -195,7 +207,7 @@ fn route_circuit_switched(
                 cgra, ledger, signal, from, t_start, to, deadline, t_dep,
             );
             if let Some((cost, hops)) = candidate {
-                let better = best.as_ref().map_or(true, |(c, _)| cost < *c);
+                let better = best.as_ref().is_none_or(|(c, _)| cost < *c);
                 if better {
                     best = Some((cost, hops));
                     if cost == 0 {
@@ -295,31 +307,48 @@ fn crossbar_bfs(
     if cgra.links_from(from).contains(&to) {
         return Some(Vec::new());
     }
+    // Every PeId the fabric hands out (links_from) is < pe_count, so
+    // the `seen`/`prev` lookups below cannot miss; an out-of-range id
+    // degrades to "already seen" (skipped) instead of a panic.
     let pes = cgra.pe_count();
     let mut prev: Vec<Option<PeId>> = vec![None; pes];
     let mut seen = vec![false; pes];
-    seen[from.index()] = true;
+    if let Some(c) = seen.get_mut(from.index()) {
+        *c = true;
+    }
     let mut queue = std::collections::VecDeque::from([from]);
     while let Some(x) = queue.pop_front() {
         for &y in cgra.links_from(x) {
-            if seen[y.index()] {
+            if seen.get(y.index()).copied().unwrap_or(true) {
                 continue;
             }
             if y == to {
-                prev[y.index()] = Some(x);
+                if let Some(p) = prev.get_mut(y.index()) {
+                    *p = Some(x);
+                }
                 let mut path = Vec::new();
                 let mut cur = x;
+                // Every enqueued PE got its predecessor recorded before
+                // insertion, so the walk back to `from` cannot miss.
                 while cur != from {
                     path.push(cur);
-                    cur = prev[cur.index()].expect("bfs predecessor");
+                    let Some(p) = prev[cur.index()] else {
+                        debug_assert!(false, "bfs predecessor missing for {cur}");
+                        return None;
+                    };
+                    cur = p;
                 }
                 path.reverse();
                 return Some(path);
             }
             // Intermediate hop: the switch must be usable.
             if ledger.switch_available(y, slot, signal) {
-                seen[y.index()] = true;
-                prev[y.index()] = Some(x);
+                if let Some(c) = seen.get_mut(y.index()) {
+                    *c = true;
+                }
+                if let Some(p) = prev.get_mut(y.index()) {
+                    *p = Some(x);
+                }
                 queue.push_back(y);
             }
         }

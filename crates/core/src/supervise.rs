@@ -1,0 +1,259 @@
+//! The compilation supervisor: budgets, panic isolation, and fault
+//! injection.
+//!
+//! Long-running mapping and training loops need three guarantees to be
+//! embeddable in a larger toolchain (a DSE driver, a CI pipeline, an
+//! interactive session):
+//!
+//! 1. **Interruptibility** — every loop level (MCTS simulations, agent
+//!    episodes, trainer epochs, the compiler's II search) polls one
+//!    shared [`Budget`] combining a wall-clock deadline with a
+//!    node-expansion allowance, so a stuck search stops *mid-decision*
+//!    rather than at the next episode boundary.
+//! 2. **Containment** — a panic in one mapping attempt or self-play
+//!    episode is converted by [`isolated`] into an error value
+//!    ([`MapError::Internal`]) instead of unwinding through the caller.
+//! 3. **Testability** — deterministic fault hooks ([`arm_route_fault`])
+//!    let integration tests prove the two properties above without
+//!    patching production code paths.
+//!
+//! See DESIGN.md §Robustness for the full failure-handling contract.
+
+use crate::mapping::MapError;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A composite work budget shared across loop levels.
+///
+/// Combines an optional wall-clock deadline with an optional expansion
+/// allowance. The expansion counter is shared (`Arc`) so sliced budgets
+/// ([`Budget::slice`]) drain the same pool as their parent: the
+/// compiler hands each mapping attempt a time slice, yet the total
+/// number of search-tree expansions across all attempts stays bounded.
+///
+/// Cloning shares the counter; a clone is *the same* budget viewed from
+/// another loop.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    spent: Arc<AtomicU64>,
+    max_expansions: Option<u64>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget that never expires.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Budget { deadline: None, spent: Arc::new(AtomicU64::new(0)), max_expansions: None }
+    }
+
+    /// A budget expiring `limit` from now.
+    #[must_use]
+    pub fn with_deadline(limit: Duration) -> Self {
+        Budget { deadline: Some(Instant::now() + limit), ..Budget::unlimited() }
+    }
+
+    /// Cap the total number of charged expansions.
+    #[must_use]
+    pub fn with_expansion_cap(mut self, cap: u64) -> Self {
+        self.max_expansions = Some(cap);
+        self
+    }
+
+    /// A sub-budget expiring after `slice` or at this budget's own
+    /// deadline, whichever comes first. Expansions charged to the slice
+    /// drain the parent's pool.
+    #[must_use]
+    pub fn slice(&self, slice: Duration) -> Budget {
+        let sliced = Instant::now() + slice;
+        let deadline = match self.deadline {
+            Some(own) => Some(own.min(sliced)),
+            None => Some(sliced),
+        };
+        Budget { deadline, spent: Arc::clone(&self.spent), max_expansions: self.max_expansions }
+    }
+
+    /// Charge `n` units of search work (tree expansions, placements).
+    pub fn charge(&self, n: u64) {
+        self.spent.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Expansions charged so far (shared across slices).
+    #[must_use]
+    pub fn spent(&self) -> u64 {
+        self.spent.load(Ordering::Relaxed)
+    }
+
+    /// True when the wall-clock deadline has passed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// True when the expansion allowance is used up.
+    #[must_use]
+    pub fn drained(&self) -> bool {
+        self.max_expansions.is_some_and(|cap| self.spent() >= cap)
+    }
+
+    /// True when either limit is hit. Poll this inside loops.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.expired() || self.drained()
+    }
+
+    /// Wall-clock time left, or `None` for an unbounded budget.
+    /// Saturates at zero once expired.
+    #[must_use]
+    pub fn remaining_time(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+/// Run `f` with panic containment: a panic becomes
+/// [`MapError::Internal`] carrying the panic message and `label`,
+/// instead of unwinding into the caller.
+///
+/// The closure is treated as unwind-safe: every caller in this crate
+/// either owns its state (`MapEnv` clones) or discards the touched
+/// state on error (the compiler drops the attempt, the trainer rolls
+/// back to a snapshot), so observing a broken invariant afterwards is
+/// impossible by construction.
+pub fn isolated<T>(label: &str, f: impl FnOnce() -> T) -> Result<T, MapError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => Err(MapError::Internal(format!(
+            "{label} panicked: {}",
+            // `&*`: downcast the payload, not the box wrapping it.
+            panic_message(&*payload)
+        ))),
+    }
+}
+
+/// Best-effort extraction of a panic payload message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+thread_local! {
+    /// Armed route-fault countdown: when `Some(n)`, the n-th subsequent
+    /// routing call on this thread panics.
+    static ROUTE_FAULT: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Arm a deterministic fault: the `after`-th routing call *on this
+/// thread* panics with a recognizable message. Used by robustness tests
+/// to prove panic containment; never armed in production.
+pub fn arm_route_fault(after: u64) {
+    ROUTE_FAULT.with(|f| f.set(Some(after)));
+}
+
+/// Disarm any pending route fault on this thread.
+pub fn disarm_route_fault() {
+    ROUTE_FAULT.with(|f| f.set(None));
+}
+
+/// Routing-path hook: counts down an armed fault and panics when it
+/// fires. No-op (one thread-local read) when disarmed.
+pub(crate) fn route_fault_point() {
+    ROUTE_FAULT.with(|f| {
+        if let Some(n) = f.get() {
+            if n <= 1 {
+                f.set(None);
+                panic!("injected route fault");
+            }
+            f.set(Some(n - 1));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let b = Budget::unlimited();
+        b.charge(1_000_000);
+        assert!(!b.exhausted());
+        assert_eq!(b.remaining_time(), None);
+    }
+
+    #[test]
+    fn deadline_budget_expires() {
+        let b = Budget::with_deadline(Duration::ZERO);
+        assert!(b.expired());
+        assert!(b.exhausted());
+        assert_eq!(b.remaining_time(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn expansion_cap_drains() {
+        let b = Budget::unlimited().with_expansion_cap(10);
+        assert!(!b.exhausted());
+        b.charge(10);
+        assert!(b.drained());
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn slices_share_the_expansion_pool() {
+        let parent = Budget::with_deadline(Duration::from_secs(60)).with_expansion_cap(10);
+        let a = parent.slice(Duration::from_secs(1));
+        let b = parent.slice(Duration::from_secs(1));
+        a.charge(6);
+        b.charge(6);
+        assert!(parent.drained());
+        assert!(a.drained() && b.drained());
+    }
+
+    #[test]
+    fn slice_never_outlives_parent() {
+        let parent = Budget::with_deadline(Duration::ZERO);
+        let slice = parent.slice(Duration::from_secs(60));
+        assert!(slice.expired());
+    }
+
+    #[test]
+    fn isolated_passes_values_and_contains_panics() {
+        assert_eq!(isolated("ok", || 7).unwrap(), 7);
+        let err = isolated("boom", || -> i32 { panic!("kaputt") }).unwrap_err();
+        let MapError::Internal(msg) = err else {
+            panic!("expected Internal, got {err:?}");
+        };
+        assert!(msg.contains("boom") && msg.contains("kaputt"), "{msg}");
+    }
+
+    #[test]
+    fn route_fault_fires_once_after_countdown() {
+        arm_route_fault(3);
+        route_fault_point();
+        route_fault_point();
+        let caught = std::panic::catch_unwind(route_fault_point);
+        assert!(caught.is_err(), "third call must fire");
+        // Disarmed after firing.
+        route_fault_point();
+    }
+
+    #[test]
+    fn disarm_clears_pending_fault() {
+        arm_route_fault(1);
+        disarm_route_fault();
+        route_fault_point();
+    }
+}

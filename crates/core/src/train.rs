@@ -12,12 +12,42 @@ use crate::mcts::MctsConfig;
 use crate::network::{MapZeroNet, NetConfig, TrainSample};
 use crate::problem::Problem;
 use crate::replay::ReplayBuffer;
+use crate::supervise::isolated;
 use crate::{augment, mapping::MapError};
 use mapzero_arch::Cgra;
 use mapzero_dfg::{random::curriculum, Dfg};
 use mapzero_nn::{LrSchedule, SeedRng};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
+
+/// Deterministic fault injection for robustness tests: forces a failure
+/// at a chosen epoch so the supervisor's containment and rollback paths
+/// can be exercised end-to-end. `None` in production.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultInjection {
+    /// No injected faults.
+    #[default]
+    None,
+    /// Poison the epoch's loss with NaN on the *first* attempt only —
+    /// the rollback retry then proceeds cleanly (recoverable blip).
+    NanLossOnce {
+        /// Epoch whose first attempt is poisoned.
+        epoch: u32,
+    },
+    /// Poison the epoch's loss with NaN on *every* attempt — rollback
+    /// retries cannot help and training must report divergence.
+    NanLossAlways {
+        /// Epoch that is always poisoned.
+        epoch: u32,
+    },
+    /// Panic inside every self-play episode of the epoch; the panics
+    /// must be contained per-episode (counted as failed episodes), not
+    /// unwind the trainer.
+    EpisodePanic {
+        /// Epoch whose episodes panic.
+        epoch: u32,
+    },
+}
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +81,15 @@ pub struct TrainConfig {
     pub workers: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Divergence threshold on the pre-clip gradient norm: an update
+    /// whose raw gradients exceed this (or whose loss is non-finite)
+    /// marks the epoch unhealthy and triggers a rollback.
+    pub max_grad_norm: f32,
+    /// Total rollback retries allowed per run before training reports
+    /// [`TrainError::Diverged`].
+    pub max_retries: u32,
+    /// Fault injection hook for robustness tests.
+    pub fault: FaultInjection,
 }
 
 impl Default for TrainConfig {
@@ -70,6 +109,9 @@ impl Default for TrainConfig {
             episode_deadline: Duration::from_secs(20),
             workers: 4,
             seed: 0,
+            max_grad_norm: 1e3,
+            max_retries: 3,
+            fault: FaultInjection::None,
         }
     }
 }
@@ -120,6 +162,10 @@ pub struct EpochMetrics {
 pub struct TrainingMetrics {
     /// One entry per epoch.
     pub epochs: Vec<EpochMetrics>,
+    /// Divergence rollbacks performed during the run (0 for a healthy
+    /// run; each rollback restored the last-good parameters and halved
+    /// the learning rate).
+    pub rollbacks: u32,
 }
 
 impl TrainingMetrics {
@@ -193,19 +239,76 @@ impl Trainer {
         &self.cgra
     }
 
-    /// Run the configured number of epochs and return the learning
-    /// curves.
-    pub fn run(&mut self) -> TrainingMetrics {
+    /// Run the configured number of epochs under numeric-health
+    /// supervision and return the learning curves.
+    ///
+    /// After every healthy epoch the parameters are snapshotted. An
+    /// unhealthy epoch — non-finite loss or pre-clip gradient norm
+    /// above `max_grad_norm` — rolls the network back to the snapshot
+    /// (resetting the optimizer moments), halves the effective learning
+    /// rate, and retries the epoch, up to `max_retries` times per run.
+    ///
+    /// # Errors
+    /// Returns [`TrainError::Diverged`] when the retry allowance is
+    /// spent; the network holds the last healthy parameters.
+    pub fn run(&mut self) -> Result<TrainingMetrics, TrainError> {
         let mut metrics = TrainingMetrics::default();
-        for epoch in 0..self.config.epochs {
-            metrics.epochs.push(self.run_epoch(epoch));
+        let mut snapshot = self.net.params.clone();
+        let mut retries = 0u32;
+        let mut lr_penalty = 1.0f32;
+        let mut epoch = 0u32;
+        let mut nan_once_fired = false;
+        while epoch < self.config.epochs {
+            let inject_nan = match self.config.fault {
+                FaultInjection::NanLossAlways { epoch: e } => e == epoch,
+                FaultInjection::NanLossOnce { epoch: e } => {
+                    let fire = e == epoch && !nan_once_fired;
+                    nan_once_fired |= fire;
+                    fire
+                }
+                _ => false,
+            };
+            let (m, max_grad) = self.run_epoch_attempt(epoch, lr_penalty, inject_nan);
+            let healthy = m.total_loss.is_finite()
+                && m.value_loss.is_finite()
+                && m.policy_loss.is_finite()
+                && max_grad <= self.config.max_grad_norm;
+            if healthy {
+                metrics.epochs.push(m);
+                snapshot = self.net.params.clone();
+                epoch += 1;
+                continue;
+            }
+            if retries >= self.config.max_retries {
+                // Leave the network in its last healthy state.
+                self.net.restore_params(snapshot);
+                metrics.rollbacks += 1;
+                return Err(TrainError::Diverged { epoch });
+            }
+            self.net.restore_params(snapshot.clone());
+            lr_penalty *= 0.5;
+            retries += 1;
+            metrics.rollbacks += 1;
         }
-        metrics
+        Ok(metrics)
     }
 
     /// Run a single epoch: self-play, replay updates, evaluation.
+    /// Unsupervised — [`Trainer::run`] adds the health checks.
     pub fn run_epoch(&mut self, epoch: u32) -> EpochMetrics {
-        let lr = self.config.lr.at(epoch);
+        self.run_epoch_attempt(epoch, 1.0, false).0
+    }
+
+    /// One epoch attempt; returns the metrics and the largest pre-clip
+    /// gradient norm seen across the epoch's updates. `inject_nan`
+    /// poisons the loss (fault-injection hook).
+    fn run_epoch_attempt(
+        &mut self,
+        epoch: u32,
+        lr_penalty: f32,
+        inject_nan: bool,
+    ) -> (EpochMetrics, f32) {
+        let lr = self.config.lr.at(epoch) * lr_penalty;
         // Curriculum position advances with the epoch, easy -> hard.
         let span = self.curriculum.len().max(1);
         let window = ((epoch as usize + 1) * span).div_ceil(self.config.epochs as usize);
@@ -214,7 +317,7 @@ impl Trainer {
         let picks: Vec<Dfg> = (0..self.config.episodes_per_epoch)
             .map(|_| self.curriculum[self.rng.below(window.clamp(1, span))].clone())
             .collect();
-        for outcome in self.run_episodes(&picks) {
+        for outcome in self.run_episodes(&picks, epoch) {
             let (reward, success, trajectory) = outcome;
             reward_sum += reward;
             successes += usize::from(success);
@@ -229,6 +332,7 @@ impl Trainer {
         let mut vloss = 0.0f32;
         let mut ploss = 0.0f32;
         let mut updates = 0usize;
+        let mut max_grad = 0.0f32;
         for _ in 0..self.config.updates_per_epoch {
             if self.buffer.len() < self.config.batch_size {
                 break;
@@ -237,7 +341,11 @@ impl Trainer {
             let loss = self.net.train_batch(&batch, lr, self.config.clip);
             vloss += loss.value_loss;
             ploss += loss.policy_loss;
+            max_grad = max_grad.max(loss.grad_norm);
             updates += 1;
+        }
+        if inject_nan {
+            vloss = f32::NAN;
         }
         let updates_f = updates.max(1) as f32;
         let (value_loss, policy_loss) = (vloss / updates_f, ploss / updates_f);
@@ -245,7 +353,7 @@ impl Trainer {
         // Held-out evaluation.
         let eval_penalty = self.evaluate();
 
-        EpochMetrics {
+        let metrics = EpochMetrics {
             epoch,
             total_loss: value_loss + policy_loss,
             value_loss,
@@ -254,49 +362,62 @@ impl Trainer {
             eval_penalty,
             lr,
             success_rate: successes as f64 / self.config.episodes_per_epoch.max(1) as f64,
-        }
+        };
+        (metrics, max_grad)
     }
 
     /// Run a batch of self-play episodes, using worker threads when
     /// configured; returns per-episode (reward, success, trajectory) in
-    /// input order.
-    fn run_episodes(&self, picks: &[Dfg]) -> Vec<(f64, bool, Vec<TrajectoryStep>)> {
+    /// input order. Each episode runs inside a panic-isolation
+    /// boundary: a panicking episode is recorded as a failed episode
+    /// (zero reward, no trajectory) instead of unwinding the trainer or
+    /// poisoning its worker thread.
+    fn run_episodes(&self, picks: &[Dfg], epoch: u32) -> Vec<(f64, bool, Vec<TrajectoryStep>)> {
         let run_one = |dfg: &Dfg| -> (f64, bool, Vec<TrajectoryStep>) {
-            let Ok(mii) = Problem::mii(dfg, &self.cgra) else {
-                return (0.0, false, Vec::new());
-            };
-            let Ok(problem) = Problem::new(dfg, &self.cgra, mii) else {
-                return (0.0, false, Vec::new());
-            };
-            // Self-play per Algorithm 1: the MCTS leaf evaluation is
-            // the network value (no playout shortcut), so every action
-            // is committed and recorded as an (s, pi, r) step.
-            let agent_config = AgentConfig {
-                mcts: crate::mcts::MctsConfig { playout: false, ..self.config.mcts },
-                use_mcts: true,
-                backtrack_budget: 32,
-                mcts_backtrack_cutoff: u64::MAX,
-                collect_trajectory: true,
-            };
-            let agent = MapZeroAgent::new(&self.net, agent_config);
-            let result = agent.run_episode(&problem, self.config.episode_deadline);
-            (result.total_reward, result.mapping.is_some(), result.trajectory)
+            isolated("self-play episode", || {
+                if matches!(self.config.fault, FaultInjection::EpisodePanic { epoch: e } if e == epoch)
+                {
+                    panic!("injected self-play fault");
+                }
+                let Ok(mii) = Problem::mii(dfg, &self.cgra) else {
+                    return (0.0, false, Vec::new());
+                };
+                let Ok(problem) = Problem::new(dfg, &self.cgra, mii) else {
+                    return (0.0, false, Vec::new());
+                };
+                // Self-play per Algorithm 1: the MCTS leaf evaluation is
+                // the network value (no playout shortcut), so every action
+                // is committed and recorded as an (s, pi, r) step.
+                let agent_config = AgentConfig {
+                    mcts: crate::mcts::MctsConfig { playout: false, ..self.config.mcts },
+                    use_mcts: true,
+                    backtrack_budget: 32,
+                    mcts_backtrack_cutoff: u64::MAX,
+                    collect_trajectory: true,
+                };
+                let agent = MapZeroAgent::new(&self.net, agent_config);
+                let result = agent.run_episode(&problem, self.config.episode_deadline);
+                (result.total_reward, result.mapping.is_some(), result.trajectory)
+            })
+            .unwrap_or((0.0, false, Vec::new()))
         };
         if self.config.workers <= 1 || picks.len() <= 1 {
             return picks.iter().map(run_one).collect();
         }
         let chunk = picks.len().div_ceil(self.config.workers);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = picks
                 .chunks(chunk)
-                .map(|slice| scope.spawn(move |_| slice.iter().map(run_one).collect::<Vec<_>>()))
+                .map(|slice| scope.spawn(move || slice.iter().map(run_one).collect::<Vec<_>>()))
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("self-play worker panicked"))
+                // Episodes are individually isolated, so a worker can
+                // only die from a fault outside the episode body; treat
+                // that as "all episodes of the chunk failed".
+                .flat_map(|h| h.join().unwrap_or_default())
                 .collect()
         })
-        .expect("crossbeam scope")
     }
 
     /// Map the held-out DFG greedily and report the routing penalty
@@ -362,21 +483,40 @@ pub fn trajectory_to_samples(trajectory: &[TrajectoryStep], success: bool) -> Ve
 }
 
 /// Errors surfaced by high-level training helpers.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TrainError {
     /// The fabric cannot execute the curriculum kernels.
     Unusable(MapError),
+    /// Training diverged (non-finite loss or exploding gradients) and
+    /// exhausted its rollback-retry allowance. The trainer's network
+    /// holds the last healthy parameters.
+    Diverged {
+        /// Epoch at which the unrecoverable divergence occurred.
+        epoch: u32,
+    },
 }
 
 impl std::fmt::Display for TrainError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TrainError::Unusable(e) => write!(f, "fabric unusable for training: {e}"),
+            TrainError::Diverged { epoch } => {
+                write!(f, "training diverged at epoch {epoch} (retries exhausted)")
+            }
         }
     }
 }
 
 impl std::error::Error for TrainError {}
+
+impl From<TrainError> for MapError {
+    fn from(e: TrainError) -> Self {
+        match e {
+            TrainError::Unusable(inner) => inner,
+            TrainError::Diverged { epoch } => MapError::Diverged { epoch },
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -415,8 +555,9 @@ mod tests {
     fn training_epoch_produces_metrics() {
         let cgra = presets::simple_mesh(4, 4);
         let mut trainer = Trainer::new(cgra, NetConfig::tiny(), TrainConfig::fast_test());
-        let metrics = trainer.run();
+        let metrics = trainer.run().unwrap();
         assert_eq!(metrics.epochs.len(), 3);
+        assert_eq!(metrics.rollbacks, 0);
         let last = metrics.last().unwrap();
         assert!(last.lr > 0.0);
         assert!(last.total_loss.is_finite());
@@ -432,8 +573,64 @@ mod tests {
             ..TrainConfig::fast_test()
         };
         let mut trainer = Trainer::new(cgra, NetConfig::tiny(), config);
-        let metrics = trainer.run();
+        let metrics = trainer.run().unwrap();
         assert!(metrics.epochs[0].lr > metrics.epochs[1].lr);
+    }
+
+    #[test]
+    fn transient_nan_loss_rolls_back_and_recovers() {
+        let cgra = presets::simple_mesh(2, 2);
+        let config = TrainConfig {
+            fault: FaultInjection::NanLossOnce { epoch: 1 },
+            ..TrainConfig::fast_test()
+        };
+        let epochs = config.epochs;
+        let mut trainer = Trainer::new(cgra, NetConfig::tiny(), config);
+        let metrics = trainer.run().unwrap();
+        // The poisoned attempt was rolled back and retried; the final run
+        // still delivers the full epoch count with healthy losses.
+        assert_eq!(metrics.epochs.len(), epochs as usize);
+        assert_eq!(metrics.rollbacks, 1);
+        assert!(metrics.epochs.iter().all(|e| e.total_loss.is_finite()));
+    }
+
+    #[test]
+    fn persistent_nan_loss_diverges_with_rollback() {
+        let cgra = presets::simple_mesh(2, 2);
+        let config = TrainConfig {
+            fault: FaultInjection::NanLossAlways { epoch: 0 },
+            max_retries: 2,
+            ..TrainConfig::fast_test()
+        };
+        let mut trainer = Trainer::new(cgra, NetConfig::tiny(), config);
+        let snapshot = trainer.net().params.clone();
+        let err = trainer.run().unwrap_err();
+        assert_eq!(err, TrainError::Diverged { epoch: 0 });
+        // Divergence maps into the compiler-facing error taxonomy.
+        assert_eq!(MapError::from(err), MapError::Diverged { epoch: 0 });
+        // The network was restored to the last healthy snapshot (here:
+        // the initial parameters, since epoch 0 never went healthy).
+        let restored = &trainer.net().params;
+        assert_eq!(restored.len(), snapshot.len());
+        for id in restored.ids() {
+            assert_eq!(restored.value(id).data(), snapshot.value(id).data());
+        }
+    }
+
+    #[test]
+    fn episode_panics_are_contained() {
+        let cgra = presets::simple_mesh(2, 2);
+        let config = TrainConfig {
+            fault: FaultInjection::EpisodePanic { epoch: 0 },
+            ..TrainConfig::fast_test()
+        };
+        let epochs = config.epochs;
+        let mut trainer = Trainer::new(cgra, NetConfig::tiny(), config);
+        // Panicking self-play episodes are isolated and degrade to empty
+        // trajectories: training completes instead of crashing.
+        let metrics = trainer.run().unwrap();
+        assert_eq!(metrics.epochs.len(), epochs as usize);
+        assert_eq!(metrics.epochs[0].success_rate, 0.0);
     }
 
     #[test]

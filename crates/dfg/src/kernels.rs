@@ -133,7 +133,7 @@ pub fn stencil3(lanes: usize) -> Dfg {
 /// Panics if `points` is not an even positive number.
 #[must_use]
 pub fn fft_stage(points: usize) -> Dfg {
-    assert!(points >= 2 && points % 2 == 0, "need an even number of points");
+    assert!(points >= 2 && points.is_multiple_of(2), "need an even number of points");
     let mut b = DfgBuilder::new(format!("fft_stage{points}"));
     let inputs: Vec<NodeId> = (0..points).map(|_| b.node(Opcode::Load)).collect();
     for pair in 0..points / 2 {

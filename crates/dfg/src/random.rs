@@ -45,6 +45,9 @@ impl Default for RandomDfgConfig {
 /// # Panics
 /// Panics if `cfg.nodes == 0` or `cfg.max_fanin == 0`.
 #[must_use]
+// The construction loops index `fanin`/`fanout` by both endpoints of
+// each edge; an enumerate() rewrite would obscure that symmetry.
+#[allow(clippy::needless_range_loop)]
 pub fn random_dfg(name: &str, cfg: &RandomDfgConfig) -> Dfg {
     assert!(cfg.nodes > 0, "need at least one node");
     assert!(cfg.max_fanin > 0, "max_fanin must be positive");
@@ -122,8 +125,7 @@ pub fn random_dfg(name: &str, cfg: &RandomDfgConfig) -> Dfg {
         Opcode::Xor,
         Opcode::Add,
     ];
-    let mut b = DfgBuilder::new(name);
-    let mut ids = Vec::with_capacity(n);
+    let mut ops = Vec::with_capacity(n);
     for i in 0..n {
         let op = if fanin[i] == 0 {
             if rng.gen_bool(0.6) {
@@ -136,6 +138,19 @@ pub fn random_dfg(name: &str, cfg: &RandomDfgConfig) -> Dfg {
         } else {
             interior_pool[rng.gen_range(0..interior_pool.len())]
         };
+        ops.push(op);
+    }
+    // Guarantee the documented profile: every kernel carries at least
+    // one arithmetic op (small graphs can otherwise draw all-logical
+    // interiors and all-load sources).
+    if !ops.iter().any(|o| o.class() == crate::OpClass::Arithmetic) {
+        if let Some(i) = (0..n).find(|&i| fanin[i] > 0 && fanout[i] > 0) {
+            ops[i] = Opcode::Add;
+        }
+    }
+    let mut b = DfgBuilder::new(name);
+    let mut ids = Vec::with_capacity(n);
+    for &op in &ops {
         ids.push(b.node(op));
     }
     for &(j, i) in &edges {

@@ -31,7 +31,7 @@ fn main() {
         ..TrainConfig::fast_test()
     };
     println!("\nfine-tuning on `{}` …", dfg.name());
-    let metrics = compiler.fine_tune(&dfg, &cgra, config);
+    let metrics = compiler.fine_tune(&dfg, &cgra, config).expect("fine-tuning converges");
     for e in &metrics.epochs {
         println!(
             "  epoch {}: loss {:.3}, success rate {:.2}",

@@ -28,7 +28,7 @@ fn main() {
         "epoch", "total loss", "value loss", "policy loss", "reward", "penalty", "lr"
     );
     let mut trainer = Trainer::new(cgra.clone(), NetConfig::tiny(), config);
-    let metrics = trainer.run();
+    let metrics = trainer.run().expect("curriculum training converges");
     for e in &metrics.epochs {
         println!(
             "{:>5} {:>12.4} {:>12.4} {:>12.4} {:>10.2} {:>10.2} {:>8.5}",

@@ -1,0 +1,24 @@
+# Common developer tasks. `just` (no args) lists the recipes.
+
+default:
+    @just --list
+
+# Tier-1 gate: release build, full test suite, clippy with -D warnings.
+ci:
+    scripts/ci.sh
+
+# Fast feedback loop: debug build + tests.
+test:
+    cargo test --workspace -q
+
+# Lint exactly as CI does.
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Criterion microbenchmarks.
+bench:
+    cargo bench --workspace
+
+# Regenerate every paper table/figure (quick mode).
+figures:
+    cargo run --release -p mapzero-bench --bin run_all

@@ -46,7 +46,8 @@ pub mod prelude {
     pub use mapzero_arch::{presets, Capability, Cgra, CgraBuilder, Interconnect, PeId};
     pub use mapzero_baselines::{ExactMapper, GaMapper, LisaMapper, SaMapper};
     pub use mapzero_core::{
-        Compiler, MapReport, MapZeroConfig, Mapper, Mapping, Problem, TrainConfig, Trainer,
+        Budget, Compiler, MapError, MapReport, MapZeroConfig, Mapper, Mapping, PartialMapStats,
+        Problem, TrainConfig, TrainError, Trainer,
     };
     pub use mapzero_dfg::{suite, Dfg, DfgBuilder, NodeId, OpClass, Opcode};
 }

@@ -1,0 +1,126 @@
+//! Integration tests for the supervisor contract (DESIGN.md
+//! §Robustness): budgets are hard deadlines, panics are contained,
+//! training divergence rolls back, and the compiler degrades to the SA
+//! fallback instead of failing silently.
+
+use mapzero::core::network::NetConfig;
+use mapzero::core::supervise::{arm_route_fault, disarm_route_fault};
+use mapzero::core::train::FaultInjection;
+use mapzero::core::{MapError, TrainError};
+use mapzero::prelude::*;
+use std::time::{Duration, Instant};
+
+/// An injected panic deep inside the router surfaces as a structured
+/// `MapError::Internal` from `Compiler::map`, not an unwind.
+#[test]
+fn injected_route_panic_is_contained_as_internal_error() {
+    let cgra = presets::hrea();
+    let dfg = suite::by_name("sum").unwrap();
+    let mut compiler = Compiler::new(MapZeroConfig::fast_test());
+    arm_route_fault(5);
+    let result = compiler.map(&dfg, &cgra);
+    disarm_route_fault();
+    let err = result.expect_err("armed fault must abort the mapping");
+    let MapError::Internal(msg) = err else {
+        panic!("expected MapError::Internal, got {err:?}");
+    };
+    assert!(msg.contains("injected route fault"), "{msg}");
+
+    // The compiler object survives the fault and maps cleanly afterwards.
+    let report = compiler.map(&dfg, &cgra).unwrap();
+    assert!(report.mapping.is_some(), "compiler must recover after a contained fault");
+}
+
+/// A persistently-NaN loss exhausts the trainer's rollback retries and
+/// surfaces as `Diverged`, convertible into the compiler error taxonomy.
+#[test]
+fn forced_nan_loss_diverges_with_rollback() {
+    let cgra = presets::simple_mesh(2, 2);
+    let config = TrainConfig {
+        fault: FaultInjection::NanLossAlways { epoch: 0 },
+        max_retries: 1,
+        ..TrainConfig::fast_test()
+    };
+    let mut trainer = Trainer::new(cgra, NetConfig::tiny(), config);
+    let err = trainer.run().unwrap_err();
+    assert_eq!(err, TrainError::Diverged { epoch: 0 });
+    assert_eq!(MapError::from(err), MapError::Diverged { epoch: 0 });
+}
+
+/// A transiently-NaN loss is absorbed: rollback, halve the LR, retry,
+/// and finish the full epoch schedule.
+#[test]
+fn transient_nan_loss_recovers_via_rollback() {
+    let cgra = presets::simple_mesh(2, 2);
+    let config = TrainConfig {
+        fault: FaultInjection::NanLossOnce { epoch: 0 },
+        ..TrainConfig::fast_test()
+    };
+    let epochs = config.epochs as usize;
+    let mut trainer = Trainer::new(cgra, NetConfig::tiny(), config);
+    let metrics = trainer.run().unwrap();
+    assert_eq!(metrics.epochs.len(), epochs);
+    assert!(metrics.rollbacks >= 1);
+}
+
+/// Acceptance: a 1-second budget on an oversubscribed instance returns
+/// a structured timeout (or a fallback mapping) within ~1.5 s, carrying
+/// partial-mapping statistics either way.
+#[test]
+fn one_second_budget_returns_structured_result_in_time() {
+    // 60 nodes on a 4x4 mesh with fast-test search settings: far more
+    // work than one second allows.
+    let dfg = mapzero::dfg::random::random_dfg(
+        "oversubscribed",
+        &mapzero::dfg::random::RandomDfgConfig {
+            nodes: 60,
+            edges: 75,
+            self_cycles: 0,
+            max_fanin: 3,
+            seed: 7,
+        },
+    );
+    let cgra = presets::simple_mesh(4, 4);
+    let mut compiler =
+        Compiler::new(MapZeroConfig::fast_test()).with_fallback(Box::new(SaMapper::default()));
+
+    let start = Instant::now();
+    let result = compiler.map_with_limit(&dfg, &cgra, Duration::from_secs(1));
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed <= Duration::from_millis(1500),
+        "budgeted map must return within ~1.5s, took {elapsed:?}"
+    );
+    match result {
+        Err(MapError::Timeout { best_partial }) => {
+            assert_eq!(best_partial.total_nodes, 60);
+            assert!(
+                best_partial.nodes_placed > 0 || best_partial.explored > 0,
+                "partial stats must show progress: {best_partial:?}"
+            );
+        }
+        Ok(report) => {
+            // Either engine may get lucky; the report must say which.
+            assert!(report.mapping.is_some());
+            assert!(report.engine == "MapZero" || report.engine == "SA");
+        }
+        Err(e) => panic!("expected Timeout or a mapping, got {e:?}"),
+    }
+}
+
+/// Graceful degradation: when the primary engine's budget is too small
+/// to do anything, the SA fallback still produces a mapping and the
+/// report credits it.
+#[test]
+fn sa_fallback_maps_when_primary_budget_is_exhausted() {
+    let cgra = presets::hrea();
+    let dfg = suite::by_name("sum").unwrap();
+    // 1 expansion: the primary cannot finish a single MCTS decision.
+    let config = MapZeroConfig { expansion_budget: Some(1), ..MapZeroConfig::fast_test() };
+    let mut compiler = Compiler::new(config).with_fallback(Box::new(SaMapper::default()));
+    let report = compiler.map(&dfg, &cgra).expect("SA maps `sum` easily");
+    assert_eq!(report.engine, "SA");
+    assert_eq!(report.mapper, "MapZero");
+    let mapping = report.mapping.expect("fallback produced a mapping");
+    assert!(mapping.validate(&dfg, &cgra).is_empty());
+}

@@ -10,7 +10,7 @@ use std::time::Duration;
 fn training_produces_finite_learning_curves() {
     let cgra = presets::simple_mesh(4, 4);
     let mut trainer = Trainer::new(cgra, NetConfig::tiny(), TrainConfig::fast_test());
-    let metrics = trainer.run();
+    let metrics = trainer.run().unwrap();
     assert!(!metrics.epochs.is_empty());
     for e in &metrics.epochs {
         assert!(e.total_loss.is_finite(), "epoch {}", e.epoch);
@@ -24,7 +24,7 @@ fn trained_weights_survive_checkpoint_round_trip() {
     let cgra = presets::simple_mesh(4, 4);
     let config = TrainConfig { epochs: 1, ..TrainConfig::fast_test() };
     let mut trainer = Trainer::new(cgra.clone(), NetConfig::tiny(), config);
-    let _ = trainer.run();
+    trainer.run().unwrap();
     let net = trainer.into_net();
 
     let dir = std::env::temp_dir().join("mapzero_ckpt_test");
@@ -48,7 +48,7 @@ fn compiler_uses_installed_pretrained_net() {
     let cgra = presets::simple_mesh(4, 4);
     let config = TrainConfig { epochs: 1, ..TrainConfig::fast_test() };
     let mut trainer = Trainer::new(cgra.clone(), NetConfig::tiny(), config);
-    let _ = trainer.run();
+    trainer.run().unwrap();
 
     let mut compiler = Compiler::new(MapZeroConfig::fast_test());
     compiler.install_net(trainer.into_net());

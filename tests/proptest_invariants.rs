@@ -143,3 +143,44 @@ proptest! {
         }
     }
 }
+
+// The supervisor contract (DESIGN.md §Robustness): whatever the DFG, a
+// tiny wall-clock budget is honoured to within 50 ms and the compiler
+// returns a structured result — never a panic, never a hang.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn tiny_budget_always_returns_within_deadline(
+        dfg in dfg_strategy(),
+        fabric in 0usize..2,
+    ) {
+        use mapzero::core::MapError;
+        let cgra = match fabric {
+            0 => presets::simple_mesh(4, 4),
+            _ => presets::hycube(),
+        };
+        let deadline = std::time::Duration::from_millis(30);
+        let mut compiler = Compiler::new(MapZeroConfig::fast_test());
+        let start = std::time::Instant::now();
+        let result = compiler.map_with_limit(&dfg, &cgra, deadline);
+        let elapsed = start.elapsed();
+        prop_assert!(
+            elapsed <= deadline + std::time::Duration::from_millis(50),
+            "map took {elapsed:?} against a {deadline:?} budget"
+        );
+        match result {
+            // A report (with or without a mapping) is a structured result.
+            Ok(report) => prop_assert_eq!(report.mapper, "MapZero"),
+            Err(MapError::Timeout { best_partial }) => {
+                prop_assert_eq!(best_partial.total_nodes, dfg.node_count());
+            }
+            // Structurally unmappable / unschedulable random DFGs are
+            // legitimate; internal faults are not.
+            Err(MapError::Internal(msg)) => {
+                return Err(TestCaseError::fail(format!("internal fault: {msg}")));
+            }
+            Err(_) => {}
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Minimal `criterion` API subset: benchmark groups, `Bencher::iter`,
+//! [`black_box`], and the `criterion_group!` / `criterion_main!`
+//! macros.
+//!
+//! This harness runs each benchmark a fixed number of iterations and
+//! prints mean wall-clock time per iteration — enough to execute the
+//! workspace's `benches/` targets offline. It performs no statistical
+//! analysis, warm-up scheduling, or HTML reporting.
+
+use std::hint;
+use std::time::Instant;
+
+/// Prevent the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: 10, _criterion: self }
+    }
+
+    /// Register a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self {
+        let name = name.as_ref();
+        run_one(name, 10, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self {
+        let name = name.as_ref();
+        run_one(&format!("{}/{}", self.name, name), self.samples, f);
+        self
+    }
+
+    /// Finish the group (no-op in this stand-in).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher { iters: samples as u64, elapsed_ns: 0 };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed_ns / bencher.iters.max(1);
+    println!("bench {label:<40} {per_iter:>12} ns/iter ({samples} samples)");
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, called once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    }
+}
+
+/// Bundle benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,14 @@
+//! Marker-trait subset of serde.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its data types
+//! but never invokes a serializer, so empty traits plus no-op derives
+//! are a faithful stand-in.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types declared serializable.
+pub trait Serialize {}
+
+/// Marker for types declared deserializable.
+pub trait Deserialize<'de>: Sized {}
