@@ -194,6 +194,7 @@ impl Mapper for ExactMapper {
             backtracks,
             explored,
             timed_out,
+            telemetry: None,
         })
     }
 }

@@ -241,6 +241,7 @@ impl Mapper for GaMapper {
             backtracks: generations,
             explored: evaluations,
             timed_out,
+            telemetry: None,
         })
     }
 }

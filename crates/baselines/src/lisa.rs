@@ -49,6 +49,7 @@ pub struct Labels {
 /// Compute the labels for a scheduled problem.
 #[must_use]
 pub fn compute_labels(problem: &Problem<'_>) -> Labels {
+    let _span = mapzero_obs::span!("lisa.labels");
     let dfg = problem.dfg();
     let cgra = problem.cgra();
     let schedule = problem.schedule();

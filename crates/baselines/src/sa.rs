@@ -90,6 +90,7 @@ pub(crate) fn anneal(
     rng: &mut SeedRng,
     deadline: Instant,
 ) -> (Option<Mapping>, u64, u64, bool) {
+    let _span = mapzero_obs::span!("sa.anneal");
     let mut annealings = 0u64;
     let mut proposals = 0u64;
 
@@ -187,6 +188,7 @@ pub(crate) fn run_annealing_mapper(
     time_limit: Duration,
 ) -> Result<MapReport, MapError> {
     let start = Instant::now();
+    let capture = mapzero_obs::RunCapture::begin();
     let deadline = start + time_limit;
     let mii = Problem::mii(dfg, cgra)?;
     let mut rng = SeedRng::new(config.seed ^ dfg.name().len() as u64);
@@ -212,6 +214,8 @@ pub(crate) fn run_annealing_mapper(
             break;
         }
     }
+    mapzero_obs::counter!("sa.annealings", annealings);
+    mapzero_obs::counter!("sa.proposals", proposals);
     Ok(MapReport {
         mapper: name.to_owned(),
         engine: name.to_owned(),
@@ -223,6 +227,7 @@ pub(crate) fn run_annealing_mapper(
         backtracks: annealings,
         explored: proposals,
         timed_out,
+        telemetry: capture.map(mapzero_obs::RunCapture::finish),
     })
 }
 

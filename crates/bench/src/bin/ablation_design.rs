@@ -9,7 +9,7 @@
 //! Each variant maps the same kernels; the table reports MII hits,
 //! time, and backtracks.
 
-use mapzero_bench::{print_table, write_csv, BenchMode};
+use mapzero_bench::{print_table, write_csv, BenchMode, Harness};
 use mapzero_core::network::{EncoderKind, MapZeroNet, NetConfig};
 use mapzero_core::{AgentConfig, MapZeroAgent, MctsConfig, Problem};
 
@@ -23,7 +23,10 @@ struct Variant {
 fn main() {
     let mode = BenchMode::from_env();
     let limit = mode.time_limit();
-    println!("Design-choice ablations ({mode:?} mode)\n");
+    let h = Harness::begin(
+        "ablation_design",
+        format!("Design-choice ablations ({mode:?} mode)"),
+    );
 
     let variants = [
         Variant { name: "baseline (GAT+PUCT+playout)", encoder: EncoderKind::Gat, use_priors: true, playout: true },
@@ -84,6 +87,7 @@ fn main() {
         rows.push(row);
     }
     print_table(&header, &rows);
-    println!("\nlower MII hits for a variant = that design choice matters");
+    h.note("\nlower MII hits for a variant = that design choice matters");
     write_csv("ablation_design", &csv);
+    h.finish();
 }

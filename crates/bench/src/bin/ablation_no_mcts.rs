@@ -3,7 +3,7 @@
 //! kernel × fabric cases still reach MII in time. The paper reports
 //! 35/52 without MCTS versus 52/52 with it.
 
-use mapzero_bench::{print_table, write_csv, BenchMode};
+use mapzero_bench::{print_table, write_csv, BenchMode, Harness};
 use mapzero_core::network::MapZeroNet;
 use mapzero_core::{AgentConfig, MapZeroAgent, Problem};
 use std::collections::HashMap;
@@ -11,7 +11,10 @@ use std::collections::HashMap;
 fn main() {
     let mode = BenchMode::from_env();
     let limit = mode.time_limit();
-    println!("§4.7 ablation: MapZero with and without MCTS ({mode:?} mode)\n");
+    let h = Harness::begin(
+        "ablation_no_mcts",
+        format!("§4.7 ablation: MapZero with and without MCTS ({mode:?} mode)"),
+    );
 
     let fabrics = mapzero_arch::presets::evaluation_fabrics();
     let kernels = mode.kernels();
@@ -30,7 +33,7 @@ fn main() {
             .or_insert_with(|| MapZeroNet::new(cgra.pe_count(), config.net));
         for name in &kernels {
             let dfg = mapzero_dfg::suite::by_name(name).expect("kernel exists");
-            eprintln!("running {} on {} …", name, cgra.name());
+            h.progress(format_args!("running {} on {}", name, cgra.name()));
             let Ok(mii) = Problem::mii(&dfg, cgra) else { continue };
             total += 1;
             let mut outcome = ["fail"; 2];
@@ -78,9 +81,10 @@ fn main() {
         }
     }
     print_table(&header, &rows);
-    println!(
+    h.note(format!(
         "\nwith MCTS: {with_ok}/{total} reached MII; without MCTS: {without_ok}/{total}"
-    );
-    println!("(paper: 52/52 with MCTS vs 35/52 without)");
+    ));
+    h.note("(paper: 52/52 with MCTS vs 35/52 without)");
     write_csv("ablation_no_mcts", &csv);
+    h.finish();
 }

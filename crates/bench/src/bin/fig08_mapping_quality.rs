@@ -3,11 +3,14 @@
 //! HyCube. A ratio of 1.0 is optimal; 0.0 marks a failed mapping
 //! ("II of failed mapping is set to 0").
 
-use mapzero_bench::{headtohead_results, print_table, write_csv, BenchMode};
+use mapzero_bench::{headtohead_results, print_table, write_csv, BenchMode, Harness};
 
 fn main() {
     let mode = BenchMode::from_env();
-    println!("Fig. 8: II ratio relative to MII ({mode:?} mode)\n");
+    let h = Harness::begin(
+        "fig08_mapping_quality",
+        format!("Fig. 8: II ratio relative to MII ({mode:?} mode)"),
+    );
     let results = headtohead_results(mode);
 
     let fabrics: Vec<String> = {
@@ -25,7 +28,7 @@ fn main() {
         "ii_ratio".to_owned(),
     ]];
     for fabric in &fabrics {
-        println!("--- {fabric} ---");
+        h.note(format!("--- {fabric} ---"));
         let kernels: Vec<String> = {
             let mut k: Vec<String> = results
                 .iter()
@@ -64,9 +67,10 @@ fn main() {
                 .fold((0usize, 0usize), |(ok, total), r| {
                     (ok + usize::from(r.ii != 0), total + 1)
                 });
-            println!("  {mapper}: {ok}/{total} mapped");
+            h.note(format!("  {mapper}: {ok}/{total} mapped"));
         }
         println!();
     }
     write_csv("fig08_mapping_quality", &csv);
+    h.finish();
 }

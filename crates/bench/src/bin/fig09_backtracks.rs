@@ -1,11 +1,14 @@
 //! Reproduces **Fig. 9**: the number of backtracking operations MapZero
 //! needs per benchmark on each target architecture.
 
-use mapzero_bench::{headtohead_results, print_table, write_csv, BenchMode};
+use mapzero_bench::{headtohead_results, print_table, write_csv, BenchMode, Harness};
 
 fn main() {
     let mode = BenchMode::from_env();
-    println!("Fig. 9: MapZero backtracking operations per benchmark ({mode:?} mode)\n");
+    let h = Harness::begin(
+        "fig09_backtracks",
+        format!("Fig. 9: MapZero backtracking operations per benchmark ({mode:?} mode)"),
+    );
     let results = headtohead_results(mode);
     let mapzero: Vec<_> = results.iter().filter(|r| r.mapper == "MapZero").collect();
 
@@ -35,10 +38,11 @@ fn main() {
     }
     print_table(&header, &rows);
     let total: u64 = mapzero.iter().map(|r| r.backtracks).sum();
-    println!(
+    h.note(format!(
         "\ntotal backtracks across {} runs: {} (the agent's decisions are highly accurate)",
         mapzero.len(),
         total
-    );
+    ));
     write_csv("fig09_backtracks", &csv);
+    h.finish();
 }

@@ -3,11 +3,14 @@
 //! is omitted, as in the paper: Gurobi's simplex iterations are not
 //! comparable to backtracks.)
 
-use mapzero_bench::{headtohead_results, print_table, write_csv, BenchMode};
+use mapzero_bench::{headtohead_results, print_table, write_csv, BenchMode, Harness};
 
 fn main() {
     let mode = BenchMode::from_env();
-    println!("Fig. 10: backtracks (MapZero) vs annealings (SA, LISA) on HyCube ({mode:?} mode)\n");
+    let h = Harness::begin(
+        "fig10_backtracks_vs_annealing",
+        format!("Fig. 10: backtracks (MapZero) vs annealings (SA, LISA) on HyCube ({mode:?} mode)"),
+    );
     let results = headtohead_results(mode);
     let hycube: Vec<_> = results.iter().filter(|r| r.fabric == "HyCube").collect();
 
@@ -29,8 +32,9 @@ fn main() {
         rows.push(row);
     }
     print_table(&header, &rows);
-    println!(
-        "\nnote: compilation time is not proportional to annealings — each annealing\nstep performs 100 random perturbations (§4.3)"
+    h.note(
+        "\nnote: compilation time is not proportional to annealings — each annealing\nstep performs 100 random perturbations (§4.3)",
     );
     write_csv("fig10_backtracks_vs_annealing", &csv);
+    h.finish();
 }

@@ -5,11 +5,14 @@
 //! HyCube). Timeout cases are excluded from the speedup geo-means, as
 //! in §4.3.
 
-use mapzero_bench::{geomean, headtohead_results, print_table, write_csv, BenchMode};
+use mapzero_bench::{geomean, headtohead_results, print_table, write_csv, BenchMode, Harness};
 
 fn main() {
     let mode = BenchMode::from_env();
-    println!("Fig. 11: compilation time (seconds, {mode:?} mode)\n");
+    let h = Harness::begin(
+        "fig11_compile_time",
+        format!("Fig. 11: compilation time (seconds, {mode:?} mode)"),
+    );
     let results = headtohead_results(mode);
 
     let mut fabrics: Vec<String> = results.iter().map(|r| r.fabric.clone()).collect();
@@ -25,7 +28,7 @@ fn main() {
         "success".to_owned(),
     ]];
     for fabric in &fabrics {
-        println!("--- {fabric} ---");
+        h.note(format!("--- {fabric} ---"));
         let mut kernels: Vec<String> = results
             .iter()
             .filter(|r| &r.fabric == fabric)
@@ -81,16 +84,17 @@ fn main() {
                 }
             }
             if ratios.is_empty() {
-                println!("  speedup vs {baseline}: n/a (no mutually-successful cases)");
+                h.note(format!("  speedup vs {baseline}: n/a (no mutually-successful cases)"));
             } else {
-                println!(
+                h.note(format!(
                     "  geo-mean speedup vs {baseline}: {:.1}x over {} cases",
                     geomean(&ratios),
                     ratios.len()
-                );
+                ));
             }
         }
         println!();
     }
     write_csv("fig11_compile_time", &csv);
+    h.finish();
 }

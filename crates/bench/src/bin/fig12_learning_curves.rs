@@ -3,7 +3,7 @@
 //! (c) policy loss, (d) average reward, (e) routing penalty in
 //! evaluation (> −100 means a successful mapping), (f) learning rate.
 
-use mapzero_bench::{print_table, write_csv, BenchMode};
+use mapzero_bench::{print_table, write_csv, BenchMode, Harness};
 use mapzero_core::network::NetConfig;
 use mapzero_core::{MctsConfig, TrainConfig, Trainer};
 use mapzero_nn::LrSchedule;
@@ -15,7 +15,10 @@ fn main() {
         BenchMode::Quick => (10, 4, NetConfig::tiny()),
         BenchMode::Full => (60, 12, NetConfig::default()),
     };
-    println!("Fig. 12: learning curves on HReA ({mode:?} mode: {epochs} epochs)\n");
+    let h = Harness::begin(
+        "fig12_learning_curves",
+        format!("Fig. 12: learning curves on HReA ({mode:?} mode: {epochs} epochs)"),
+    );
 
     let cgra = mapzero_arch::presets::hrea();
     let config = TrainConfig {
@@ -58,10 +61,13 @@ fn main() {
     let trained: Vec<_> =
         metrics.epochs.iter().filter(|e| e.total_loss > 0.0).collect();
     if let (Some(first), Some(last)) = (trained.first(), trained.last()) {
-        println!("\ntrend: total loss {:.3} -> {:.3}, reward {:.1} -> {:.1}, lr {:.4} -> {:.4}",
+        h.note(format!(
+            "\ntrend: total loss {:.3} -> {:.3}, reward {:.1} -> {:.1}, lr {:.4} -> {:.4}",
             first.total_loss, last.total_loss, first.avg_reward, last.avg_reward,
-            first.lr, last.lr);
-        println!("routing penalty > -100 in evaluation means a valid mapping (§4.4)");
+            first.lr, last.lr,
+        ));
+        h.note("routing penalty > -100 in evaluation means a valid mapping (§4.4)");
     }
     write_csv("fig12_learning_curves", &csv);
+    h.finish();
 }

@@ -3,15 +3,18 @@
 //! finds valid minimal-II mappings on every case while ILP/SA/LISA fail
 //! or time out on the large instances.
 
-use mapzero_bench::{print_table, run_all_mappers, write_csv, BenchMode, RawResult};
+use mapzero_bench::{print_table, run_all_mappers, write_csv, BenchMode, Harness, RawResult};
 use mapzero_core::Compiler;
 use std::collections::BTreeMap;
 
 fn main() {
     let mode = BenchMode::from_env();
     let limit = mode.time_limit();
-    println!(
-        "Fig. 13: compilation time for unrolled DFGs on 8x8 / 16x16 baselines\n({mode:?} mode, {limit:?} per attempt)\n"
+    let h = Harness::begin(
+        "fig13_scalability",
+        format!(
+            "Fig. 13: compilation time for unrolled DFGs on 8x8 / 16x16 baselines\n({mode:?} mode, {limit:?} per attempt)"
+        ),
     );
 
     let fabrics = [
@@ -25,7 +28,7 @@ fn main() {
             let dfg = mapzero_dfg::suite::by_name(name).expect("kernel exists");
             // The largest instances are only attempted on the fabric
             // that can hold them at a sane II.
-            eprintln!("running {} on {} …", name, cgra.name());
+            h.progress(format_args!("running {} on {}", name, cgra.name()));
             for report in run_all_mappers(&mut compiler, &dfg, cgra, limit) {
                 results.push(RawResult::from_report(&report));
             }
@@ -71,7 +74,8 @@ fn main() {
     }
     println!();
     for (mapper, (ok, total)) in summary {
-        println!("{mapper}: {ok}/{total} unrolled cases mapped");
+        h.note(format!("{mapper}: {ok}/{total} unrolled cases mapped"));
     }
     write_csv("fig13_scalability", &csv);
+    h.finish();
 }

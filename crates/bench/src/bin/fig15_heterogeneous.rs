@@ -2,7 +2,7 @@
 //! compilation-time ratio, and MapZero's backtracking count on the
 //! heterogeneous architecture of Fig. 14.
 
-use mapzero_bench::{print_table, run_or_fail, write_csv, BenchMode};
+use mapzero_bench::{print_table, run_or_fail, write_csv, BenchMode, Harness};
 use mapzero_baselines::ExactMapper;
 use mapzero_core::Compiler;
 
@@ -10,8 +10,11 @@ fn main() {
     let mode = BenchMode::from_env();
     let limit = mode.time_limit();
     let cgra = mapzero_arch::presets::heterogeneous();
-    println!(
-        "Fig. 15: MapZero vs CGRA-ME (ILP) on the Fig. 14 heterogeneous CGRA\n({mode:?} mode, {limit:?} per attempt)\n"
+    let h = Harness::begin(
+        "fig15_heterogeneous",
+        format!(
+            "Fig. 15: MapZero vs CGRA-ME (ILP) on the Fig. 14 heterogeneous CGRA\n({mode:?} mode, {limit:?} per attempt)"
+        ),
     );
 
     let mut compiler = Compiler::new(mode.mapzero_config());
@@ -21,7 +24,7 @@ fn main() {
     let mut csv = vec![header.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>()];
     for name in mode.kernels() {
         let dfg = mapzero_dfg::suite::by_name(name).expect("kernel exists");
-        eprintln!("running {name} …");
+        h.progress(format_args!("running {name}"));
         let mut ilp = ExactMapper::default();
         let r_ilp = run_or_fail(&mut ilp, &dfg, &cgra, limit);
         let r_mz = compiler
@@ -52,6 +55,7 @@ fn main() {
         rows.push(row);
     }
     print_table(&header, &rows);
-    println!("\nII ratio 1.00 = MapZero matches the exact mapper's (optimal) II");
+    h.note("\nII ratio 1.00 = MapZero matches the exact mapper's (optimal) II");
     write_csv("fig15_heterogeneous", &csv);
+    h.finish();
 }

@@ -2,6 +2,7 @@
 //! spawning the individual harness binaries (so each writes its own CSV
 //! and can also be run standalone).
 
+use mapzero_bench::Harness;
 use std::process::Command;
 
 const HARNESSES: [&str; 12] = [
@@ -20,6 +21,7 @@ const HARNESSES: [&str; 12] = [
 ];
 
 fn main() {
+    let h = Harness::begin("run_all", "Regenerating every table and figure");
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("binary directory");
     let mut failures = Vec::new();
@@ -39,9 +41,11 @@ fn main() {
         }
     }
     if failures.is_empty() {
-        println!("\nall {} experiment harnesses completed", HARNESSES.len());
+        h.note(format!("\nall {} experiment harnesses completed", HARNESSES.len()));
+        h.finish();
     } else {
         eprintln!("\nfailed harnesses: {failures:?}");
+        h.finish();
         std::process::exit(1);
     }
 }

@@ -1,11 +1,14 @@
 //! Reproduces the **§2.5.1** search-space size estimates: 14 nodes on a
 //! 4×4 CGRA ≈ 10¹³ placements, 60 nodes on an 8×8 ≈ 10⁸⁷.
 
-use mapzero_bench::{print_table, write_csv};
+use mapzero_bench::{print_table, write_csv, Harness};
 use mapzero_core::search_space::{log10_placements, log10_placements_temporal};
 
 fn main() {
-    println!("§2.5.1: search-space sizes (log10 of placement count)\n");
+    let h = Harness::begin(
+        "search_space",
+        "§2.5.1: search-space sizes (log10 of placement count)",
+    );
     let cases = [
         ("paper: 14 nodes, 4x4, II=1", 14u64, 16u64, 1u64),
         ("paper: 60 nodes, 8x8, II=1", 60, 64, 1),
@@ -34,6 +37,7 @@ fn main() {
         rows.push(row);
     }
     print_table(&header, &rows);
-    println!("\nthe paper quotes 16!/2 ~ 1e13 and 64!/4! ~ 1e87 for the first two rows");
+    h.note("\nthe paper quotes 16!/2 ~ 1e13 and 64!/4! ~ 1e87 for the first two rows");
     write_csv("search_space", &csv);
+    h.finish();
 }

@@ -2,10 +2,10 @@
 //! matrix.
 
 use mapzero_arch::{presets, Interconnect};
-use mapzero_bench::{print_table, write_csv};
+use mapzero_bench::{print_table, write_csv, Harness};
 
 fn main() {
-    println!("Table 1: Target CGRAs used in the evaluation\n");
+    let h = Harness::begin("table1_architectures", "Table 1: Target CGRAs used in the evaluation");
     let header = ["Fabric", "Size", "Mesh", "1-hop", "Diagonal", "Toroidal", "Crossbar", "Row mem bus"];
     let mut rows = Vec::new();
     for cgra in presets::table1() {
@@ -28,4 +28,5 @@ fn main() {
     let mut csv = vec![header.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>()];
     csv.extend(rows);
     write_csv("table1_architectures", &csv);
+    h.finish();
 }

@@ -1,11 +1,11 @@
 //! Reproduces **Table 2**: statistics of the benchmark DFGs. The
 //! vertex/edge counts are asserted against the paper's numbers.
 
-use mapzero_bench::{print_table, write_csv};
+use mapzero_bench::{print_table, write_csv, Harness};
 use mapzero_dfg::suite;
 
 fn main() {
-    println!("Table 2: Statistics of the benchmark DFGs (u = unrolled)\n");
+    let h = Harness::begin("table2_dfg_stats", "Table 2: Statistics of the benchmark DFGs (u = unrolled)");
     let header = ["Benchmark", "Vertices", "Edges", "Self-cycles", "Max fan-out", "Mem ops"];
     let mut rows = Vec::new();
     for spec in &suite::KERNELS {
@@ -23,9 +23,10 @@ fn main() {
         ]);
     }
     print_table(&header, &rows);
-    println!("\nall vertex/edge counts match Table 2 of the paper");
+    h.note("\nall vertex/edge counts match Table 2 of the paper");
 
     let mut csv = vec![header.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>()];
     csv.extend(rows);
     write_csv("table2_dfg_stats", &csv);
+    h.finish();
 }

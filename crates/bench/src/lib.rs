@@ -20,10 +20,12 @@ use mapzero_core::{
     AgentConfig, Compiler, MapReport, MapZeroConfig, Mapper, MctsConfig, TrainConfig,
 };
 use mapzero_dfg::Dfg;
+use mapzero_obs::json::Json;
+use std::fmt::Display;
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,6 +135,63 @@ impl BenchMode {
     }
 }
 
+/// Per-binary harness bracket: `begin` prints the title and hooks
+/// telemetry up to the environment (`MAPZERO_TRACE` /
+/// `MAPZERO_TELEMETRY`); `finish` folds the run's metric deltas into
+/// `results/BENCH_<name>.json` and flushes any trace sink. Counters are
+/// always live, so the JSON is populated even without the env vars.
+pub struct Harness {
+    name: &'static str,
+    before: mapzero_obs::metrics::MetricsSnapshot,
+    started: Instant,
+}
+
+impl Harness {
+    /// Open the harness: print the banner, initialise telemetry from
+    /// the environment, snapshot the metrics baseline.
+    #[must_use]
+    pub fn begin(name: &'static str, title: impl Display) -> Harness {
+        if let Some(path) = mapzero_obs::init_from_env() {
+            println!("[tracing to {path}]");
+        }
+        println!("{title}\n");
+        Harness {
+            name,
+            before: mapzero_obs::metrics::registry().snapshot(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Progress line on stderr (keeps stdout clean for tables).
+    pub fn progress(&self, msg: impl Display) {
+        eprintln!("{msg} …");
+    }
+
+    /// Commentary line on stdout (the qualitative claims under each
+    /// table).
+    pub fn note(&self, msg: impl Display) {
+        println!("{msg}");
+    }
+
+    /// Close the harness: write the per-run metrics JSON and flush any
+    /// installed trace sink.
+    pub fn finish(self) {
+        let delta =
+            mapzero_obs::metrics::registry().snapshot().delta(&self.before);
+        let json = Json::Obj(vec![
+            ("bench".to_owned(), Json::from(self.name)),
+            ("elapsed_secs".to_owned(), Json::Num(self.started.elapsed().as_secs_f64())),
+            ("metrics".to_owned(), delta.to_json()),
+        ]);
+        let path = results_dir().join(format!("BENCH_{}.json", self.name));
+        match fs::write(&path, json.to_string_compact() + "\n") {
+            Ok(()) => println!("[metrics written to {}]", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+        mapzero_obs::sink::flush();
+    }
+}
+
 /// All four mappers run on one instance, in the paper's order
 /// (ILP, SA, LISA, MapZero).
 pub fn run_all_mappers(
@@ -182,6 +241,7 @@ fn failed_report(name: &str, dfg: &Dfg, cgra: &Cgra) -> MapReport {
         backtracks: 0,
         explored: 0,
         timed_out: false,
+        telemetry: None,
     }
 }
 

@@ -93,6 +93,9 @@ pub struct EpisodeResult {
     /// how close the search got, even when backtracking later unwound
     /// the progress. Feeds partial-result reports on timeout.
     pub peak_placed: usize,
+    /// DFG edges routed in the final environment state (all of them on
+    /// success). Feeds partial-result reports on timeout.
+    pub routed_edges: u64,
 }
 
 /// The MapZero placement agent.
@@ -171,6 +174,8 @@ impl<'n> MapZeroAgent<'n> {
             };
             if let Some(mapping) = solution {
                 // Early exit: a rollout completed the mapping (§3.5).
+                mapzero_obs::counter!("agent.backtracks", backtracks);
+                mapzero_obs::counter!("agent.steps", steps);
                 return EpisodeResult {
                     mapping: Some(mapping),
                     backtracks,
@@ -179,6 +184,7 @@ impl<'n> MapZeroAgent<'n> {
                     trajectory,
                     timed_out: false,
                     peak_placed: problem.node_count(),
+                    routed_edges: problem.dfg().edge_count() as u64,
                 };
             }
             let observation =
@@ -201,6 +207,8 @@ impl<'n> MapZeroAgent<'n> {
             }
         }
 
+        mapzero_obs::counter!("agent.backtracks", backtracks);
+        mapzero_obs::counter!("agent.steps", steps);
         EpisodeResult {
             mapping: env.final_mapping(),
             backtracks,
@@ -209,6 +217,7 @@ impl<'n> MapZeroAgent<'n> {
             trajectory,
             timed_out,
             peak_placed,
+            routed_edges: env.routed_edge_count(),
         }
     }
 

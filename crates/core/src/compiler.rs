@@ -241,11 +241,60 @@ impl Compiler {
     ///    report's `engine` field records who produced the mapping.
     /// 3. A budget that expires with no mapping from either engine is
     ///    an error: [`MapError::Timeout`] carrying [`PartialMapStats`]
-    ///    (best II, peak nodes placed, backtracks, explored states).
+    ///    (best II, peak nodes placed, routed edges, backtracks,
+    ///    explored states).
+    /// 4. With telemetry enabled (see [`mapzero_obs`]), the whole call
+    ///    runs under a `compile.map` span and a run capture, and the
+    ///    returned report carries per-phase budget attribution in
+    ///    `MapReport::telemetry`.
     ///
     /// # Errors
     /// Same contract as [`Compiler::map`].
     pub fn map_with_budget(
+        &mut self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        budget: &Budget,
+    ) -> Result<MapReport, MapError> {
+        let _span = mapzero_obs::span!("compile.map");
+        let capture = mapzero_obs::RunCapture::begin();
+        let result = self.map_attempts(dfg, cgra, budget);
+        match &result {
+            Ok(report) if report.engine == report.mapper => {
+                mapzero_obs::counter!("compile.success");
+            }
+            Ok(_) => mapzero_obs::counter!("compile.fallback_success"),
+            Err(e) => {
+                let name = match e {
+                    MapError::Unmappable(_) => "compile.err.unmappable",
+                    MapError::NoSchedule(_) => "compile.err.no_schedule",
+                    MapError::Timeout { .. } => "compile.err.timeout",
+                    MapError::Diverged { .. } => "compile.err.diverged",
+                    MapError::Internal(_) => "compile.err.internal",
+                };
+                mapzero_obs::metrics::registry().counter(name).inc();
+                if let MapError::Timeout { best_partial } = e {
+                    mapzero_obs::gauge!(
+                        "compile.partial.nodes_placed",
+                        best_partial.nodes_placed as u64
+                    );
+                    mapzero_obs::gauge!(
+                        "compile.partial.routed_edges",
+                        best_partial.routed_edges
+                    );
+                }
+            }
+        }
+        result.map(|mut report| {
+            report.telemetry = capture.map(mapzero_obs::RunCapture::finish);
+            report
+        })
+    }
+
+    /// The unsupervised body of [`Compiler::map_with_budget`] — the
+    /// wrapper adds the run-level telemetry capture and outcome
+    /// counters around it.
+    fn map_attempts(
         &mut self,
         dfg: &Dfg,
         cgra: &Cgra,
@@ -303,6 +352,7 @@ impl Compiler {
                     stats.backtracks += result.backtracks;
                     stats.explored += result.steps;
                     stats.nodes_placed = stats.nodes_placed.max(result.peak_placed);
+                    stats.routed_edges = stats.routed_edges.max(result.routed_edges);
                     timed_out |= result.timed_out;
                     if let Some(m) = result.mapping {
                         stats.best_ii = Some(m.ii);
@@ -328,6 +378,7 @@ impl Compiler {
                         if let Some(m) = rep.mapping {
                             stats.best_ii = Some(m.ii);
                             stats.nodes_placed = dfg.node_count();
+                            stats.routed_edges = dfg.edge_count() as u64;
                             engine = fb.name().to_owned();
                             mapping = Some(m);
                         }
@@ -351,6 +402,7 @@ impl Compiler {
             backtracks: stats.backtracks,
             explored: stats.explored,
             timed_out,
+            telemetry: None,
         })
     }
 }

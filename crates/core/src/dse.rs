@@ -260,6 +260,7 @@ mod tests {
                 backtracks: 0,
                 explored: 0,
                 timed_out: false,
+                telemetry: None,
             })
         }
     }

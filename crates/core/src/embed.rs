@@ -31,6 +31,7 @@ pub struct Observation {
 /// and the mask is all-false; callers should not query the policy then.
 #[must_use]
 pub fn observe(env: &MapEnv<'_>) -> Observation {
+    let _phase = mapzero_obs::phase::phase_guard(mapzero_obs::Phase::Embed);
     let problem = env.problem();
     let dfg = problem.dfg();
     let cgra = problem.cgra();

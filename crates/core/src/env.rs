@@ -124,6 +124,12 @@ impl<'a> MapEnv<'a> {
         &self.placements
     }
 
+    /// Number of DFG edges with a committed route right now.
+    #[must_use]
+    pub fn routed_edge_count(&self) -> u64 {
+        self.routes.iter().filter(|r| r.is_some()).count() as u64
+    }
+
     /// Occupancy of the modulo slice the current node is scheduled into
     /// (for the CGRA feature encoder); empty-slice view when done.
     #[must_use]

@@ -153,6 +153,9 @@ pub struct PartialMapStats {
     pub backtracks: u64,
     /// Placement attempts explored across all attempts.
     pub explored: u64,
+    /// Most DFG edges simultaneously routed in any attempt — the
+    /// routing-side complement of `nodes_placed`.
+    pub routed_edges: u64,
 }
 
 impl fmt::Display for PartialMapStats {
@@ -161,7 +164,11 @@ impl fmt::Display for PartialMapStats {
             Some(ii) => write!(f, "best II {ii}")?,
             None => write!(f, "{}/{} nodes placed", self.nodes_placed, self.total_nodes)?,
         }
-        write!(f, ", {} backtracks, {} explored", self.backtracks, self.explored)
+        write!(
+            f,
+            ", {} edges routed, {} backtracks, {} explored",
+            self.routed_edges, self.backtracks, self.explored
+        )
     }
 }
 
@@ -191,6 +198,10 @@ pub struct MapReport {
     pub explored: u64,
     /// Whether the attempt hit its time limit.
     pub timed_out: bool,
+    /// Per-phase budget attribution and metric deltas for this run —
+    /// `Some` when telemetry was enabled (see `mapzero_obs`), `None`
+    /// otherwise and for mappers that don't capture it.
+    pub telemetry: Option<mapzero_obs::RunTelemetry>,
 }
 
 impl MapReport {
@@ -412,6 +423,7 @@ mod tests {
             backtracks: 0,
             explored: 1,
             timed_out: false,
+            telemetry: None,
         };
         assert!((report.ii_ratio() - 0.5).abs() < 1e-9);
         let failed = MapReport { mapping: None, ..report };
@@ -427,6 +439,7 @@ mod tests {
             total_nodes: 12,
             backtracks: 3,
             explored: 40,
+            routed_edges: 5,
         };
         let errors = [
             MapError::Unmappable("no memory PE".into()),
@@ -454,6 +467,7 @@ mod tests {
             total_nodes: 12,
             backtracks: 0,
             explored: 5,
+            routed_edges: 11,
         };
         assert!(stats.to_string().contains("best II 3"));
     }

@@ -158,6 +158,8 @@ impl<'n> Mcts<'n> {
     /// Panics if the episode is already done or no action is legal.
     pub fn search_with_budget(&mut self, root_env: &MapEnv<'_>, budget: &Budget) -> SearchResult {
         assert!(!root_env.done(), "search requires an unfinished episode");
+        let _span = mapzero_obs::span!("mcts.search");
+        let _phase = mapzero_obs::phase::phase_guard(mapzero_obs::Phase::Expand);
         self.reset();
         let (root, _) = self.expand(root_env);
         self.root = root;
@@ -174,6 +176,7 @@ impl<'n> Mcts<'n> {
             }
             let before = self.nodes.len();
             let mut env = root_env.clone();
+            mapzero_obs::counter!("mcts.simulations");
             let value = self.simulate(self.root, &mut env, &mut solution);
             budget.charge((self.nodes.len() - before) as u64);
             root_return += value;
@@ -268,6 +271,7 @@ impl<'n> Mcts<'n> {
     /// Create a tree node for the environment state; returns the node
     /// index and the network's value estimate.
     fn expand(&mut self, env: &MapEnv<'_>) -> (usize, f64) {
+        mapzero_obs::counter!("mcts.expansions");
         let legal = env.legal_actions();
         if legal.is_empty() {
             // Dead end: a scheduled node has no legal PE. Record an
@@ -307,6 +311,7 @@ impl<'n> Mcts<'n> {
     /// placed parents, with random tie-breaking. Returns the normalized
     /// return of the playout and records any complete mapping found.
     fn playout(&mut self, env: &mut MapEnv<'_>, solution: &mut Option<Mapping>) -> f64 {
+        mapzero_obs::counter!("mcts.playouts");
         let cgra = env.problem().cgra();
         let dfg = env.problem().dfg();
         let mut acc = 0.0f64;
@@ -383,6 +388,7 @@ impl<'n> Mcts<'n> {
 
     /// UCT / PUCT selection over the edges of `node`.
     fn select_edge(&self, node: usize) -> usize {
+        mapzero_obs::counter!("mcts.selections");
         let n = &self.nodes[node];
         let parent_visits = f64::from(n.visits.max(1));
         let mut best = 0;

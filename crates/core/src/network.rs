@@ -279,12 +279,21 @@ impl MapZeroNet {
     #[must_use]
     pub fn predict(&self, obs: &Observation) -> Prediction {
         assert_eq!(obs.mask.len(), self.action_count, "mask/action mismatch");
+        let _phase = mapzero_obs::phase::phase_guard(mapzero_obs::Phase::Infer);
+        let started = mapzero_obs::enabled().then(std::time::Instant::now);
         let mut g = Graph::new();
         let (log_probs, value) = self.forward(&mut g, obs);
-        Prediction {
+        let prediction = Prediction {
             log_probs: g.value(log_probs).data().to_vec(),
             value: g.value(value)[(0, 0)],
+        };
+        if let Some(start) = started {
+            mapzero_obs::observe!(
+                "nn.forward_us",
+                u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+            );
         }
+        prediction
     }
 
     /// One optimization step on a batch of samples, minimizing
@@ -294,6 +303,8 @@ impl MapZeroNet {
     /// Panics on an empty batch.
     pub fn train_batch(&mut self, batch: &[TrainSample], lr: f32, clip: f32) -> LossBreakdown {
         assert!(!batch.is_empty(), "batch must not be empty");
+        let _phase = mapzero_obs::phase::phase_guard(mapzero_obs::Phase::Backprop);
+        let started = mapzero_obs::enabled().then(std::time::Instant::now);
         self.params.zero_grads();
         let mut value_loss_total = 0.0f32;
         let mut policy_loss_total = 0.0f32;
@@ -327,6 +338,12 @@ impl MapZeroNet {
         self.params.zero_grads();
         let value_loss = value_loss_total * scale;
         let policy_loss = policy_loss_total * scale;
+        if let Some(start) = started {
+            mapzero_obs::observe!(
+                "nn.train_us",
+                u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+            );
+        }
         LossBreakdown { value_loss, policy_loss, total: value_loss + policy_loss, grad_norm }
     }
 }

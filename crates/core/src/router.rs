@@ -53,17 +53,23 @@ pub fn route_edge(
     // Chaos-testing hook: robustness tests arm a countdown panic here to
     // prove the supervisor contains faults from deep inside the mapper.
     crate::supervise::route_fault_point();
+    let _phase = mapzero_obs::phase::phase_guard(mapzero_obs::Phase::Route);
     let ii = ledger.ii();
     let deadline = to.time + dist * ii;
     debug_assert!(from.time < deadline, "schedule must leave at least one cycle");
-    match cgra.style() {
+    let result = match cgra.style() {
         RoutingStyle::NeighborRegister => {
             route_registered(cgra, ledger, src, from.pe, from.time, to.pe, deadline)
         }
         RoutingStyle::CircuitSwitched => {
             route_circuit_switched(cgra, ledger, src, from.pe, from.time, to.pe, deadline)
         }
+    };
+    match &result {
+        Some(_) => mapzero_obs::counter!("route.routed"),
+        None => mapzero_obs::counter!("route.conflicts"),
     }
+    result
 }
 
 /// Dijkstra over `(pe, cycle)` states for registered neighbour routing.

@@ -277,18 +277,21 @@ impl Trainer {
                 metrics.epochs.push(m);
                 snapshot = self.net.params.clone();
                 epoch += 1;
+                mapzero_obs::counter!("train.epochs");
                 continue;
             }
             if retries >= self.config.max_retries {
                 // Leave the network in its last healthy state.
                 self.net.restore_params(snapshot);
                 metrics.rollbacks += 1;
+                mapzero_obs::counter!("train.rollbacks");
                 return Err(TrainError::Diverged { epoch });
             }
             self.net.restore_params(snapshot.clone());
             lr_penalty *= 0.5;
             retries += 1;
             metrics.rollbacks += 1;
+            mapzero_obs::counter!("train.rollbacks");
         }
         Ok(metrics)
     }
@@ -308,6 +311,7 @@ impl Trainer {
         lr_penalty: f32,
         inject_nan: bool,
     ) -> (EpochMetrics, f32) {
+        let _span = mapzero_obs::span!("train.epoch");
         let lr = self.config.lr.at(epoch) * lr_penalty;
         // Curriculum position advances with the epoch, easy -> hard.
         let span = self.curriculum.len().max(1);
@@ -327,6 +331,7 @@ impl Trainer {
                 }
             }
         }
+        mapzero_obs::gauge!("replay.occupancy", self.buffer.len() as u64);
 
         // Gradient updates.
         let mut vloss = 0.0f32;

@@ -1,0 +1,84 @@
+//! Fold a JSONL trace (`MAPZERO_TRACE` output) into a per-span-name
+//! time table for quick diffing between runs.
+//!
+//! ```text
+//! trace_summary out.jsonl            # aggregate table
+//! trace_summary --check out.jsonl    # schema validation only (CI gate)
+//! ```
+//!
+//! Exit status is non-zero when the file is missing or any line fails
+//! schema validation.
+
+use mapzero_obs::summary::format_duration;
+use mapzero_obs::TraceEvent;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Duration;
+
+#[derive(Default)]
+struct SpanStats {
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (check_only, path) = match args.as_slice() {
+        [flag, path] if flag == "--check" => (true, path.clone()),
+        [path] => (false, path.clone()),
+        _ => {
+            eprintln!("usage: trace_summary [--check] <trace.jsonl>");
+            return ExitCode::from(2);
+        }
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_summary: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut stats: BTreeMap<String, SpanStats> = BTreeMap::new();
+    let mut events = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = match TraceEvent::from_json_line(line) {
+            Ok(e) => e,
+            Err(msg) => {
+                eprintln!("trace_summary: {path}:{}: {msg}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        events += 1;
+        let entry = stats.entry(event.name).or_default();
+        entry.count += 1;
+        entry.total_us += event.dur_us;
+        entry.max_us = entry.max_us.max(event.dur_us);
+    }
+
+    if check_only {
+        println!("{path}: {events} events, schema OK");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut rows: Vec<(String, SpanStats)> = stats.into_iter().collect();
+    rows.sort_by_key(|row| std::cmp::Reverse(row.1.total_us));
+    println!("{:<28} {:>8} {:>12} {:>12} {:>12}", "span", "count", "total", "mean", "max");
+    for (name, s) in &rows {
+        let mean_us = s.total_us.checked_div(s.count).unwrap_or(0);
+        println!(
+            "{name:<28} {:>8} {:>12} {:>12} {:>12}",
+            s.count,
+            format_duration(Duration::from_micros(s.total_us)),
+            format_duration(Duration::from_micros(mean_us)),
+            format_duration(Duration::from_micros(s.max_us)),
+        );
+    }
+    println!("{events} events total");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,96 @@
+//! Telemetry for the MapZero compile pipeline.
+//!
+//! Three cooperating layers, all dependency-free and near-zero cost
+//! when disabled (see DESIGN.md §7):
+//!
+//! 1. [`metrics`] — a lock-free registry of named atomic counters,
+//!    gauges and fixed-bucket histograms ([`counter!`], [`gauge!`],
+//!    [`observe!`]). Counters are always live: a relaxed `fetch_add`
+//!    costs nanoseconds next to a network forward pass.
+//! 2. [`trace`] / [`sink`] — `span!("mcts.expand")` scopes that emit
+//!    JSONL events to an installed [`sink::TelemetrySink`]
+//!    (file-backed via `MAPZERO_TRACE`, in-memory for tests).
+//! 3. [`phase`] — per-phase budget attribution: [`phase::phase_guard`]
+//!    charges elapsed wall-clock to the innermost active
+//!    [`Phase`], and [`RunCapture`] turns the global deltas into the
+//!    [`RunTelemetry`] carried by `MapReport::telemetry`.
+//!
+//! Phase timing and run capture are gated on the global [`enabled`]
+//! flag; span tracing additionally requires an installed sink.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! mapzero_obs::set_enabled(true);
+//! let sink = Arc::new(mapzero_obs::sink::MemorySink::new());
+//! mapzero_obs::sink::install_sink(sink.clone());
+//!
+//! let capture = mapzero_obs::RunCapture::begin().expect("enabled");
+//! {
+//!     let _span = mapzero_obs::span!("demo.work");
+//!     let _phase = mapzero_obs::phase::phase_guard(mapzero_obs::Phase::Route);
+//!     mapzero_obs::counter!("demo.items", 3);
+//! }
+//! let run = capture.finish();
+//! assert_eq!(run.counter("demo.items"), 3);
+//! mapzero_obs::sink::uninstall_sink();
+//! assert_eq!(sink.take().len(), 1);
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod phase;
+pub mod sink;
+pub mod summary;
+pub mod trace;
+
+pub use phase::{Phase, PhaseLedger, RunCapture, RunTelemetry, PHASES};
+pub use trace::TraceEvent;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether telemetry (phase timing + run capture) is on. One relaxed
+/// load — the fast path of every timing-based instrument.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn telemetry on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Environment-driven initialization: when `MAPZERO_TRACE` names a
+/// file, enable telemetry and install a JSONL file sink writing there;
+/// when `MAPZERO_TELEMETRY` is set (to anything but `0`), enable
+/// telemetry without a sink. Returns the trace path when a sink was
+/// installed.
+pub fn init_from_env() -> Option<String> {
+    if let Ok(path) = std::env::var("MAPZERO_TRACE") {
+        if !path.is_empty() {
+            match sink::JsonlFileSink::create(&path) {
+                Ok(file_sink) => {
+                    sink::install_sink(std::sync::Arc::new(file_sink));
+                    return Some(path);
+                }
+                Err(e) => eprintln!("MAPZERO_TRACE: cannot create {path}: {e}"),
+            }
+        }
+    }
+    match std::env::var("MAPZERO_TELEMETRY") {
+        Ok(v) if v != "0" => set_enabled(true),
+        _ => {}
+    }
+    None
+}
+
+/// Serializes tests that flip process-global telemetry state.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

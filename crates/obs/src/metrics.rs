@@ -1,0 +1,398 @@
+//! Lock-free metrics registry.
+//!
+//! Counters, gauges and fixed-bucket histograms keyed by a static name.
+//! Registration (first use of a name) takes a mutex; every subsequent
+//! update goes through a cached [`Arc`] handle and is a single relaxed
+//! atomic RMW, so hot paths never contend on a lock. The update path is
+//! exact under concurrency: `fetch_add` never loses increments, which
+//! the crate's proptest asserts across thread counts.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge (e.g. replay-buffer occupancy).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of exponential buckets: bucket `i` holds values whose
+/// bit-length is `i` (i.e. `v == 0` → bucket 0, else `64 - v.leading_zeros()`),
+/// so the range 1 µs .. ~1 minute of microsecond latencies is covered
+/// with power-of-two resolution.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A fixed-bucket histogram with exponential (power-of-two) buckets.
+///
+/// `count` and `sum` are exact; the bucket array gives the shape. All
+/// updates are relaxed atomics — no locks, no lost updates.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        let bits = 64 - value.leading_zeros() as usize;
+        let idx = bits.min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration in microseconds.
+    pub fn record_duration_us(&self, d: Duration) {
+        self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Immutable copy of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Per-bucket observation counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.sum as f64 / self.count as f64
+            }
+        }
+    }
+
+    /// This snapshot minus an earlier one (saturating).
+    #[must_use]
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(earlier.buckets.iter().chain(std::iter::repeat(&0)))
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+        }
+    }
+}
+
+/// The global name → instrument map.
+///
+/// The cold path (name lookup) locks; hot paths keep the returned
+/// handle (see [`crate::counter!`]) and never come back here.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if the registry mutex was poisoned (a prior panic while
+    /// registering — not reachable from safe use).
+    #[must_use]
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(self.counters.lock().expect("registry poisoned").entry(name).or_default())
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if the registry mutex was poisoned.
+    #[must_use]
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(self.gauges.lock().expect("registry poisoned").entry(name).or_default())
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if the registry mutex was poisoned.
+    #[must_use]
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        Arc::clone(self.histograms.lock().expect("registry poisoned").entry(name).or_default())
+    }
+
+    /// Point-in-time copy of every registered instrument.
+    ///
+    /// # Panics
+    /// Panics if a registry mutex was poisoned.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(&k, v)| (k.to_owned(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(&k, v)| (k.to_owned(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(&k, v)| (k.to_owned(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide registry.
+#[must_use]
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Point-in-time copy of the registry contents.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// This snapshot minus an earlier one: counters and histograms are
+    /// subtracted (saturating), gauges keep their latest value. Used to
+    /// attribute global metrics to one compile run.
+    #[must_use]
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, &v)| {
+                    (k.clone(), v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0)))
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| {
+                    let base = earlier.histograms.get(k).cloned().unwrap_or_default();
+                    (k.clone(), v.delta(&base))
+                })
+                .collect(),
+        }
+    }
+
+    /// Render as a JSON object `{counters: {...}, gauges: {...},
+    /// histograms: {name: {count, sum, mean}}}`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let counters =
+            self.counters.iter().map(|(k, &v)| (k.clone(), Json::from(v))).collect::<Vec<_>>();
+        let gauges =
+            self.gauges.iter().map(|(k, &v)| (k.clone(), Json::from(v))).collect::<Vec<_>>();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    Json::obj(vec![
+                        ("count", Json::from(v.count)),
+                        ("sum", Json::from(v.sum)),
+                        ("mean", Json::from(v.mean())),
+                    ]),
+                )
+            })
+            .collect::<Vec<_>>();
+        Json::Obj(vec![
+            ("counters".to_owned(), Json::Obj(counters)),
+            ("gauges".to_owned(), Json::Obj(gauges)),
+            ("histograms".to_owned(), Json::Obj(histograms)),
+        ])
+    }
+}
+
+/// Bump a named counter through a call-site-cached handle: the registry
+/// lock is taken once per call site, after which each hit is a single
+/// relaxed `fetch_add`.
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {
+        $crate::counter!($name, 1)
+    };
+    ($name:literal, $n:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Counter>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::metrics::registry().counter($name)).add($n);
+    }};
+}
+
+/// Set a named gauge through a call-site-cached handle.
+#[macro_export]
+macro_rules! gauge {
+    ($name:literal, $value:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Gauge>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::metrics::registry().gauge($name)).set($value);
+    }};
+}
+
+/// Record an observation into a named histogram through a
+/// call-site-cached handle.
+#[macro_export]
+macro_rules! observe {
+    ($name:literal, $value:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Histogram>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::metrics::registry().histogram($name)).record($value);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let r = Registry::default();
+        let c = r.counter("t.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(r.snapshot().counters["t.count"], 5);
+        // Same name → same instrument.
+        r.counter("t.count").inc();
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_the_range() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(3);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.buckets[0], 1); // value 0
+        assert_eq!(s.buckets[1], 1); // value 1
+        assert_eq!(s.buckets[2], 1); // values 2..=3
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1); // clamp
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts() {
+        let r = Registry::default();
+        let c = r.counter("d.count");
+        let h = r.histogram("d.hist");
+        c.add(3);
+        h.record(10);
+        let before = r.snapshot();
+        c.add(2);
+        h.record(20);
+        let after = r.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.counters["d.count"], 2);
+        assert_eq!(d.histograms["d.hist"].count, 1);
+        assert_eq!(d.histograms["d.hist"].sum, 20);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let r = Registry::default();
+        r.counter("j.count").add(7);
+        r.histogram("j.hist").record(4);
+        let json = r.snapshot().to_json();
+        let text = json.to_string_compact();
+        let back = crate::json::parse(&text).unwrap();
+        assert_eq!(back.get("counters").and_then(|c| c.get("j.count")).and_then(Json::as_u64), Some(7));
+        assert_eq!(
+            back.get("histograms")
+                .and_then(|h| h.get("j.hist"))
+                .and_then(|h| h.get("sum"))
+                .and_then(Json::as_u64),
+            Some(4)
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! Per-phase budget attribution.
+//!
+//! The compile pipeline spends its supervision `Budget` across five
+//! phases: graph embedding, policy/value inference, MCTS
+//! expansion, routing, and backprop (training). A thread-local phase
+//! stack charges elapsed wall-clock to the *innermost* active phase
+//! (self-time, not inclusive time), so the per-phase durations of one
+//! thread partition its time and their sum can never exceed total
+//! elapsed — the invariant `MapReport::telemetry` relies on.
+
+use crate::enabled;
+use crate::json::Json;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A pipeline phase charged against the compile budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// DFG / fabric graph embedding (observation construction).
+    Embed,
+    /// Policy/value network forward passes.
+    Infer,
+    /// MCTS node expansion and tree search bookkeeping.
+    Expand,
+    /// Operand routing on the modulo resource graph.
+    Route,
+    /// Network training (backprop).
+    Backprop,
+}
+
+/// Every phase, in display order.
+pub const PHASES: [Phase; 5] =
+    [Phase::Embed, Phase::Infer, Phase::Expand, Phase::Route, Phase::Backprop];
+
+impl Phase {
+    /// Stable lower-case name used in traces and JSON.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Embed => "embed",
+            Phase::Infer => "infer",
+            Phase::Expand => "expand",
+            Phase::Route => "route",
+            Phase::Backprop => "backprop",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Embed => 0,
+            Phase::Infer => 1,
+            Phase::Expand => 2,
+            Phase::Route => 3,
+            Phase::Backprop => 4,
+        }
+    }
+}
+
+/// Global nanosecond ledger, one slot per phase.
+static LEDGER: [AtomicU64; 5] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+thread_local! {
+    static STACK: RefCell<PhaseStack> = const { RefCell::new(PhaseStack { stack: Vec::new(), last: None }) };
+}
+
+struct PhaseStack {
+    stack: Vec<Phase>,
+    /// When the innermost phase last started accruing self-time.
+    last: Option<Instant>,
+}
+
+impl PhaseStack {
+    /// Charge elapsed-since-`last` to the innermost active phase.
+    fn charge_top(&mut self, now: Instant) {
+        if let (Some(&top), Some(last)) = (self.stack.last(), self.last) {
+            let nanos = u64::try_from(now.duration_since(last).as_nanos()).unwrap_or(u64::MAX);
+            LEDGER[top.index()].fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+}
+
+/// RAII guard marking the current thread as inside `phase`; created by
+/// [`phase_guard`]. While nested phases are active, time accrues to the
+/// innermost one only.
+#[derive(Debug)]
+pub struct PhaseGuard {
+    active: bool,
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        STACK.with(|cell| {
+            let mut s = cell.borrow_mut();
+            let now = Instant::now();
+            s.charge_top(now);
+            s.stack.pop();
+            s.last = if s.stack.is_empty() { None } else { Some(now) };
+        });
+    }
+}
+
+/// Enter `phase` on this thread until the returned guard drops.
+/// Near-zero cost (one relaxed load, no clock read) when telemetry is
+/// disabled.
+#[must_use]
+pub fn phase_guard(phase: Phase) -> PhaseGuard {
+    if !enabled() {
+        return PhaseGuard { active: false };
+    }
+    STACK.with(|cell| {
+        let mut s = cell.borrow_mut();
+        let now = Instant::now();
+        s.charge_top(now);
+        s.stack.push(phase);
+        s.last = Some(now);
+    });
+    PhaseGuard { active: true }
+}
+
+/// Point-in-time copy of the global per-phase time ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseLedger {
+    nanos: [u64; 5],
+}
+
+impl PhaseLedger {
+    /// Read the current global ledger.
+    #[must_use]
+    pub fn snapshot() -> PhaseLedger {
+        PhaseLedger { nanos: std::array::from_fn(|i| LEDGER[i].load(Ordering::Relaxed)) }
+    }
+
+    /// Time attributed to one phase.
+    #[must_use]
+    pub fn get(&self, phase: Phase) -> Duration {
+        Duration::from_nanos(self.nanos[phase.index()])
+    }
+
+    /// Sum over all phases.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.nanos.iter().map(|&n| Duration::from_nanos(n)).sum()
+    }
+
+    /// This ledger minus an earlier snapshot (saturating).
+    #[must_use]
+    pub fn delta(&self, earlier: &PhaseLedger) -> PhaseLedger {
+        PhaseLedger {
+            nanos: std::array::from_fn(|i| self.nanos[i].saturating_sub(earlier.nanos[i])),
+        }
+    }
+}
+
+/// Telemetry attached to one compile run (`MapReport::telemetry`):
+/// the per-phase budget attribution plus counter/histogram deltas
+/// accumulated between run start and end.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunTelemetry {
+    /// Self-time per phase over the run.
+    pub phases: PhaseLedger,
+    /// Counter deltas over the run, by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram `(count, sum)` deltas over the run, by metric name.
+    pub histograms: BTreeMap<String, (u64, u64)>,
+}
+
+impl RunTelemetry {
+    /// Counter delta by name (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Render as a JSON object (the schema of `MapReport::telemetry` in
+    /// bench emissions): `{phases: {embed_us, ...}, counters: {...},
+    /// histograms: {name: {count, sum}}}`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let phases = PHASES
+            .iter()
+            .map(|&p| {
+                (
+                    format!("{}_us", p.name()),
+                    Json::from(u64::try_from(self.phases.get(p).as_micros()).unwrap_or(u64::MAX)),
+                )
+            })
+            .collect::<Vec<_>>();
+        let counters =
+            self.counters.iter().map(|(k, &v)| (k.clone(), Json::from(v))).collect::<Vec<_>>();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, &(count, sum))| {
+                (
+                    k.clone(),
+                    Json::obj(vec![("count", Json::from(count)), ("sum", Json::from(sum))]),
+                )
+            })
+            .collect::<Vec<_>>();
+        Json::Obj(vec![
+            ("phases".to_owned(), Json::Obj(phases)),
+            ("counters".to_owned(), Json::Obj(counters)),
+            ("histograms".to_owned(), Json::Obj(histograms)),
+        ])
+    }
+}
+
+/// Captures registry + ledger state at run start so the end-of-run
+/// delta can be attributed to that run.
+///
+/// Attribution is process-global: two compiles running concurrently in
+/// one process will see each other's metrics in their deltas. The
+/// pipeline compiles one kernel at a time per process, so this is the
+/// documented trade-off for keeping the update path lock-free.
+#[derive(Debug)]
+pub struct RunCapture {
+    metrics: crate::metrics::MetricsSnapshot,
+    ledger: PhaseLedger,
+}
+
+impl RunCapture {
+    /// Snapshot current state; call at run start. Returns `None` when
+    /// telemetry is disabled, so disabled runs skip both snapshots.
+    #[must_use]
+    pub fn begin() -> Option<RunCapture> {
+        if !enabled() {
+            return None;
+        }
+        Some(RunCapture {
+            metrics: crate::metrics::registry().snapshot(),
+            ledger: PhaseLedger::snapshot(),
+        })
+    }
+
+    /// Delta between now and [`RunCapture::begin`].
+    #[must_use]
+    pub fn finish(self) -> RunTelemetry {
+        let metrics = crate::metrics::registry().snapshot().delta(&self.metrics);
+        RunTelemetry {
+            phases: PhaseLedger::snapshot().delta(&self.ledger),
+            counters: metrics.counters,
+            histograms: metrics
+                .histograms
+                .into_iter()
+                .map(|(k, v)| (k, (v.count, v.sum)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{set_enabled, test_lock};
+
+    #[test]
+    fn nested_phases_partition_time() {
+        let _serial = test_lock();
+        set_enabled(true);
+        let before = PhaseLedger::snapshot();
+        let start = Instant::now();
+        {
+            let _route = phase_guard(Phase::Route);
+            std::thread::sleep(Duration::from_millis(4));
+            {
+                let _infer = phase_guard(Phase::Infer);
+                std::thread::sleep(Duration::from_millis(4));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let elapsed = start.elapsed();
+        let d = PhaseLedger::snapshot().delta(&before);
+        // Self-time: both phases saw real time, and the partition never
+        // exceeds wall-clock.
+        assert!(d.get(Phase::Route) >= Duration::from_millis(3), "{d:?}");
+        assert!(d.get(Phase::Infer) >= Duration::from_millis(3), "{d:?}");
+        assert!(d.total() <= elapsed, "{:?} > {elapsed:?}", d.total());
+    }
+
+    #[test]
+    fn disabled_guard_charges_nothing() {
+        let _serial = test_lock();
+        set_enabled(false);
+        let before = PhaseLedger::snapshot();
+        {
+            let _g = phase_guard(Phase::Embed);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let d = PhaseLedger::snapshot().delta(&before);
+        assert_eq!(d.get(Phase::Embed), Duration::ZERO);
+        set_enabled(true);
+    }
+
+    #[test]
+    fn run_capture_attributes_counters() {
+        let _serial = test_lock();
+        set_enabled(true);
+        let capture = RunCapture::begin().expect("enabled");
+        crate::counter!("phase.test.count", 3);
+        let t = capture.finish();
+        assert_eq!(t.counter("phase.test.count"), 3);
+        assert_eq!(t.counter("phase.test.absent"), 0);
+        // JSON shape round-trips through the parser.
+        let text = t.to_json().to_string_compact();
+        let back = crate::json::parse(&text).unwrap();
+        assert!(back.get("phases").is_some());
+        assert_eq!(
+            back.get("counters")
+                .and_then(|c| c.get("phase.test.count"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+    }
+}

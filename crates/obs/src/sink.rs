@@ -1,0 +1,196 @@
+//! Trace sinks: where span events go.
+//!
+//! A process has at most one installed [`TelemetrySink`]. The hot-path
+//! check ([`tracing_active`]) is a single relaxed atomic load; the sink
+//! pointer itself sits behind an `RwLock` that is only read when a span
+//! actually completes.
+
+use crate::trace::TraceEvent;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Receives completed span events.
+pub trait TelemetrySink: Send + Sync {
+    /// Handle one completed span.
+    fn record(&self, event: &TraceEvent);
+    /// Flush buffered output (called at end of run / on uninstall).
+    fn flush(&self) {}
+}
+
+/// Appends one JSON object per line to a file (the `MAPZERO_TRACE`
+/// format consumed by `trace_summary`).
+#[derive(Debug)]
+pub struct JsonlFileSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlFileSink {
+    /// Create or truncate the trace file at `path`.
+    ///
+    /// # Errors
+    /// Propagates the I/O error when the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlFileSink> {
+        Ok(JsonlFileSink { writer: Mutex::new(BufWriter::new(File::create(path)?)) })
+    }
+}
+
+impl TelemetrySink for JsonlFileSink {
+    fn record(&self, event: &TraceEvent) {
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = writeln!(w, "{}", event.to_json_line());
+        }
+    }
+
+    fn flush(&self) {
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Collects events in memory — for tests and in-process inspection.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// New empty sink.
+    #[must_use]
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Copy of every event recorded so far.
+    ///
+    /// # Panics
+    /// Panics if the event mutex was poisoned.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("sink poisoned").clone()
+    }
+
+    /// Drain and return every recorded event.
+    ///
+    /// # Panics
+    /// Panics if the event mutex was poisoned.
+    #[must_use]
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("sink poisoned"))
+    }
+}
+
+impl TelemetrySink for MemorySink {
+    fn record(&self, event: &TraceEvent) {
+        if let Ok(mut e) = self.events.lock() {
+            e.push(event.clone());
+        }
+    }
+}
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static SINK: RwLock<Option<Arc<dyn TelemetrySink>>> = RwLock::new(None);
+
+/// True when a sink is installed — the one-load fast path consulted
+/// before any span bookkeeping happens.
+#[must_use]
+pub fn tracing_active() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Install `sink` as the process trace destination (replacing any
+/// previous sink, which is flushed first) and enable telemetry.
+pub fn install_sink(sink: Arc<dyn TelemetrySink>) {
+    if let Ok(mut slot) = SINK.write() {
+        if let Some(old) = slot.take() {
+            old.flush();
+        }
+        *slot = Some(sink);
+    }
+    TRACING.store(true, Ordering::Relaxed);
+    crate::set_enabled(true);
+}
+
+/// Flush and remove the installed sink; span tracing turns off (the
+/// metrics/phase side of telemetry keeps its separate enable flag).
+pub fn uninstall_sink() {
+    TRACING.store(false, Ordering::Relaxed);
+    if let Ok(mut slot) = SINK.write() {
+        if let Some(old) = slot.take() {
+            old.flush();
+        }
+    }
+}
+
+/// Flush the installed sink, if any.
+pub fn flush() {
+    if let Ok(slot) = SINK.read() {
+        if let Some(sink) = slot.as_ref() {
+            sink.flush();
+        }
+    }
+}
+
+/// Deliver one event to the installed sink (no-op when none).
+pub(crate) fn record(event: &TraceEvent) {
+    if let Ok(slot) = SINK.read() {
+        if let Some(sink) = slot.as_ref() {
+            sink.record(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn memory_sink_collects_spans() {
+        let _serial = test_lock();
+        let sink = Arc::new(MemorySink::new());
+        install_sink(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+        {
+            let _outer = crate::span!("test.outer");
+            let _inner = crate::span!("test.inner");
+        }
+        uninstall_sink();
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        // Inner drops first; depths reflect nesting.
+        assert_eq!(events[0].name, "test.inner");
+        assert_eq!(events[0].depth, 1);
+        assert_eq!(events[1].name, "test.outer");
+        assert_eq!(events[1].depth, 0);
+        assert!(events[0].seq < events[1].seq);
+    }
+
+    #[test]
+    fn no_sink_means_inert_spans() {
+        let _serial = test_lock();
+        uninstall_sink();
+        assert!(!tracing_active());
+        let _span = crate::span!("test.void"); // must not panic or block
+    }
+
+    #[test]
+    fn jsonl_file_sink_writes_parseable_lines() {
+        let _serial = test_lock();
+        let path = std::env::temp_dir().join("mapzero_obs_sink_test.jsonl");
+        let sink = Arc::new(JsonlFileSink::create(&path).unwrap());
+        install_sink(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+        {
+            let _span = crate::span!("test.file");
+        }
+        uninstall_sink(); // flushes
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1);
+        let event = TraceEvent::from_json_line(lines[0]).unwrap();
+        assert_eq!(event.name, "test.file");
+        let _ = std::fs::remove_file(&path);
+    }
+}

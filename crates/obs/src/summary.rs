@@ -1,0 +1,125 @@
+//! Human-readable end-of-run summaries.
+
+use crate::metrics::MetricsSnapshot;
+use crate::phase::{RunTelemetry, PHASES};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn pct(part: Duration, whole: Duration) -> f64 {
+    if whole.is_zero() {
+        0.0
+    } else {
+        100.0 * part.as_secs_f64() / whole.as_secs_f64()
+    }
+}
+
+/// Render one run's telemetry as an aligned per-phase table:
+/// phase self-time, share of `elapsed`, and the headline counters.
+#[must_use]
+pub fn render_run(telemetry: &RunTelemetry, elapsed: Duration) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<10} {:>12} {:>7}", "phase", "self-time", "share");
+    let mut attributed = Duration::ZERO;
+    for phase in PHASES {
+        let t = telemetry.phases.get(phase);
+        attributed += t;
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>6.1}%",
+            phase.name(),
+            format_duration(t),
+            pct(t, elapsed)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>6.1}%",
+        "(other)",
+        format_duration(elapsed.saturating_sub(attributed)),
+        pct(elapsed.saturating_sub(attributed), elapsed)
+    );
+    let _ = writeln!(out, "{:<10} {:>12}", "total", format_duration(elapsed));
+    if !telemetry.counters.is_empty() {
+        let _ = writeln!(out);
+        for (name, value) in &telemetry.counters {
+            let _ = writeln!(out, "{name:<24} {value:>12}");
+        }
+    }
+    for (name, &(count, sum)) in &telemetry.histograms {
+        let mean = if count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                sum as f64 / count as f64
+            }
+        };
+        let _ = writeln!(out, "{name:<24} {count:>12} obs, mean {mean:.1}");
+    }
+    out
+}
+
+/// Render a full registry snapshot as an aligned name/value table.
+#[must_use]
+pub fn render_metrics(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(out, "{name:<28} {value:>12}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let _ = writeln!(out, "{name:<28} {value:>12}  (gauge)");
+    }
+    for (name, h) in &snapshot.histograms {
+        let _ = writeln!(
+            out,
+            "{name:<28} {:>12} obs, sum {}, mean {:.1}",
+            h.count,
+            h.sum,
+            h.mean()
+        );
+    }
+    out
+}
+
+/// Fixed-width humane duration: µs under 1 ms, ms under 1 s, else s.
+#[must_use]
+pub fn format_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.2}s", d.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::PhaseLedger;
+
+    #[test]
+    fn run_table_lists_every_phase_and_other() {
+        let t = RunTelemetry {
+            phases: PhaseLedger::default(),
+            counters: [("mcts.expansions".to_owned(), 42u64)].into_iter().collect(),
+            histograms: [("nn.forward_us".to_owned(), (10u64, 1000u64))].into_iter().collect(),
+        };
+        let table = render_run(&t, Duration::from_millis(5));
+        for phase in PHASES {
+            assert!(table.contains(phase.name()), "{table}");
+        }
+        assert!(table.contains("(other)"));
+        assert!(table.contains("mcts.expansions"));
+        assert!(table.contains("nn.forward_us"));
+        assert!(table.contains("mean 100.0"));
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(format_duration(Duration::from_micros(7)), "7µs");
+        assert_eq!(format_duration(Duration::from_micros(2500)), "2.50ms");
+        assert_eq!(format_duration(Duration::from_millis(1500)), "1.50s");
+    }
+}

@@ -1,0 +1,190 @@
+//! Structured span tracing.
+//!
+//! `span!("mcts.expand")` pushes onto a thread-local span stack and, on
+//! drop, emits one JSONL trace event to the installed
+//! [`TelemetrySink`](crate::sink::TelemetrySink). Timestamps are
+//! microseconds since a process-wide monotonic epoch, so events from
+//! different threads order correctly without a wall clock.
+
+use crate::json::Json;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Microseconds since the process trace epoch (first use).
+#[must_use]
+pub fn now_us() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Small dense id of the calling thread (assigned on first trace use).
+#[must_use]
+pub fn thread_id() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// One completed span, as written to / read from a JSONL trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Dotted span name, e.g. `"mcts.expand"`.
+    pub name: String,
+    /// Start, µs since the process trace epoch.
+    pub ts_us: u64,
+    /// Duration in µs.
+    pub dur_us: u64,
+    /// Dense thread id.
+    pub tid: u64,
+    /// Nesting depth at emission (0 = top-level).
+    pub depth: u32,
+    /// Global emission sequence number (total order across threads).
+    pub seq: u64,
+}
+
+impl TraceEvent {
+    /// Encode as one compact JSON object (one JSONL line, sans newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        Json::obj(vec![
+            ("type", Json::from("span")),
+            ("name", Json::from(self.name.as_str())),
+            ("ts_us", Json::from(self.ts_us)),
+            ("dur_us", Json::from(self.dur_us)),
+            ("tid", Json::from(self.tid)),
+            ("depth", Json::from(u64::from(self.depth))),
+            ("seq", Json::from(self.seq)),
+        ])
+        .to_string_compact()
+    }
+
+    /// Decode one JSONL line.
+    ///
+    /// # Errors
+    /// Returns a message naming the missing or ill-typed field, or the
+    /// JSON syntax error.
+    pub fn from_json_line(line: &str) -> Result<TraceEvent, String> {
+        let v = crate::json::parse(line)?;
+        let ty = v.get("type").and_then(Json::as_str).ok_or("missing field: type")?;
+        if ty != "span" {
+            return Err(format!("unknown event type: {ty}"));
+        }
+        let field_u64 = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field: {name}"))
+        };
+        Ok(TraceEvent {
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("missing field: name")?
+                .to_owned(),
+            ts_us: field_u64("ts_us")?,
+            dur_us: field_u64("dur_us")?,
+            tid: field_u64("tid")?,
+            depth: u32::try_from(field_u64("depth")?).map_err(|_| "depth out of range")?,
+            seq: field_u64("seq")?,
+        })
+    }
+}
+
+/// RAII guard for one span; created by [`crate::span!`]. Inert (no
+/// clock read, no allocation) when tracing is off.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start_us: u64,
+    depth: u32,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Open a span named `name`. Prefer the [`crate::span!`] macro.
+    #[must_use]
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if !crate::sink::tracing_active() {
+            return SpanGuard { name, start_us: 0, depth: 0, active: false };
+        }
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        SpanGuard { name, start_us: now_us(), depth, active: true }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let end = now_us();
+        let event = TraceEvent {
+            name: self.name.to_owned(),
+            ts_us: self.start_us,
+            dur_us: end.saturating_sub(self.start_us),
+            tid: thread_id(),
+            depth: self.depth,
+            seq: NEXT_SEQ.fetch_add(1, Ordering::Relaxed),
+        };
+        crate::sink::record(&event);
+    }
+}
+
+/// Open a named span until the end of the enclosing scope:
+/// `let _span = span!("mcts.search");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::SpanGuard::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_round_trips_through_jsonl() {
+        let e = TraceEvent {
+            name: "mcts.expand".to_owned(),
+            ts_us: 123,
+            dur_us: 45,
+            tid: 2,
+            depth: 3,
+            seq: 99,
+        };
+        let line = e.to_json_line();
+        assert_eq!(TraceEvent::from_json_line(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_lines() {
+        assert!(TraceEvent::from_json_line("{}").is_err());
+        assert!(TraceEvent::from_json_line("{\"type\":\"span\"}").is_err());
+        assert!(TraceEvent::from_json_line("not json").is_err());
+        let wrong_type = "{\"type\":\"x\",\"name\":\"a\",\"ts_us\":0,\"dur_us\":0,\"tid\":0,\"depth\":0,\"seq\":0}";
+        assert!(TraceEvent::from_json_line(wrong_type).is_err());
+        let bad_field = "{\"type\":\"span\",\"name\":\"a\",\"ts_us\":\"zero\",\"dur_us\":0,\"tid\":0,\"depth\":0,\"seq\":0}";
+        assert!(TraceEvent::from_json_line(bad_field).is_err());
+    }
+
+    #[test]
+    fn monotonic_clock_is_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+}

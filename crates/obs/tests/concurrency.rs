@@ -1,0 +1,107 @@
+//! Concurrency guarantees of the metrics registry: counter sums and
+//! histogram totals must be exact — no lost updates — whatever the
+//! thread count, plus a span-nesting round trip through the JSONL
+//! encoder.
+
+use mapzero_obs::metrics::Registry;
+use mapzero_obs::sink::{install_sink, uninstall_sink, MemorySink, TelemetrySink};
+use mapzero_obs::TraceEvent;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// N threads hammering one counter and one histogram: the final
+    /// totals equal the arithmetic sum of every increment.
+    #[test]
+    fn concurrent_updates_are_never_lost(
+        threads in 2usize..9,
+        per_thread in 1u64..400,
+        increment in 1u64..5,
+    ) {
+        let registry = Arc::new(Registry::default());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    let counter = registry.counter("prop.count");
+                    let histogram = registry.histogram("prop.hist");
+                    for i in 0..per_thread {
+                        counter.add(increment);
+                        histogram.record(i);
+                    }
+                });
+            }
+        });
+        let snapshot = registry.snapshot();
+        let n = threads as u64;
+        prop_assert_eq!(snapshot.counters["prop.count"], n * per_thread * increment);
+        let hist = &snapshot.histograms["prop.hist"];
+        prop_assert_eq!(hist.count, n * per_thread);
+        // Sum of 0..per_thread per thread.
+        prop_assert_eq!(hist.sum, n * per_thread * (per_thread - 1) / 2);
+        // Bucket totals account for every observation.
+        prop_assert_eq!(hist.buckets.iter().sum::<u64>(), hist.count);
+    }
+
+    /// Arbitrary span events survive the JSONL encoder byte-exactly.
+    #[test]
+    fn trace_events_round_trip(
+        ts_us in 0u64..(1 << 50),
+        dur_us in 0u64..(1 << 50),
+        tid in 0u64..64,
+        depth in 0u32..32,
+        seq in 0u64..(1 << 50),
+        name_idx in 0usize..5,
+    ) {
+        let names = ["mcts.expand", "route.edge", "nn.forward", "a b\"c\\d", "unicode.λ"];
+        let event = TraceEvent {
+            name: names[name_idx].to_owned(),
+            ts_us, dur_us, tid, depth, seq,
+        };
+        let line = event.to_json_line();
+        prop_assert_eq!(TraceEvent::from_json_line(&line).unwrap(), event);
+    }
+}
+
+/// Nested spans recorded through the global sink come back with the
+/// correct nesting depths and strictly increasing sequence numbers
+/// after an encode/decode round trip.
+#[test]
+fn span_nesting_round_trips_through_jsonl() {
+    let sink = Arc::new(MemorySink::new());
+    install_sink(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+    {
+        let _a = mapzero_obs::span!("nest.a");
+        {
+            let _b = mapzero_obs::span!("nest.b");
+            let _c = mapzero_obs::span!("nest.c");
+        }
+        let _d = mapzero_obs::span!("nest.d");
+    }
+    uninstall_sink();
+
+    let events = sink.take();
+    let lines: Vec<String> = events.iter().map(TraceEvent::to_json_line).collect();
+    let decoded: Vec<TraceEvent> =
+        lines.iter().map(|l| TraceEvent::from_json_line(l).unwrap()).collect();
+    assert_eq!(decoded, events);
+
+    // Drop order: c, b, d, a — with depths 2, 1, 1, 0.
+    let by_name: Vec<(&str, u32)> =
+        decoded.iter().map(|e| (e.name.as_str(), e.depth)).collect();
+    assert_eq!(
+        by_name,
+        vec![("nest.c", 2), ("nest.b", 1), ("nest.d", 1), ("nest.a", 0)]
+    );
+    for pair in decoded.windows(2) {
+        assert!(pair[0].seq < pair[1].seq);
+        assert!(pair[0].ts_us <= pair[1].ts_us + pair[1].dur_us);
+    }
+    // Parent spans cover their children.
+    let a = decoded.iter().find(|e| e.name == "nest.a").unwrap();
+    let c = decoded.iter().find(|e| e.name == "nest.c").unwrap();
+    assert!(a.ts_us <= c.ts_us);
+    assert!(a.ts_us + a.dur_us >= c.ts_us + c.dur_us);
+}

@@ -1,0 +1,40 @@
+//! Traced mapping: one compile with telemetry enabled, printing the
+//! per-phase budget attribution and headline search counters.
+//!
+//! ```text
+//! cargo run --release --example traced_mapping
+//! MAPZERO_TRACE=out.jsonl cargo run --release --example traced_mapping
+//! ```
+//!
+//! With `MAPZERO_TRACE` set, every span (`compile.map`, `mcts.search`,
+//! …) is also written as one JSONL line; fold the file with
+//! `cargo run -p mapzero-obs --bin trace_summary -- out.jsonl`.
+
+use mapzero::obs;
+use mapzero::prelude::*;
+
+fn main() {
+    // `MAPZERO_TRACE` installs a JSONL file sink (which also enables
+    // telemetry); without it, enable phase timing + metrics explicitly.
+    let trace_path = obs::init_from_env();
+    obs::set_enabled(true);
+
+    let dfg = suite::by_name("mac").expect("kernel exists");
+    let cgra = presets::hycube();
+    let mut compiler = Compiler::new(MapZeroConfig::fast_test());
+    let report = compiler.map(&dfg, &cgra).expect("instance is mappable");
+    let mapping = report.mapping.as_ref().expect("mac maps onto HyCube");
+
+    println!(
+        "mapped `{}` on `{}` at II = {} (MII = {}) in {:.1?}\n",
+        report.kernel, report.fabric, mapping.ii, report.mii, report.elapsed
+    );
+
+    let telemetry = report.telemetry.as_ref().expect("telemetry was enabled");
+    print!("{}", obs::summary::render_run(telemetry, report.elapsed));
+
+    if let Some(path) = trace_path {
+        obs::sink::flush();
+        println!("\nspan trace written to {path}");
+    }
+}

@@ -22,3 +22,7 @@ bench:
 # Regenerate every paper table/figure (quick mode).
 figures:
     cargo run --release -p mapzero-bench --bin run_all
+
+# Fold a MAPZERO_TRACE JSONL trace into a per-span table.
+trace-summary file:
+    cargo run --release -p mapzero-obs --bin trace_summary -- {{file}}

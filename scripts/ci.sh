@@ -13,4 +13,14 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> telemetry smoke (traced run + JSONL schema check)"
+trace="$(mktemp -t mapzero-ci-trace.XXXXXX.jsonl)"
+trap 'rm -f "$trace"' EXIT
+MAPZERO_TRACE="$trace" cargo run --release -q --example traced_mapping
+test -s "$trace" || { echo "telemetry smoke: empty trace at $trace" >&2; exit 1; }
+cargo run --release -q -p mapzero-obs --bin trace_summary -- --check "$trace"
+
+echo "==> cargo bench --no-run"
+cargo bench --workspace --no-run
+
 echo "tier-1 gate: OK"

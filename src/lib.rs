@@ -15,7 +15,9 @@
 //! * [`core`] — the MapZero compiler itself: MDP environment, router,
 //!   network, MCTS, agent, trainer and the II-search compiler loop;
 //! * [`baselines`] — the comparison mappers (exact branch-and-bound
-//!   "ILP", simulated annealing, label-guided "LISA").
+//!   "ILP", simulated annealing, label-guided "LISA");
+//! * [`obs`] — the telemetry subsystem: metrics registry, span
+//!   tracing, per-phase budget attribution (DESIGN.md §7).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@ pub use mapzero_baselines as baselines;
 pub use mapzero_core as core;
 pub use mapzero_dfg as dfg;
 pub use mapzero_nn as nn;
+pub use mapzero_obs as obs;
 
 /// Commonly-used items, importable with `use mapzero::prelude::*`.
 pub mod prelude {
