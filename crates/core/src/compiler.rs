@@ -347,6 +347,7 @@ impl Compiler {
                         None => primary_budget.clone(),
                     };
                     let result = isolated("mapping attempt", || {
+                        crate::failpoint!("compile.attempt");
                         agent.run_episode_budgeted(&problem, &slice)
                     })?;
                     stats.backtracks += result.backtracks;

@@ -7,7 +7,7 @@ use mapzero_dfg::features as dfg_features;
 use mapzero_nn::Matrix;
 
 /// The observation consumed by [`crate::network::MapZeroNet`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Observation {
     /// DFG node features, `(n x 10)`, normalized.
     pub dfg_nodes: Matrix,

@@ -1,0 +1,318 @@
+//! Deterministic fault injection: named failpoints.
+//!
+//! A *failpoint* is a named site in production code where a test (or an
+//! operator, via the `MAPZERO_FAILPOINTS` environment variable) can arm
+//! a deterministic fault: panic, injected I/O error, or delay, fired on
+//! the N-th visit. Disarmed sites cost one thread-local map lookup (and
+//! nothing allocates), so the hooks stay in release builds — the same
+//! binary that serves traffic is the one chaos tests exercise.
+//!
+//! This generalizes the old ad-hoc `arm_route_fault`/`disarm_route_fault`
+//! pair in `supervise.rs` to every subsystem. Instrumented sites (see
+//! DESIGN.md §8 for the naming convention `subsystem.moment`):
+//!
+//! | site | location | useful actions |
+//! |---|---|---|
+//! | `route.pre` | [`crate::router::route_edge`] | panic |
+//! | `infer.predict` | [`crate::network::MapZeroNet::predict`] | panic, delay |
+//! | `compile.attempt` | [`crate::compiler::Compiler`] attempt loop | panic |
+//! | `train.pre_epoch` | [`crate::train::Trainer`] epoch loop | panic |
+//! | `checkpoint.pre_write` | before each checkpoint payload write | io |
+//! | `checkpoint.pre_rename` | between temp write and atomic rename | io, panic |
+//! | `checkpoint.pre_manifest` | before the MANIFEST commit point | io, panic |
+//!
+//! Arming is **per-thread** (tests run concurrently in one binary; a
+//! fault armed by one test must not leak into another), except for
+//! `MAPZERO_FAILPOINTS`, which seeds every new thread's registry. Unit
+//! sites use the [`crate::failpoint!`] macro; fallible I/O sites call
+//! [`trigger`] directly and `?`-propagate the injected `io::Error`.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::io;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Panic with a recognizable `failpoint \`<name>\`` message.
+    Panic,
+    /// Return an injected [`io::Error`] (checkpoint/file sites; at a
+    /// non-I/O site the [`crate::failpoint!`] macro escalates it to a
+    /// panic).
+    IoError,
+    /// Sleep for the given duration, then continue normally (latency
+    /// injection for deadline tests).
+    Delay(Duration),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Armed {
+    action: FailAction,
+    /// Fires on the `after`-th visit (1 = the next one).
+    after: u64,
+    hits: u64,
+}
+
+thread_local! {
+    /// Per-thread armed sites, seeded from `MAPZERO_FAILPOINTS`.
+    static ARMED: RefCell<HashMap<String, Armed>> = RefCell::new(env_armed());
+}
+
+/// Parse result of `MAPZERO_FAILPOINTS`, computed once per process.
+fn env_spec() -> &'static [(String, FailAction, u64)] {
+    static SPEC: OnceLock<Vec<(String, FailAction, u64)>> = OnceLock::new();
+    SPEC.get_or_init(|| match std::env::var("MAPZERO_FAILPOINTS") {
+        Ok(raw) => match parse_spec(&raw) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("MAPZERO_FAILPOINTS: {e}; ignoring");
+                Vec::new()
+            }
+        },
+        Err(_) => Vec::new(),
+    })
+}
+
+fn env_armed() -> HashMap<String, Armed> {
+    env_spec()
+        .iter()
+        .map(|(name, action, after)| {
+            (name.clone(), Armed { action: *action, after: *after, hits: 0 })
+        })
+        .collect()
+}
+
+/// Parse a failpoint spec: comma-separated `name=action[@after]` terms
+/// with `action` one of `panic`, `io`, `delay:<ms>`; `after` defaults
+/// to 1 (fire on the next visit).
+///
+/// # Errors
+/// Returns a description of the first malformed term.
+pub fn parse_spec(raw: &str) -> Result<Vec<(String, FailAction, u64)>, String> {
+    let mut out = Vec::new();
+    for term in raw.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        let (name, rest) =
+            term.split_once('=').ok_or_else(|| format!("`{term}`: missing `=action`"))?;
+        let (action_raw, after_raw) = match rest.split_once('@') {
+            Some((a, n)) => (a, Some(n)),
+            None => (rest, None),
+        };
+        let action = match action_raw.split_once(':') {
+            None if action_raw == "panic" => FailAction::Panic,
+            None if action_raw == "io" => FailAction::IoError,
+            Some(("delay", ms)) => {
+                let ms: u64 =
+                    ms.parse().map_err(|_| format!("`{term}`: bad delay millis `{ms}`"))?;
+                FailAction::Delay(Duration::from_millis(ms))
+            }
+            _ => return Err(format!("`{term}`: unknown action `{action_raw}`")),
+        };
+        let after = match after_raw {
+            Some(n) => n.parse().map_err(|_| format!("`{term}`: bad count `{n}`"))?,
+            None => 1,
+        };
+        if after == 0 {
+            return Err(format!("`{term}`: count must be >= 1"));
+        }
+        out.push((name.trim().to_owned(), action, after));
+    }
+    Ok(out)
+}
+
+/// Arm `name` on this thread: the `after`-th subsequent visit fires
+/// `action`, then the site disarms itself.
+pub fn arm(name: &str, after: u64, action: FailAction) {
+    assert!(after >= 1, "failpoint fires on the after-th visit; after must be >= 1");
+    ARMED.with(|m| {
+        m.borrow_mut().insert(name.to_owned(), Armed { action, after, hits: 0 });
+    });
+}
+
+/// Disarm `name` on this thread (no-op when not armed).
+pub fn disarm(name: &str) {
+    ARMED.with(|m| {
+        m.borrow_mut().remove(name);
+    });
+}
+
+/// Disarm every failpoint on this thread.
+pub fn disarm_all() {
+    ARMED.with(|m| m.borrow_mut().clear());
+}
+
+/// Names currently armed on this thread, sorted.
+#[must_use]
+pub fn armed_sites() -> Vec<String> {
+    let mut names = ARMED.with(|m| m.borrow().keys().cloned().collect::<Vec<_>>());
+    names.sort();
+    names
+}
+
+/// A scope guard that disarms its failpoint on drop, keeping tests
+/// hygienic even when an assertion (or the injected panic itself)
+/// unwinds through the test body.
+#[derive(Debug)]
+pub struct FailScope {
+    name: String,
+}
+
+impl Drop for FailScope {
+    fn drop(&mut self) {
+        disarm(&self.name);
+    }
+}
+
+/// Arm `name` for the lifetime of the returned guard.
+#[must_use]
+pub fn scoped(name: &str, after: u64, action: FailAction) -> FailScope {
+    arm(name, after, action);
+    FailScope { name: name.to_owned() }
+}
+
+/// Visit the failpoint `name`: counts armed sites down and fires their
+/// action when the countdown elapses. Disarmed sites return `Ok(())`
+/// after a single thread-local lookup.
+///
+/// # Errors
+/// Returns the injected error when an armed [`FailAction::IoError`]
+/// fires.
+///
+/// # Panics
+/// Panics (by design) when an armed [`FailAction::Panic`] fires.
+pub fn trigger(name: &str) -> io::Result<()> {
+    let fired = ARMED.with(|m| {
+        let mut m = m.borrow_mut();
+        if m.is_empty() {
+            return None;
+        }
+        let entry = m.get_mut(name)?;
+        entry.hits += 1;
+        if entry.hits >= entry.after {
+            let action = entry.action;
+            m.remove(name);
+            Some(action)
+        } else {
+            None
+        }
+    });
+    match fired {
+        None => Ok(()),
+        Some(FailAction::Delay(d)) => {
+            mapzero_obs::counter!("failpoint.fired");
+            std::thread::sleep(d);
+            Ok(())
+        }
+        Some(FailAction::IoError) => {
+            mapzero_obs::counter!("failpoint.fired");
+            Err(io::Error::other(format!("failpoint `{name}` injected i/o error")))
+        }
+        Some(FailAction::Panic) => {
+            mapzero_obs::counter!("failpoint.fired");
+            panic!("failpoint `{name}` injected panic");
+        }
+    }
+}
+
+/// Visit a unit (non-I/O) failpoint site: fires [`FailAction::Panic`]
+/// and [`FailAction::Delay`] as usual; an armed [`FailAction::IoError`]
+/// cannot be returned from a unit site and escalates to a panic.
+#[macro_export]
+macro_rules! failpoint {
+    ($name:expr) => {
+        if let Err(e) = $crate::failpoint::trigger($name) {
+            panic!("failpoint at non-i/o site: {e}");
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_site_is_a_noop() {
+        assert!(trigger("no.such.site").is_ok());
+    }
+
+    #[test]
+    fn panic_fires_on_the_nth_visit_then_disarms() {
+        arm("t.panic", 3, FailAction::Panic);
+        assert!(trigger("t.panic").is_ok());
+        assert!(trigger("t.panic").is_ok());
+        let caught = std::panic::catch_unwind(|| trigger("t.panic"));
+        assert!(caught.is_err(), "third visit must fire");
+        // Self-disarmed after firing.
+        assert!(trigger("t.panic").is_ok());
+        assert!(armed_sites().is_empty());
+    }
+
+    #[test]
+    fn io_error_action_returns_structured_error() {
+        arm("t.io", 1, FailAction::IoError);
+        let err = trigger("t.io").unwrap_err();
+        assert!(err.to_string().contains("t.io"), "{err}");
+        assert!(trigger("t.io").is_ok());
+    }
+
+    #[test]
+    fn delay_action_sleeps_then_continues() {
+        arm("t.delay", 1, FailAction::Delay(Duration::from_millis(20)));
+        let start = std::time::Instant::now();
+        assert!(trigger("t.delay").is_ok());
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn disarm_clears_pending_fault() {
+        arm("t.clear", 1, FailAction::Panic);
+        disarm("t.clear");
+        assert!(trigger("t.clear").is_ok());
+    }
+
+    #[test]
+    fn scope_guard_disarms_on_drop() {
+        {
+            let _guard = scoped("t.scope", 10, FailAction::Panic);
+            assert_eq!(armed_sites(), vec!["t.scope".to_owned()]);
+        }
+        assert!(armed_sites().is_empty());
+    }
+
+    #[test]
+    fn arming_is_thread_local() {
+        arm("t.local", 1, FailAction::Panic);
+        let other = std::thread::spawn(|| trigger("t.local").is_ok()).join().unwrap();
+        assert!(other, "another thread must not see this thread's fault");
+        disarm("t.local");
+    }
+
+    #[test]
+    fn unit_macro_passes_when_disarmed() {
+        crate::failpoint!("t.macro");
+    }
+
+    #[test]
+    fn spec_parses_all_action_forms() {
+        let spec = parse_spec("a=panic, b=io@4 ,c=delay:250@2").unwrap();
+        assert_eq!(
+            spec,
+            vec![
+                ("a".to_owned(), FailAction::Panic, 1),
+                ("b".to_owned(), FailAction::IoError, 4),
+                ("c".to_owned(), FailAction::Delay(Duration::from_millis(250)), 2),
+            ]
+        );
+        assert!(parse_spec("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn spec_rejects_malformed_terms() {
+        assert!(parse_spec("no-equals").is_err());
+        assert!(parse_spec("a=explode").is_err());
+        assert!(parse_spec("a=delay:xx").is_err());
+        assert!(parse_spec("a=panic@0").is_err());
+        assert!(parse_spec("a=panic@x").is_err());
+    }
+}

@@ -47,10 +47,12 @@ pub mod compiler;
 pub mod dse;
 pub mod embed;
 pub mod env;
+pub mod failpoint;
 pub mod ledger;
 pub mod mapping;
 pub mod mcts;
 pub mod network;
+pub mod persist;
 pub mod problem;
 pub mod replay;
 pub mod router;
@@ -60,7 +62,9 @@ pub mod train;
 pub mod viz;
 
 pub use agent::{AgentConfig, MapZeroAgent};
+pub use checkpoint::{CheckpointError, CheckpointStore, LoadedGeneration};
 pub use compiler::{Compiler, MapZeroConfig};
+pub use failpoint::{FailAction, FailScope};
 pub use env::{MapEnv, StepOutcome};
 pub use mapping::{MapError, MapReport, Mapper, Mapping, PartialMapStats, Placement};
 pub use mcts::{Mcts, MctsConfig};

@@ -4,8 +4,8 @@
 
 use crate::embed::Observation;
 use mapzero_nn::{
-    clip_gradients, Adam, GatLayer, GcnLayer, Graph, Linear, Matrix, Mlp, Optimizer, Params,
-    SeedRng, VarId,
+    clip_gradients, Adam, AdamState, GatLayer, GcnLayer, Graph, Linear, Matrix, Mlp, Optimizer,
+    Params, SeedRng, VarId,
 };
 
 /// Which graph encoder the network uses (§2.2 argues for GAT; GCN is
@@ -137,7 +137,7 @@ impl Prediction {
 
 /// One training sample: an observation with its MCTS policy target and
 /// value target.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainSample {
     /// The observed state.
     pub observation: Observation,
@@ -243,6 +243,21 @@ impl MapZeroNet {
         self.config
     }
 
+    /// Snapshot the optimizer state (Adam step count + moments) for
+    /// checkpointing.
+    #[must_use]
+    pub fn optimizer_state(&self) -> AdamState {
+        self.optimizer.export_state()
+    }
+
+    /// Restore a checkpointed optimizer state. Called *after*
+    /// [`MapZeroNet::restore_params`] when resuming (restore resets the
+    /// optimizer), so the resumed run takes the exact update directions
+    /// the interrupted run would have.
+    pub fn restore_optimizer(&mut self, state: AdamState) {
+        self.optimizer.import_state(state);
+    }
+
     /// Forward to `(masked log-softmax logits, value)` tape variables.
     fn forward(&self, g: &mut Graph, obs: &Observation) -> (VarId, VarId) {
         let x_dfg = g.input(obs.dfg_nodes.clone());
@@ -279,6 +294,7 @@ impl MapZeroNet {
     #[must_use]
     pub fn predict(&self, obs: &Observation) -> Prediction {
         assert_eq!(obs.mask.len(), self.action_count, "mask/action mismatch");
+        crate::failpoint!("infer.predict");
         let _phase = mapzero_obs::phase::phase_guard(mapzero_obs::Phase::Infer);
         let started = mapzero_obs::enabled().then(std::time::Instant::now);
         let mut g = Graph::new();

@@ -51,6 +51,53 @@ impl ReplayBuffer {
         self.samples.len() == self.capacity
     }
 
+    /// Maximum number of stored samples.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Snapshot the full buffer state for checkpointing:
+    /// `(samples, priorities, next_slot)`.
+    #[must_use]
+    pub fn export(&self) -> (Vec<TrainSample>, Vec<f64>, usize) {
+        (self.samples.clone(), self.priorities.clone(), self.next_slot)
+    }
+
+    /// Rebuild a buffer from a checkpoint snapshot, validating the
+    /// invariants (`samples` and `priorities` pair up, fit in
+    /// `capacity`, and `next_slot` indexes a valid eviction slot).
+    ///
+    /// # Errors
+    /// Returns a description of the violated invariant.
+    pub fn from_parts(
+        capacity: usize,
+        samples: Vec<TrainSample>,
+        priorities: Vec<f64>,
+        next_slot: usize,
+    ) -> Result<Self, String> {
+        if capacity == 0 {
+            return Err("capacity must be positive".to_owned());
+        }
+        if samples.len() != priorities.len() {
+            return Err(format!(
+                "{} samples but {} priorities",
+                samples.len(),
+                priorities.len()
+            ));
+        }
+        if samples.len() > capacity {
+            return Err(format!("{} samples exceed capacity {capacity}", samples.len()));
+        }
+        if next_slot >= capacity {
+            return Err(format!("next_slot {next_slot} out of range for capacity {capacity}"));
+        }
+        if priorities.iter().any(|p| !p.is_finite() || *p < 0.0) {
+            return Err("priorities must be finite and non-negative".to_owned());
+        }
+        Ok(ReplayBuffer { capacity, samples, priorities, next_slot })
+    }
+
     /// Insert a sample with maximal priority, evicting round-robin when
     /// full.
     pub fn push(&mut self, sample: TrainSample) {
@@ -170,5 +217,38 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = ReplayBuffer::new(0);
+    }
+
+    #[test]
+    fn export_import_round_trip_preserves_sampling() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(sample(i as f32));
+        }
+        let mut rng = SeedRng::new(9);
+        let _ = buf.sample(2, &mut rng); // decay some priorities
+        let (samples, priorities, next_slot) = buf.export();
+        let mut restored =
+            ReplayBuffer::from_parts(3, samples, priorities, next_slot).unwrap();
+        // Same contents, same priorities: identical draws under the
+        // same RNG stream.
+        let mut rng_a = SeedRng::new(42);
+        let mut rng_b = SeedRng::new(42);
+        let a: Vec<f32> = buf.sample(3, &mut rng_a).iter().map(|s| s.value).collect();
+        let b: Vec<f32> = restored.sample(3, &mut rng_b).iter().map(|s| s.value).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_parts_rejects_broken_invariants() {
+        assert!(ReplayBuffer::from_parts(0, vec![], vec![], 0).is_err());
+        assert!(ReplayBuffer::from_parts(2, vec![sample(0.0)], vec![], 0).is_err());
+        assert!(
+            ReplayBuffer::from_parts(1, vec![sample(0.0), sample(1.0)], vec![1.0, 1.0], 0)
+                .is_err()
+        );
+        assert!(ReplayBuffer::from_parts(2, vec![sample(0.0)], vec![1.0], 2).is_err());
+        assert!(ReplayBuffer::from_parts(2, vec![sample(0.0)], vec![f64::NAN], 0).is_err());
+        assert!(ReplayBuffer::from_parts(2, vec![sample(0.0)], vec![1.0], 0).is_ok());
     }
 }

@@ -50,9 +50,10 @@ pub fn route_edge(
     to: Placement,
     dist: u32,
 ) -> Option<Route> {
-    // Chaos-testing hook: robustness tests arm a countdown panic here to
-    // prove the supervisor contains faults from deep inside the mapper.
-    crate::supervise::route_fault_point();
+    // Chaos-testing hook: tests arm this failpoint (e.g. a countdown
+    // panic) to prove the supervisor contains faults from deep inside
+    // the mapper.
+    crate::failpoint!("route.pre");
     let _phase = mapzero_obs::phase::phase_guard(mapzero_obs::Phase::Route);
     let ii = ledger.ii();
     let deadline = to.time + dist * ii;

@@ -13,14 +13,15 @@
 //! 2. **Containment** — a panic in one mapping attempt or self-play
 //!    episode is converted by [`isolated`] into an error value
 //!    ([`MapError::Internal`]) instead of unwinding through the caller.
-//! 3. **Testability** — deterministic fault hooks ([`arm_route_fault`])
-//!    let integration tests prove the two properties above without
-//!    patching production code paths.
+//! 3. **Testability** — deterministic fault injection lives in
+//!    [`crate::failpoint`]: named sites threaded through routing,
+//!    inference, training and checkpoint I/O let integration tests
+//!    prove the two properties above without patching production code
+//!    paths.
 //!
 //! See DESIGN.md §Robustness for the full failure-handling contract.
 
 use crate::mapping::MapError;
-use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -56,10 +57,12 @@ impl Budget {
         Budget { deadline: None, spent: Arc::new(AtomicU64::new(0)), max_expansions: None }
     }
 
-    /// A budget expiring `limit` from now.
+    /// A budget expiring `limit` from now. A `limit` too large for the
+    /// clock to represent (e.g. `Duration::MAX`) is treated as
+    /// unbounded rather than panicking on `Instant` overflow.
     #[must_use]
     pub fn with_deadline(limit: Duration) -> Self {
-        Budget { deadline: Some(Instant::now() + limit), ..Budget::unlimited() }
+        Budget { deadline: Instant::now().checked_add(limit), ..Budget::unlimited() }
     }
 
     /// Cap the total number of charged expansions.
@@ -72,12 +75,19 @@ impl Budget {
     /// A sub-budget expiring after `slice` or at this budget's own
     /// deadline, whichever comes first. Expansions charged to the slice
     /// drain the parent's pool.
+    ///
+    /// Saturating on both ends: a slice taken *after* the parent
+    /// deadline is already expired (never a negative-duration panic),
+    /// and a `slice` too large for the clock (e.g. `Duration::MAX`)
+    /// falls back to the parent deadline instead of overflowing
+    /// `Instant` arithmetic.
     #[must_use]
     pub fn slice(&self, slice: Duration) -> Budget {
-        let sliced = Instant::now() + slice;
-        let deadline = match self.deadline {
-            Some(own) => Some(own.min(sliced)),
-            None => Some(sliced),
+        let sliced = Instant::now().checked_add(slice);
+        let deadline = match (self.deadline, sliced) {
+            (Some(own), Some(s)) => Some(own.min(s)),
+            (Some(own), None) => Some(own),
+            (None, s) => s,
         };
         Budget { deadline, spent: Arc::clone(&self.spent), max_expansions: self.max_expansions }
     }
@@ -150,38 +160,6 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-thread_local! {
-    /// Armed route-fault countdown: when `Some(n)`, the n-th subsequent
-    /// routing call on this thread panics.
-    static ROUTE_FAULT: Cell<Option<u64>> = const { Cell::new(None) };
-}
-
-/// Arm a deterministic fault: the `after`-th routing call *on this
-/// thread* panics with a recognizable message. Used by robustness tests
-/// to prove panic containment; never armed in production.
-pub fn arm_route_fault(after: u64) {
-    ROUTE_FAULT.with(|f| f.set(Some(after)));
-}
-
-/// Disarm any pending route fault on this thread.
-pub fn disarm_route_fault() {
-    ROUTE_FAULT.with(|f| f.set(None));
-}
-
-/// Routing-path hook: counts down an armed fault and panics when it
-/// fires. No-op (one thread-local read) when disarmed.
-pub(crate) fn route_fault_point() {
-    ROUTE_FAULT.with(|f| {
-        if let Some(n) = f.get() {
-            if n <= 1 {
-                f.set(None);
-                panic!("injected route fault");
-            }
-            f.set(Some(n - 1));
-        }
-    });
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,20 +218,29 @@ mod tests {
     }
 
     #[test]
-    fn route_fault_fires_once_after_countdown() {
-        arm_route_fault(3);
-        route_fault_point();
-        route_fault_point();
-        let caught = std::panic::catch_unwind(route_fault_point);
-        assert!(caught.is_err(), "third call must fire");
-        // Disarmed after firing.
-        route_fault_point();
+    fn slice_after_parent_deadline_is_already_expired() {
+        let parent = Budget::with_deadline(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        // The parent deadline is in the past; the slice must clamp to
+        // it (expired immediately) without any negative-duration panic.
+        let slice = parent.slice(Duration::from_secs(60));
+        assert!(slice.expired());
+        assert_eq!(slice.remaining_time(), Some(Duration::ZERO));
     }
 
     #[test]
-    fn disarm_clears_pending_fault() {
-        arm_route_fault(1);
-        disarm_route_fault();
-        route_fault_point();
+    fn huge_durations_do_not_overflow_instant_arithmetic() {
+        let unbounded = Budget::with_deadline(Duration::MAX);
+        assert!(!unbounded.expired());
+        assert_eq!(unbounded.remaining_time(), None);
+
+        let parent = Budget::with_deadline(Duration::from_secs(60));
+        let slice = parent.slice(Duration::MAX);
+        assert!(!slice.expired());
+        // The oversized slice falls back to the parent deadline.
+        assert!(slice.remaining_time().is_some_and(|t| t <= Duration::from_secs(60)));
+
+        let free = Budget::unlimited().slice(Duration::MAX);
+        assert!(!free.expired());
     }
 }

@@ -7,17 +7,21 @@
 //! `(r − v)² − π·log p` with gradient clipping.
 
 use crate::agent::{AgentConfig, MapZeroAgent, TrajectoryStep};
+use crate::checkpoint::{CheckpointError, CheckpointStore};
 use crate::env::CONFLICT_PENALTY;
 use crate::mcts::MctsConfig;
 use crate::network::{MapZeroNet, NetConfig, TrainSample};
+use crate::persist::{self, TrainState, TRAINER_STATE_FILE};
 use crate::problem::Problem;
 use crate::replay::ReplayBuffer;
 use crate::supervise::isolated;
 use crate::{augment, mapping::MapError};
+use bytes::Bytes;
 use mapzero_arch::Cgra;
 use mapzero_dfg::{random::curriculum, Dfg};
-use mapzero_nn::{LrSchedule, SeedRng};
+use mapzero_nn::{decode_params, encode_params, LrSchedule, SeedRng};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 use std::time::Duration;
 
 /// Deterministic fault injection for robustness tests: forces a failure
@@ -185,6 +189,30 @@ pub struct Trainer {
     rng: SeedRng,
     curriculum: Vec<Dfg>,
     eval_dfg: Dfg,
+    start: ResumeState,
+}
+
+/// Where a (possibly resumed) run starts: the supervision state a
+/// checkpoint restored, or the fresh-run defaults.
+#[derive(Debug, Clone)]
+struct ResumeState {
+    next_epoch: u32,
+    retries: u32,
+    lr_penalty: f32,
+    rollbacks: u32,
+    epochs: Vec<EpochMetrics>,
+}
+
+impl Default for ResumeState {
+    fn default() -> Self {
+        ResumeState {
+            next_epoch: 0,
+            retries: 0,
+            lr_penalty: 1.0,
+            rollbacks: 0,
+            epochs: Vec::new(),
+        }
+    }
 }
 
 impl Trainer {
@@ -222,7 +250,86 @@ impl Trainer {
             config,
             curriculum,
             eval_dfg,
+            start: ResumeState::default(),
         }
+    }
+
+    /// Rebuild a trainer from the newest valid checkpoint generation in
+    /// `dir`, restoring the network weights, optimizer moments, replay
+    /// buffer, RNG stream position and curriculum position. A
+    /// subsequent [`Trainer::run_checkpointed`] continues the killed
+    /// run *bit-for-bit*: under the same seed it produces the same
+    /// per-epoch losses the uninterrupted run would have.
+    ///
+    /// When `dir` holds no valid generation (fresh directory, or every
+    /// generation torn) a fresh trainer is returned, so callers can use
+    /// one code path for cold starts and restarts.
+    ///
+    /// # Errors
+    /// Returns [`TrainError::Checkpoint`] when the checkpoint exists
+    /// but cannot be applied: trainer state missing or corrupt, weight
+    /// decode failure, or a [`TrainConfig`] whose fingerprint differs
+    /// from the one that wrote the checkpoint.
+    pub fn resume(
+        cgra: Cgra,
+        net_config: NetConfig,
+        config: TrainConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, TrainError> {
+        let store = CheckpointStore::open(dir).map_err(checkpoint_err)?;
+        let Some(generation) = store.load_latest_valid().map_err(checkpoint_err)? else {
+            return Ok(Trainer::new(cgra, net_config, config));
+        };
+        let raw = generation.file(TRAINER_STATE_FILE).ok_or_else(|| {
+            TrainError::Checkpoint(format!(
+                "generation {} lacks {TRAINER_STATE_FILE}",
+                generation.generation
+            ))
+        })?;
+        let state = persist::decode_train_state(raw).map_err(checkpoint_err)?;
+        if state.fingerprint != persist::config_fingerprint(&config) {
+            return Err(TrainError::Checkpoint(
+                "config fingerprint mismatch: checkpoint was written under a different \
+                 training configuration"
+                    .to_owned(),
+            ));
+        }
+        let mut trainer = Trainer::new(cgra, net_config, config);
+        let weight_name = format!("net_{}.mzw", trainer.cgra.pe_count());
+        let weights = generation.file(&weight_name).ok_or_else(|| {
+            TrainError::Checkpoint(format!(
+                "generation {} lacks {weight_name}",
+                generation.generation
+            ))
+        })?;
+        decode_params(&mut trainer.net.params, Bytes::from(weights.to_vec()))
+            .map_err(|e| TrainError::Checkpoint(format!("weight decode: {e}")))?;
+        trainer.net.restore_optimizer(state.adam);
+        trainer.buffer = ReplayBuffer::from_parts(
+            trainer.config.replay_capacity,
+            state.samples,
+            state.priorities,
+            usize::try_from(state.next_slot)
+                .map_err(|_| TrainError::Checkpoint("next_slot overflows usize".to_owned()))?,
+        )
+        .map_err(TrainError::Checkpoint)?;
+        trainer.rng = SeedRng::from_state(state.rng);
+        trainer.start = ResumeState {
+            next_epoch: state.next_epoch,
+            retries: state.retries,
+            lr_penalty: state.lr_penalty,
+            rollbacks: state.rollbacks,
+            epochs: state.epochs,
+        };
+        Ok(trainer)
+    }
+
+    /// The epoch the next [`Trainer::run`] / [`Trainer::run_checkpointed`]
+    /// call starts from (0 for a fresh trainer, the first unfinished
+    /// epoch after [`Trainer::resume`]).
+    #[must_use]
+    pub fn start_epoch(&self) -> u32 {
+        self.start.next_epoch
     }
 
     /// Add a specific kernel to the training curriculum (used for
@@ -252,13 +359,46 @@ impl Trainer {
     /// Returns [`TrainError::Diverged`] when the retry allowance is
     /// spent; the network holds the last healthy parameters.
     pub fn run(&mut self) -> Result<TrainingMetrics, TrainError> {
-        let mut metrics = TrainingMetrics::default();
+        self.run_supervised(None)
+    }
+
+    /// Like [`Trainer::run`], but after every healthy epoch commits a
+    /// checkpoint generation to `dir` (weights + optimizer + replay
+    /// buffer + RNG position + curriculum position), so a kill at any
+    /// instant — including mid-checkpoint-write — can be continued with
+    /// [`Trainer::resume`].
+    ///
+    /// # Errors
+    /// [`TrainError::Diverged`] as for [`Trainer::run`];
+    /// [`TrainError::Checkpoint`] when a commit fails.
+    pub fn run_checkpointed(
+        &mut self,
+        dir: impl AsRef<Path>,
+    ) -> Result<TrainingMetrics, TrainError> {
+        let store = CheckpointStore::open(dir).map_err(checkpoint_err)?;
+        self.run_supervised(Some(&store))
+    }
+
+    fn run_supervised(
+        &mut self,
+        store: Option<&CheckpointStore>,
+    ) -> Result<TrainingMetrics, TrainError> {
+        let start = std::mem::take(&mut self.start);
+        let mut metrics =
+            TrainingMetrics { epochs: start.epochs, rollbacks: start.rollbacks };
         let mut snapshot = self.net.params.clone();
-        let mut retries = 0u32;
-        let mut lr_penalty = 1.0f32;
-        let mut epoch = 0u32;
-        let mut nan_once_fired = false;
+        let mut retries = start.retries;
+        let mut lr_penalty = start.lr_penalty;
+        let mut epoch = start.next_epoch;
+        // A `NanLossOnce` fault on an epoch a checkpoint already passed
+        // has necessarily fired (the epoch could not have gone healthy
+        // on its first attempt); don't re-poison it after a resume.
+        let mut nan_once_fired = matches!(
+            self.config.fault,
+            FaultInjection::NanLossOnce { epoch: e } if e < epoch
+        );
         while epoch < self.config.epochs {
+            crate::failpoint!("train.pre_epoch");
             let inject_nan = match self.config.fault {
                 FaultInjection::NanLossAlways { epoch: e } => e == epoch,
                 FaultInjection::NanLossOnce { epoch: e } => {
@@ -278,6 +418,10 @@ impl Trainer {
                 snapshot = self.net.params.clone();
                 epoch += 1;
                 mapzero_obs::counter!("train.epochs");
+                if let Some(store) = store {
+                    self.commit_checkpoint(store, epoch, retries, lr_penalty, &metrics)
+                        .map_err(checkpoint_err)?;
+                }
                 continue;
             }
             if retries >= self.config.max_retries {
@@ -294,6 +438,40 @@ impl Trainer {
             mapzero_obs::counter!("train.rollbacks");
         }
         Ok(metrics)
+    }
+
+    /// Commit one checkpoint generation: the current weights plus the
+    /// full resumable trainer state ([`TrainState`]).
+    fn commit_checkpoint(
+        &self,
+        store: &CheckpointStore,
+        next_epoch: u32,
+        retries: u32,
+        lr_penalty: f32,
+        metrics: &TrainingMetrics,
+    ) -> Result<u64, CheckpointError> {
+        let (samples, priorities, next_slot) = self.buffer.export();
+        let state = TrainState {
+            fingerprint: persist::config_fingerprint(&self.config),
+            rng: self.rng.state(),
+            next_epoch,
+            retries,
+            lr_penalty,
+            rollbacks: metrics.rollbacks,
+            epochs: metrics.epochs.clone(),
+            adam: self.net.optimizer_state(),
+            samples,
+            priorities,
+            next_slot: next_slot as u64,
+        };
+        let files = vec![
+            (
+                format!("net_{}.mzw", self.cgra.pe_count()),
+                encode_params(&self.net.params).as_ref().to_vec(),
+            ),
+            (TRAINER_STATE_FILE.to_owned(), persist::encode_train_state(&state)),
+        ];
+        store.commit(&files)
     }
 
     /// Run a single epoch: self-play, replay updates, evaluation.
@@ -499,6 +677,12 @@ pub enum TrainError {
         /// Epoch at which the unrecoverable divergence occurred.
         epoch: u32,
     },
+    /// A checkpoint could not be written, read or applied.
+    Checkpoint(String),
+}
+
+fn checkpoint_err(e: impl std::fmt::Display) -> TrainError {
+    TrainError::Checkpoint(e.to_string())
 }
 
 impl std::fmt::Display for TrainError {
@@ -508,6 +692,7 @@ impl std::fmt::Display for TrainError {
             TrainError::Diverged { epoch } => {
                 write!(f, "training diverged at epoch {epoch} (retries exhausted)")
             }
+            TrainError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
         }
     }
 }
@@ -519,6 +704,7 @@ impl From<TrainError> for MapError {
         match e {
             TrainError::Unusable(inner) => inner,
             TrainError::Diverged { epoch } => MapError::Diverged { epoch },
+            TrainError::Checkpoint(msg) => MapError::Internal(format!("checkpoint: {msg}")),
         }
     }
 }

@@ -43,11 +43,11 @@ mod optim;
 mod serialize;
 
 pub use graph::{Graph, VarId};
-pub use init::SeedRng;
+pub use init::{RngState, SeedRng};
 pub use layers::{GatLayer, GcnLayer, Linear, Mlp};
 pub use matrix::Matrix;
-pub use optim::{clip_gradients, Adam, LrSchedule, Optimizer, Sgd};
-pub use serialize::{load_params, save_params, WeightFormatError};
+pub use optim::{clip_gradients, Adam, AdamState, LrSchedule, Optimizer, Sgd};
+pub use serialize::{decode_params, encode_params, load_params, save_params, WeightFormatError};
 
 /// Parameter storage shared across forward passes.
 ///

@@ -61,11 +61,43 @@ pub struct Adam {
     v: Vec<Matrix>,
 }
 
+/// The serializable part of an [`Adam`] optimizer: step count and
+/// moment estimates. Checkpoint/resume must carry this alongside the
+/// parameters — resuming with fresh moments would take different update
+/// directions than the uninterrupted run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdamState {
+    /// Update steps taken (drives bias correction).
+    pub t: u64,
+    /// First-moment estimates, one per parameter.
+    pub m: Vec<Matrix>,
+    /// Second-moment estimates, one per parameter.
+    pub v: Vec<Matrix>,
+}
+
 impl Adam {
     /// Create with standard coefficients (β₁ = 0.9, β₂ = 0.999).
     #[must_use]
     pub fn new() -> Self {
         Adam { beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Snapshot the optimizer state for checkpointing.
+    #[must_use]
+    pub fn export_state(&self) -> AdamState {
+        AdamState { t: self.t, m: self.m.clone(), v: self.v.clone() }
+    }
+
+    /// Restore a previously exported state (coefficients are
+    /// construction-time constants and are kept).
+    ///
+    /// # Panics
+    /// Panics if the two moment vectors disagree in length.
+    pub fn import_state(&mut self, state: AdamState) {
+        assert_eq!(state.m.len(), state.v.len(), "moment vectors must pair up");
+        self.t = state.t;
+        self.m = state.m;
+        self.v = state.v;
     }
 }
 

@@ -15,6 +15,10 @@ test:
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
 
+# Chaos suite: failpoint injection, kill/resume, torn-write proptest.
+chaos:
+    PROPTEST_SEED=20260807 cargo test -q --test chaos
+
 # Criterion microbenchmarks.
 bench:
     cargo bench --workspace

@@ -20,6 +20,11 @@ MAPZERO_TRACE="$trace" cargo run --release -q --example traced_mapping
 test -s "$trace" || { echo "telemetry smoke: empty trace at $trace" >&2; exit 1; }
 cargo run --release -q -p mapzero-obs --bin trace_summary -- --check "$trace"
 
+echo "==> chaos smoke (failpoint injection + kill/resume + torn-write proptest)"
+# Fixed seed so the torn-write property exercises the same offsets on
+# every CI run; local `just chaos` uses the same seed.
+PROPTEST_SEED=20260807 cargo test --release -q --test chaos
+
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 

@@ -1,0 +1,278 @@
+//! Chaos suite (DESIGN.md §Durability): every failpoint site is armed
+//! in turn and the system must either surface a structured error or
+//! recover — never unwind out of the public API, never load torn
+//! state, and resume killed training runs bit-for-bit.
+
+use mapzero::core::failpoint::{self, FailAction};
+use mapzero::core::network::NetConfig;
+use mapzero::core::{CheckpointStore, TrainError};
+use mapzero::core::{MapError, TrainConfig, Trainer};
+use mapzero::prelude::*;
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "mapzero_chaos_{tag}_{}_{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    dir
+}
+
+fn counter(name: &'static str) -> u64 {
+    mapzero_obs::metrics::registry().counter(name).get()
+}
+
+/// Deterministic single-worker config: bit-for-bit claims need the
+/// self-play episodes on the calling thread in a fixed order.
+fn chaos_config() -> TrainConfig {
+    TrainConfig { workers: 1, seed: 42, ..TrainConfig::fast_test() }
+}
+
+/// Acceptance: kill training between epochs, resume from the
+/// checkpoint directory, and the combined learning curves equal an
+/// uninterrupted run's exactly (same seed, float-for-float).
+#[test]
+fn killed_training_resumes_bit_for_bit() {
+    let cgra = presets::simple_mesh(2, 2);
+    let net = NetConfig::tiny();
+
+    // Uninterrupted baseline, no checkpointing at all.
+    let baseline = Trainer::new(cgra.clone(), net, chaos_config())
+        .run()
+        .expect("baseline run");
+    assert_eq!(baseline.epochs.len(), chaos_config().epochs as usize);
+
+    // Killed run: the third visit to `train.pre_epoch` is the start of
+    // epoch 2, after two generations have been committed.
+    let dir = temp_dir("resume");
+    {
+        let _kill = failpoint::scoped("train.pre_epoch", 3, FailAction::Panic);
+        let mut doomed = Trainer::new(cgra.clone(), net, chaos_config());
+        let unwound = catch_unwind(AssertUnwindSafe(|| doomed.run_checkpointed(&dir)));
+        let msg = *unwound.expect_err("armed kill must fire").downcast::<String>().unwrap();
+        assert!(msg.contains("train.pre_epoch"), "{msg}");
+    }
+
+    let recovered_before = counter("checkpoint.recovered");
+    let mut resumed = Trainer::resume(cgra.clone(), net, chaos_config(), &dir)
+        .expect("resume from killed run");
+    assert_eq!(resumed.start_epoch(), 2, "two epochs were committed before the kill");
+    assert!(counter("checkpoint.recovered") > recovered_before);
+    let metrics = resumed.run_checkpointed(&dir).expect("resumed run");
+    assert_eq!(metrics, baseline, "kill + resume must match the uninterrupted run");
+
+    // Resuming a *finished* run is a no-op that returns the same curves.
+    let mut again = Trainer::resume(cgra, net, chaos_config(), &dir).unwrap();
+    assert_eq!(again.start_epoch(), chaos_config().epochs);
+    assert_eq!(again.run().expect("finished run"), baseline);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A kill in the middle of the very first checkpoint write (after
+/// fsync, before the atomic rename) leaves no valid generation;
+/// `resume` falls back to a cold start and still reproduces the
+/// baseline, and later commits never reuse the torn number.
+#[test]
+fn kill_during_first_checkpoint_write_falls_back_to_cold_start() {
+    let cgra = presets::simple_mesh(2, 2);
+    let net = NetConfig::tiny();
+    let baseline =
+        Trainer::new(cgra.clone(), net, chaos_config()).run().expect("baseline");
+
+    let dir = temp_dir("midwrite");
+    {
+        let _kill = failpoint::scoped("checkpoint.pre_rename", 1, FailAction::Panic);
+        let mut doomed = Trainer::new(cgra.clone(), net, chaos_config());
+        let unwound = catch_unwind(AssertUnwindSafe(|| doomed.run_checkpointed(&dir)));
+        assert!(unwound.is_err(), "kill must fire during the first commit");
+    }
+    // The torn generation directory exists but holds no MANIFEST, so
+    // recovery sees nothing valid and resume starts cold.
+    let store = CheckpointStore::open(&dir).unwrap();
+    let torn = store.generations().unwrap();
+    assert_eq!(torn, vec![1], "the torn directory is left in place");
+    assert!(store.load_latest_valid().unwrap().is_none());
+
+    let mut resumed =
+        Trainer::resume(cgra, net, chaos_config(), &dir).expect("cold-start resume");
+    assert_eq!(resumed.start_epoch(), 0);
+    let metrics = resumed.run_checkpointed(&dir).expect("cold run");
+    assert_eq!(metrics, baseline);
+    // Monotone numbering: the rerun's commits skip past the torn dir.
+    assert_eq!(store.generations().unwrap(), vec![1, 2, 3, 4]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An injected I/O error at a checkpoint site surfaces as a structured
+/// `TrainError::Checkpoint` (no unwind), and the store still serves
+/// the previous generation afterwards.
+#[test]
+fn io_error_during_commit_is_a_structured_error() {
+    let dir = temp_dir("ioerr");
+    let store = CheckpointStore::open(&dir).unwrap();
+    let g1 = store.commit(&[("payload".to_owned(), b"healthy".to_vec())]).unwrap();
+
+    for site in ["checkpoint.pre_write", "checkpoint.pre_manifest"] {
+        let _fault = failpoint::scoped(site, 1, FailAction::IoError);
+        let err = store
+            .commit(&[("payload".to_owned(), b"doomed".to_vec())])
+            .expect_err("injected i/o error must fail the commit");
+        assert!(err.to_string().contains(site), "{site}: {err}");
+    }
+    let loaded = store.load_latest_valid().unwrap().expect("prior generation survives");
+    assert_eq!(loaded.generation, g1);
+    assert_eq!(loaded.file("payload"), Some(&b"healthy"[..]));
+
+    // The same fault inside a training run maps to `TrainError::Checkpoint`.
+    let _fault = failpoint::scoped("checkpoint.pre_manifest", 1, FailAction::IoError);
+    let mut trainer =
+        Trainer::new(presets::simple_mesh(2, 2), NetConfig::tiny(), chaos_config());
+    let err = trainer.run_checkpointed(temp_dir("ioerr_train")).unwrap_err();
+    let TrainError::Checkpoint(msg) = err else {
+        panic!("expected TrainError::Checkpoint, got {err:?}");
+    };
+    assert!(msg.contains("checkpoint.pre_manifest"), "{msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Panics injected at the inference and mapping-attempt sites are
+/// contained by the supervisor as `MapError::Internal`, and the
+/// compiler keeps working afterwards.
+#[test]
+fn inference_and_attempt_panics_are_contained() {
+    let cgra = presets::hrea();
+    let dfg = suite::by_name("sum").unwrap();
+    let mut compiler = Compiler::new(MapZeroConfig::fast_test());
+    for site in ["infer.predict", "compile.attempt"] {
+        let result = {
+            let _fault = failpoint::scoped(site, 1, FailAction::Panic);
+            compiler.map(&dfg, &cgra)
+        };
+        let err = result.expect_err("armed fault must abort the mapping");
+        let MapError::Internal(msg) = err else {
+            panic!("{site}: expected MapError::Internal, got {err:?}");
+        };
+        assert!(msg.contains(site), "{site}: {msg}");
+    }
+    let report = compiler.map(&dfg, &cgra).expect("compiler recovers");
+    assert!(report.mapping.is_some());
+}
+
+/// A corrupted newest generation is skipped (with telemetry) and
+/// `resume` continues from the last intact one.
+#[test]
+fn corrupt_newest_generation_resumes_from_prior() {
+    let cgra = presets::simple_mesh(2, 2);
+    let net = NetConfig::tiny();
+    let dir = temp_dir("corrupt");
+    Trainer::new(cgra.clone(), net, chaos_config())
+        .run_checkpointed(&dir)
+        .expect("full run");
+
+    let store = CheckpointStore::open(&dir).unwrap();
+    let generations = store.generations().unwrap();
+    assert_eq!(generations.len(), chaos_config().epochs as usize);
+    let newest = *generations.last().unwrap();
+    // Flip one byte of the newest trainer state in place.
+    let victim = store.gen_dir(newest).join("trainer.mzt");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&victim, bytes).unwrap();
+
+    let skipped_before = counter("checkpoint.corrupt_skipped");
+    let resumed = Trainer::resume(cgra, net, chaos_config(), &dir).expect("resume");
+    assert!(counter("checkpoint.corrupt_skipped") > skipped_before);
+    assert_eq!(
+        u64::from(resumed.start_epoch()),
+        newest - 1,
+        "resume must fall back to the last intact generation"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Resuming under a different training configuration is refused with a
+/// fingerprint mismatch instead of silently mixing states.
+#[test]
+fn resume_refuses_a_mismatched_config() {
+    let cgra = presets::simple_mesh(2, 2);
+    let net = NetConfig::tiny();
+    let dir = temp_dir("fingerprint");
+    Trainer::new(cgra.clone(), net, chaos_config())
+        .run_checkpointed(&dir)
+        .expect("full run");
+
+    let other = TrainConfig { seed: 43, ..chaos_config() };
+    let Err(err) = Trainer::resume(cgra, net, other, &dir) else {
+        panic!("mismatched config must be refused");
+    };
+    let TrainError::Checkpoint(msg) = err else {
+        panic!("expected TrainError::Checkpoint, got {err:?}");
+    };
+    assert!(msg.contains("fingerprint"), "{msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Torn-write property: commit three generations, then truncate or
+    /// bit-flip any file of any generation (MANIFEST included) at an
+    /// arbitrary offset. `load_latest_valid` must still return a
+    /// generation whose payload bytes are *exactly* what was committed
+    /// — torn state is never served.
+    #[test]
+    fn torn_writes_never_serve_corrupt_state(
+        victim_gen in 1u64..4,
+        file_pick in 0usize..3,
+        raw_offset in any::<u64>(),
+        truncate in any::<bool>(),
+        bit in 0u32..8,
+    ) {
+        let dir = temp_dir("torn_prop");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let mut committed = std::collections::BTreeMap::new();
+        for g in 1u64..4 {
+            let weights = vec![g as u8; 64 + g as usize];
+            let state: Vec<u8> = (0..48).map(|i| (i as u8).wrapping_mul(g as u8 + 1)).collect();
+            let files =
+                [("weights".to_owned(), weights.clone()), ("state".to_owned(), state.clone())];
+            prop_assert_eq!(store.commit(&files).unwrap(), g);
+            committed.insert(g, (weights, state));
+        }
+
+        // Mutate one file of the victim generation in place.
+        let names = ["weights", "state", "MANIFEST"];
+        let victim = store.gen_dir(victim_gen).join(names[file_pick]);
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let offset = (raw_offset % bytes.len() as u64) as usize;
+        if truncate {
+            bytes.truncate(offset);
+        } else {
+            bytes[offset] ^= 1 << bit;
+        }
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let loaded = store
+            .load_latest_valid()
+            .unwrap()
+            .expect("two generations are untouched");
+        // Whatever is served must be byte-identical to a commit.
+        let (weights, state) = &committed[&loaded.generation];
+        prop_assert_eq!(loaded.file("weights"), Some(weights.as_slice()));
+        prop_assert_eq!(loaded.file("state"), Some(state.as_slice()));
+        if victim_gen != 3 {
+            // Only damage to the newest generation may change the pick.
+            prop_assert_eq!(loaded.generation, 3);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -3,8 +3,8 @@
 //! training divergence rolls back, and the compiler degrades to the SA
 //! fallback instead of failing silently.
 
+use mapzero::core::failpoint::{self, FailAction};
 use mapzero::core::network::NetConfig;
-use mapzero::core::supervise::{arm_route_fault, disarm_route_fault};
 use mapzero::core::train::FaultInjection;
 use mapzero::core::{MapError, TrainError};
 use mapzero::prelude::*;
@@ -17,14 +17,15 @@ fn injected_route_panic_is_contained_as_internal_error() {
     let cgra = presets::hrea();
     let dfg = suite::by_name("sum").unwrap();
     let mut compiler = Compiler::new(MapZeroConfig::fast_test());
-    arm_route_fault(5);
-    let result = compiler.map(&dfg, &cgra);
-    disarm_route_fault();
+    let result = {
+        let _fault = failpoint::scoped("route.pre", 5, FailAction::Panic);
+        compiler.map(&dfg, &cgra)
+    };
     let err = result.expect_err("armed fault must abort the mapping");
     let MapError::Internal(msg) = err else {
         panic!("expected MapError::Internal, got {err:?}");
     };
-    assert!(msg.contains("injected route fault"), "{msg}");
+    assert!(msg.contains("route.pre"), "{msg}");
 
     // The compiler object survives the fault and maps cleanly afterwards.
     let report = compiler.map(&dfg, &cgra).unwrap();
