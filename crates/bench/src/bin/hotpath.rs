@@ -1,0 +1,126 @@
+//! Inference hot-path benchmark: the tape-free forward + DFG-branch
+//! memo + MCTS prediction cache against their naive counterparts.
+//!
+//! Two measurements:
+//!
+//! 1. **Prediction throughput** — `predict_reference` (autodiff tape,
+//!    per-op allocations) vs `predict` (InferCtx scratch reuse, memoized
+//!    DFG branch) on a fixed observation, in predictions/second.
+//! 2. **End-to-end compile time** — the Fig. 11 MapZero configuration on
+//!    a workload kernel, with the MCTS prediction cache off vs on.
+//!
+//! Results land in `results/BENCH_hotpath.json` with the run's metric
+//! deltas (including the `search.predict_cache.{hit,miss}` and
+//! `nn.dfg_embed.{hit,miss}` counters), so `scripts/ci.sh` can
+//! schema-check the file and flag throughput regressions against the
+//! committed baseline.
+
+use mapzero_bench::{BenchMode, Harness};
+use mapzero_core::embed::observe;
+use mapzero_core::network::{MapZeroNet, NetConfig};
+use mapzero_core::{Compiler, MapEnv, Problem};
+use mapzero_obs::json::Json;
+use std::time::{Duration, Instant};
+
+/// Run `f` repeatedly for at least `budget`, returning calls/second.
+fn throughput(budget: Duration, mut f: impl FnMut()) -> f64 {
+    // Warm-up: fill scratch buffers / memo so steady state is measured.
+    f();
+    let started = Instant::now();
+    let mut calls = 0u64;
+    while started.elapsed() < budget {
+        f();
+        calls += 1;
+    }
+    calls as f64 / started.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let mode = BenchMode::from_env();
+    let h = Harness::begin("hotpath", format!("Inference hot path: before/after ({mode:?} mode)"));
+    let budget = match mode {
+        BenchMode::Quick => Duration::from_millis(300),
+        BenchMode::Full => Duration::from_secs(2),
+    };
+
+    // --- 1. Raw prediction throughput -------------------------------
+    let dfg = mapzero_dfg::suite::by_name("conv3").expect("kernel exists");
+    let cgra = mapzero_arch::presets::hrea();
+    let mii = Problem::mii(&dfg, &cgra).expect("mappable");
+    let problem = Problem::new(&dfg, &cgra, mii).expect("schedulable");
+    let env = MapEnv::new(&problem);
+    let obs = observe(&env);
+    let net = MapZeroNet::new(cgra.pe_count(), NetConfig::default());
+    assert_eq!(
+        net.predict(&obs),
+        net.predict_reference(&obs),
+        "hot path must stay bit-identical to the reference"
+    );
+
+    h.progress("measuring predict_reference (tape-based)");
+    let ref_rate = throughput(budget, || {
+        std::hint::black_box(net.predict_reference(&obs));
+    });
+    h.progress("measuring predict (tape-free + memo)");
+    let fast_rate = throughput(budget, || {
+        std::hint::black_box(net.predict(&obs));
+    });
+    let predict_speedup = fast_rate / ref_rate.max(f64::MIN_POSITIVE);
+    h.note(format!(
+        "predictions/sec: reference {ref_rate:.0}, fast {fast_rate:.0} ({predict_speedup:.1}x)"
+    ));
+    h.field("predictions_per_sec_reference", Json::Num(ref_rate));
+    h.field("predictions_per_sec_fast", Json::Num(fast_rate));
+    h.field("predict_speedup", Json::Num(predict_speedup));
+
+    // --- 2. End-to-end compile time (Fig. 11 workload) ---------------
+    // Network-guided search (no playout early exit — the same search
+    // the self-play trainer runs): every placement decision is a full
+    // MCTS pass, so compile time is dominated by inference and the
+    // prediction cache's end-to-end effect is visible.
+    let kernel = match mode {
+        BenchMode::Quick => "conv3",
+        BenchMode::Full => "cap",
+    };
+    let dfg = mapzero_dfg::suite::by_name(kernel).expect("kernel exists");
+    let limit = mode.time_limit();
+    // `before` reproduces the pre-overhaul pipeline (tape-based forward,
+    // naive featurization, no prediction cache); `after` is the full
+    // hot path. Both produce bit-identical mappings.
+    let compile_secs = |label: &str, before: bool| -> f64 {
+        // Best of three runs per arm, damping scheduler noise on the
+        // short quick-mode compiles.
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let mut config = mode.mapzero_config();
+            config.agent.mcts.use_reference_forward = before;
+            config.agent.mcts.cache_predictions = !before;
+            config.agent.mcts.playout = false;
+            // No pretraining: this measures the search path, not training.
+            config.pretrain = None;
+            let mut compiler = Compiler::new(config);
+            let started = Instant::now();
+            let report = compiler.map_with_limit(&dfg, &cgra, limit);
+            let secs = started.elapsed().as_secs_f64();
+            let ii = report.ok().and_then(|r| r.achieved_ii()).unwrap_or(0);
+            h.note(format!(
+                "compile {kernel} on {} ({label}): {secs:.3} s, II={ii}",
+                cgra.name()
+            ));
+            best = best.min(secs);
+        }
+        best
+    };
+    h.progress(format!("compiling {kernel} with the pre-overhaul inference path"));
+    let before = compile_secs("before: tape + naive observe", true);
+    h.progress(format!("compiling {kernel} with the hot path + prediction cache"));
+    let after = compile_secs("after: tape-free + cache", false);
+    let compile_speedup = before / after.max(f64::MIN_POSITIVE);
+    h.note(format!("end-to-end compile speedup: {compile_speedup:.2}x"));
+    h.field("compile_kernel", Json::from(kernel));
+    h.field("compile_secs_before", Json::Num(before));
+    h.field("compile_secs_after", Json::Num(after));
+    h.field("compile_speedup", Json::Num(compile_speedup));
+
+    h.finish();
+}

@@ -9,11 +9,12 @@
 use crate::embed::{observe, Observation};
 use crate::env::MapEnv;
 use crate::mapping::Mapping;
-use crate::mcts::{Mcts, MctsConfig};
+use crate::mcts::{Mcts, MctsConfig, PredictCache};
 use crate::network::MapZeroNet;
 use crate::problem::Problem;
 use crate::supervise::Budget;
 use mapzero_arch::PeId;
+use std::cell::RefCell;
 use std::collections::HashSet;
 use std::time::Duration;
 
@@ -102,13 +103,20 @@ pub struct EpisodeResult {
 pub struct MapZeroAgent<'n> {
     net: &'n MapZeroNet,
     config: AgentConfig,
+    /// Prediction cache carried across episodes (and the compiler's II
+    /// attempts, which share early search states): each episode's MCTS
+    /// borrows it and hands it back. `RefCell` because episodes run
+    /// through `&self`; a panic mid-episode merely loses the cache
+    /// contents, never corrupts them.
+    cache: RefCell<PredictCache>,
 }
 
 impl<'n> MapZeroAgent<'n> {
     /// Create an agent around a (possibly pre-trained) network.
     #[must_use]
     pub fn new(net: &'n MapZeroNet, config: AgentConfig) -> Self {
-        MapZeroAgent { net, config }
+        let cache = RefCell::new(PredictCache::new(config.mcts.cache_capacity));
+        MapZeroAgent { net, config, cache }
     }
 
     /// Run one mapping episode on `problem` with a wall-clock deadline.
@@ -123,8 +131,24 @@ impl<'n> MapZeroAgent<'n> {
     /// the current (possibly long) decision to finish.
     #[must_use]
     pub fn run_episode_budgeted(&self, problem: &Problem<'_>, budget: &Budget) -> EpisodeResult {
+        let cache = self.cache.take();
+        let mut mcts = Mcts::with_cache(self.net, self.config.mcts, cache);
+        let result = self.episode_loop(&mut mcts, problem, budget);
+        self.cache.replace(mcts.into_cache());
+        result
+    }
+
+    /// The placement loop of one episode (see
+    /// [`MapZeroAgent::run_episode_budgeted`], which wraps it with the
+    /// prediction-cache handover).
+    fn episode_loop(
+        &self,
+        mcts: &mut Mcts<'_>,
+        problem: &Problem<'_>,
+        budget: &Budget,
+    ) -> EpisodeResult {
         let mut env = MapEnv::new(problem);
-        let mut mcts = Mcts::new(self.net, self.config.mcts);
+        let mut probs_scratch: Vec<f32> = Vec::new();
         let mut banned: Vec<HashSet<PeId>> = vec![HashSet::new(); problem.node_count() + 1];
         // Cached policy per depth: re-deciding after a backtrack walks
         // down the stored MCTS ranking instead of re-searching, so
@@ -145,12 +169,13 @@ impl<'n> MapZeroAgent<'n> {
             let depth = env.placed_count();
             // Pick an action not banned at this depth.
             let decision = self.decide(
-                &mut mcts,
+                mcts,
                 &env,
                 &banned[depth],
                 &mut cached[depth],
                 backtracks >= self.config.mcts_backtrack_cutoff,
                 budget,
+                &mut probs_scratch,
             );
             let Some((action, policy, solution)) = decision else {
                 // Everything at this depth is banned or illegal:
@@ -228,6 +253,7 @@ impl<'n> MapZeroAgent<'n> {
     /// `cached` holds the policy computed on the first visit to this
     /// depth under the current prefix, so post-backtrack re-decisions
     /// just walk down the stored ranking.
+    #[allow(clippy::too_many_arguments)]
     fn decide(
         &self,
         mcts: &mut Mcts<'_>,
@@ -236,6 +262,7 @@ impl<'n> MapZeroAgent<'n> {
         cached: &mut Option<Vec<f32>>,
         cheap_mode: bool,
         budget: &Budget,
+        probs_scratch: &mut Vec<f32>,
     ) -> Option<(PeId, Vec<f32>, Option<Mapping>)> {
         let legal: Vec<PeId> =
             env.legal_actions().into_iter().filter(|a| !banned.contains(a)).collect();
@@ -264,11 +291,13 @@ impl<'n> MapZeroAgent<'n> {
             *cached = Some(result.visit_distribution.clone());
             Some((action, result.visit_distribution, None))
         } else {
-            // Greedy policy placement (no-MCTS ablation).
+            // Greedy policy placement (no-MCTS ablation). The episode's
+            // scratch buffer absorbs the softmax output, so the per-
+            // decision allocation is only the cached copy.
             let pred = self.net.predict(&observe(env));
-            let probs = pred.probs();
-            let action = best_by_score(&legal, &probs, env)?;
-            *cached = Some(probs.clone());
+            pred.probs_into(probs_scratch);
+            let action = best_by_score(&legal, probs_scratch, env)?;
+            *cached = Some(probs_scratch.clone());
             let pe_count = env.problem().cgra().pe_count();
             let mut policy = vec![0.0f32; pe_count];
             policy[action.index()] = 1.0;

@@ -90,12 +90,44 @@ impl From<WeightFormatError> for CheckpointError {
 /// enough to catch torn writes and bit rot (not an adversarial MAC).
 #[must_use]
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    let mut h = Fnv64::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+/// Streaming FNV-1a 64 — the incremental form of [`fnv1a64`], used by
+/// the inference hot path to key prediction/embedding caches without
+/// first serializing the state into a byte buffer.
+#[derive(Debug, Clone)]
+pub(crate) struct Fnv64(u64);
+
+impl Fnv64 {
+    pub(crate) fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
     }
-    hash
+
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub(crate) fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    pub(crate) fn write_f32(&mut self, v: f32) {
+        self.write_bytes(&v.to_bits().to_le_bytes());
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// Name of the per-generation manifest file (the commit point).

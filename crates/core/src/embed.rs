@@ -86,6 +86,117 @@ fn matrix_from_rows<const D: usize>(rows: &[[f32; D]]) -> Matrix {
     Matrix::from_vec(rows.len(), D, data)
 }
 
+/// Identity of the problem an [`Observer`] was primed for; a mismatch
+/// forces a full rebuild instead of an incremental patch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ProblemSig {
+    ptr: usize,
+    ii: u32,
+    nodes: usize,
+    pes: usize,
+}
+
+impl ProblemSig {
+    fn of(env: &MapEnv<'_>) -> Self {
+        let problem = env.problem();
+        ProblemSig {
+            ptr: std::ptr::from_ref(problem) as usize,
+            ii: problem.ii(),
+            nodes: problem.dfg().node_count(),
+            pes: problem.cgra().pe_count(),
+        }
+    }
+}
+
+/// Incremental featurizer: holds the last [`Observation`] and patches
+/// only what the environment state can change, instead of rebuilding
+/// every tensor from scratch per query (the [`observe`] path, kept as
+/// the naive reference).
+///
+/// Of the whole observation, only four pieces depend on mapping state:
+/// DFG feature column 9 (assigned PE, patched for rows whose assignment
+/// changed since the last call — covers both placements and backtrack
+/// unmaps), CGRA feature column 6 (slice occupancy, rewritten each call
+/// since the active modulo slice follows the cursor), the metadata row,
+/// and the action mask. Everything else — static feature columns, both
+/// edge lists, normalization constants — is computed once per problem.
+///
+/// Both patches replicate the reference normalization expression (a
+/// single division of the raw value) so the result is bit-identical to
+/// [`observe`]; `proptest_hotpath` enforces this.
+#[derive(Debug, Default)]
+pub struct Observer {
+    sig: Option<ProblemSig>,
+    assigned: Vec<Option<usize>>,
+    obs: Option<Observation>,
+}
+
+impl Observer {
+    /// Create an unprimed observer; the first [`Observer::observe`]
+    /// call performs a full rebuild.
+    #[must_use]
+    pub fn new() -> Self {
+        Observer::default()
+    }
+
+    /// Featurize the environment's current state, reusing everything
+    /// the last call already computed. Bit-identical to [`observe`].
+    pub fn observe(&mut self, env: &MapEnv<'_>) -> &Observation {
+        let sig = ProblemSig::of(env);
+        if self.sig != Some(sig) || self.obs.is_none() {
+            self.sig = Some(sig);
+            self.assigned =
+                env.placements().iter().map(|p| p.map(|pl| pl.pe.index())).collect();
+            self.obs = Some(observe(env));
+            return self.obs.as_ref().expect("just rebuilt");
+        }
+        let _phase = mapzero_obs::phase::phase_guard(mapzero_obs::Phase::Embed);
+        mapzero_obs::counter!("embed.incremental");
+        let obs = self.obs.as_mut().expect("checked above");
+        let problem = env.problem();
+        let dfg = problem.dfg();
+
+        // DFG column 9: assigned PE, normalized by PE count. Patch only
+        // rows whose assignment changed (same expression as the full
+        // rebuild: one division of the raw value).
+        let pes = problem.cgra().pe_count().max(1) as f32;
+        for (u, placement) in env.placements().iter().enumerate() {
+            let now = placement.map(|pl| pl.pe.index());
+            if self.assigned[u] != now {
+                self.assigned[u] = now;
+                obs.dfg_nodes[(u, 9)] = now.map_or(-1.0, |p| p as f32) / pes;
+            }
+        }
+
+        // CGRA column 6: occupancy of the cursor's modulo slice,
+        // normalized by DFG size. The slice itself moves with the
+        // cursor, so rewrite the whole column (one entry per PE).
+        let dn = dfg.node_count().max(1) as f32;
+        for (p, occ) in env.current_slice_occupancy().iter().enumerate() {
+            obs.cgra_nodes[(p, 6)] = occ.map_or(-1.0, |n| n as f32) / dn;
+        }
+
+        // Metadata: the current node's normalized feature row plus the
+        // mapped fraction (node_metadata over the rebuilt rows does
+        // exactly this copy).
+        match env.current_node() {
+            Some(u) => {
+                let fraction = env.placed_count() as f32 / dfg.node_count() as f32;
+                let d = dfg_features::DFG_FEATURE_DIM;
+                let start = u.index() * d;
+                let Observation { dfg_nodes, metadata, .. } = obs;
+                let meta = metadata.row_slice_mut(0);
+                meta[..d].copy_from_slice(&dfg_nodes.data()[start..start + d]);
+                meta[d] = fraction;
+            }
+            None => obs.metadata.fill(0.0),
+        }
+
+        obs.mask = env.action_mask();
+        obs
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +235,50 @@ mod tests {
         assert_ne!(before.dfg_nodes, after.dfg_nodes, "assigned-PE feature must change");
         assert_ne!(before.metadata, after.metadata);
         let _ = PeId(0);
+    }
+
+    /// The incremental observer must match the naive rebuild exactly at
+    /// every step of an episode, including after backtrack unmaps.
+    #[test]
+    fn observer_matches_naive_rebuild_through_episode() {
+        let dfg = suite::by_name("sum").unwrap();
+        let cgra = presets::hrea();
+        let mii = Problem::mii(&dfg, &cgra).unwrap();
+        let problem = Problem::new(&dfg, &cgra, mii).unwrap();
+        let mut env = MapEnv::new(&problem);
+        let mut observer = Observer::new();
+        assert_eq!(*observer.observe(&env), observe(&env), "initial");
+        let mut step = 0;
+        while !env.done() {
+            let actions = env.legal_actions();
+            if actions.is_empty() {
+                break;
+            }
+            env.step(actions[step % actions.len()]);
+            assert_eq!(*observer.observe(&env), observe(&env), "after step {step}");
+            // Exercise the unmap path mid-episode.
+            if step == 1 {
+                let undone = env.undo();
+                assert!(undone.is_some());
+                assert_eq!(*observer.observe(&env), observe(&env), "after undo");
+            }
+            step += 1;
+        }
+    }
+
+    /// Switching problems (e.g. a new II attempt) must trigger a full
+    /// rebuild rather than patching tensors of the wrong shape.
+    #[test]
+    fn observer_detects_problem_switch() {
+        let dfg = suite::by_name("sum").unwrap();
+        let cgra = presets::hrea();
+        let p1 = Problem::new(&dfg, &cgra, 1).unwrap();
+        let p2 = Problem::new(&dfg, &cgra, 2).unwrap();
+        let mut observer = Observer::new();
+        let env1 = MapEnv::new(&p1);
+        assert_eq!(*observer.observe(&env1), observe(&env1));
+        let env2 = MapEnv::new(&p2);
+        assert_eq!(*observer.observe(&env2), observe(&env2));
     }
 
     #[test]

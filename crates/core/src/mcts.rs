@@ -10,12 +10,14 @@
 //! rollout completes a valid mapping at the target II, the whole search
 //! ends and returns it (§3.5).
 
-use crate::embed::observe;
+use crate::checkpoint::Fnv64;
+use crate::embed::Observer;
 use crate::env::{MapEnv, CONFLICT_PENALTY};
 use crate::mapping::Mapping;
-use crate::network::MapZeroNet;
+use crate::network::{MapZeroNet, Prediction};
 use crate::supervise::Budget;
 use mapzero_arch::PeId;
+use std::collections::HashMap;
 
 /// MCTS hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +41,17 @@ pub struct MctsConfig {
     pub playout_step_limit: usize,
     /// Playout RNG seed (tie-breaking).
     pub seed: u64,
+    /// Memoize network predictions by search state (transposition
+    /// cache). Hits are bit-identical to recomputation, so this is a
+    /// pure speed knob.
+    pub cache_predictions: bool,
+    /// Capacity of the prediction cache (entries).
+    pub cache_capacity: usize,
+    /// Evaluate leaves through [`MapZeroNet::predict_reference`] (the
+    /// tape-based forward) instead of the tape-free hot path. The two
+    /// are bit-identical; this exists as the "before" arm of the
+    /// hot-path benchmark and as an end-to-end equivalence oracle.
+    pub use_reference_forward: bool,
 }
 
 impl Default for MctsConfig {
@@ -51,6 +64,9 @@ impl Default for MctsConfig {
             playout: true,
             playout_step_limit: usize::MAX,
             seed: 0,
+            cache_predictions: true,
+            cache_capacity: 4096,
+            use_reference_forward: false,
         }
     }
 }
@@ -101,6 +117,129 @@ pub struct SearchResult {
     pub solution: Option<Mapping>,
 }
 
+/// Transposition-keyed memo of network predictions.
+///
+/// The placement vector (plus problem identity) uniquely determines the
+/// observation — placement order is fixed by `Problem::order` — so a
+/// cached [`Prediction`] is exactly what [`MapZeroNet::predict`] would
+/// return for that state. Hits come from re-rooted successive searches
+/// within an episode, re-decisions after backtracking, and shared early
+/// states across a compiler's II attempts (the agent carries the cache
+/// between episodes).
+///
+/// Entries are pinned to the network parameters they were computed
+/// under: [`PredictCache::ensure_net`] compares the stored parameter
+/// fingerprint against the live network and clears everything on a
+/// mismatch, so a weight update or a training rollback can never serve
+/// stale predictions.
+///
+/// Bounded by a two-segment ("flip-flop") LRU approximation: inserts go
+/// to the current segment; when it fills, the previous segment is
+/// dropped and the segments swap. A hit in the previous segment
+/// promotes the entry. O(1) per operation, worst-case memory two
+/// half-capacity segments.
+#[derive(Debug)]
+pub struct PredictCache {
+    cur: HashMap<u64, Prediction>,
+    prev: HashMap<u64, Prediction>,
+    capacity: usize,
+    fingerprint: Option<u64>,
+}
+
+impl PredictCache {
+    /// Create an empty cache holding at most ~`capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        // Register both legs of the hit-rate pair up front so traces
+        // and metric dumps always show the pair, even when a short run
+        // never hits (a lazily-registered `hit` would be absent rather
+        // than zero).
+        mapzero_obs::counter!("search.predict_cache.hit", 0);
+        mapzero_obs::counter!("search.predict_cache.miss", 0);
+        PredictCache {
+            cur: HashMap::new(),
+            prev: HashMap::new(),
+            capacity: capacity.max(2),
+            fingerprint: None,
+        }
+    }
+
+    /// Re-key the cache to the network's current parameters, dropping
+    /// every entry if they changed since the last call. Must run before
+    /// any `get` against a possibly-updated network.
+    pub fn ensure_net(&mut self, net: &MapZeroNet) {
+        let fp = net.params_fingerprint();
+        if self.fingerprint != Some(fp) {
+            if self.fingerprint.is_some() {
+                mapzero_obs::counter!("search.predict_cache.rekey");
+            }
+            self.cur.clear();
+            self.prev.clear();
+            self.fingerprint = Some(fp);
+        }
+    }
+
+    /// Look up a state key, promoting previous-segment hits.
+    fn get(&mut self, key: u64) -> Option<Prediction> {
+        if let Some(p) = self.cur.get(&key) {
+            return Some(p.clone());
+        }
+        let p = self.prev.remove(&key)?;
+        self.cur.insert(key, p.clone());
+        Some(p)
+    }
+
+    /// Insert, swapping segments when the current one is full.
+    fn insert(&mut self, key: u64, pred: Prediction) {
+        if self.cur.len() >= self.capacity / 2 {
+            std::mem::swap(&mut self.cur, &mut self.prev);
+            self.cur.clear();
+        }
+        self.cur.insert(key, pred);
+    }
+
+    /// Number of live entries across both segments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cur.len() + self.prev.len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for PredictCache {
+    /// A minimal-capacity cache — the transient placeholder
+    /// `RefCell::take` leaves behind while an episode borrows the real
+    /// one.
+    fn default() -> Self {
+        PredictCache::new(0)
+    }
+}
+
+/// Hash the search state: problem identity plus the placement ledger
+/// (which uniquely determines the observation — see [`PredictCache`]).
+fn state_key(env: &MapEnv<'_>) -> u64 {
+    let problem = env.problem();
+    let mut h = Fnv64::new();
+    h.write_u64(u64::from(problem.ii()));
+    h.write_usize(problem.dfg().node_count());
+    h.write_usize(problem.cgra().pe_count());
+    for p in env.placements() {
+        match p {
+            Some(pl) => {
+                h.write_usize(1 + pl.pe.index());
+                h.write_u64(u64::from(pl.time));
+            }
+            None => h.write_usize(0),
+        }
+    }
+    h.finish()
+}
+
 /// Network-guided MCTS over a mapping environment.
 pub struct Mcts<'n> {
     net: &'n MapZeroNet,
@@ -108,6 +247,8 @@ pub struct Mcts<'n> {
     nodes: Vec<TreeNode>,
     root: usize,
     rng: mapzero_nn::SeedRng,
+    observer: Observer,
+    cache: PredictCache,
 }
 
 /// Normalize an environment step reward to roughly [−1, 0].
@@ -119,8 +260,32 @@ impl<'n> Mcts<'n> {
     /// Create a search over the given network.
     #[must_use]
     pub fn new(net: &'n MapZeroNet, config: MctsConfig) -> Self {
+        Mcts::with_cache(net, config, PredictCache::new(config.cache_capacity))
+    }
+
+    /// Create a search reusing an existing prediction cache (the agent
+    /// carries one across episodes and II attempts). The cache is
+    /// re-keyed to `net` immediately, so entries from a different
+    /// parameter state are dropped up front.
+    #[must_use]
+    pub fn with_cache(net: &'n MapZeroNet, config: MctsConfig, mut cache: PredictCache) -> Self {
+        cache.ensure_net(net);
         let rng = mapzero_nn::SeedRng::new(config.seed);
-        Mcts { net, config, nodes: Vec::new(), root: 0, rng }
+        Mcts {
+            net,
+            config,
+            nodes: Vec::new(),
+            root: 0,
+            rng,
+            observer: Observer::new(),
+            cache,
+        }
+    }
+
+    /// Surrender the prediction cache for reuse by a later search.
+    #[must_use]
+    pub fn into_cache(self) -> PredictCache {
+        self.cache
     }
 
     /// Number of nodes currently in the tree.
@@ -130,9 +295,17 @@ impl<'n> Mcts<'n> {
     }
 
     /// Reset the tree (e.g. after the environment was rolled back).
+    ///
+    /// Deliberately does NOT clear the prediction cache — cached
+    /// predictions are keyed by state, not by tree, and stay valid
+    /// across resets. It does re-verify the parameter fingerprint, so
+    /// if the network was updated or rolled back since the last search
+    /// (the tree is reset per decision), stale entries are dropped
+    /// before they can be served.
     pub fn reset(&mut self) {
         self.nodes.clear();
         self.root = 0;
+        self.cache.ensure_net(self.net);
     }
 
     /// Run simulations from `root_env` and pick an action for the
@@ -280,8 +453,7 @@ impl<'n> Mcts<'n> {
             self.nodes.push(TreeNode { edges: Vec::new(), visits: 0 });
             return (self.nodes.len() - 1, -1.0);
         }
-        let obs = observe(env);
-        let pred = self.net.predict(&obs);
+        let pred = self.predict(env);
         let mut scored: Vec<(PeId, f64)> = legal
             .into_iter()
             .map(|pe| (pe, f64::from(pred.log_probs[pe.index()].exp())))
@@ -304,6 +476,31 @@ impl<'n> Mcts<'n> {
             .collect();
         self.nodes.push(TreeNode { edges, visits: 0 });
         (self.nodes.len() - 1, f64::from(pred.value))
+    }
+
+    /// Network evaluation of the environment state, through the
+    /// transposition cache when enabled. Cache hits skip featurization
+    /// and the forward pass entirely; hits and misses are counted as
+    /// `search.predict_cache.{hit,miss}`.
+    fn predict(&mut self, env: &MapEnv<'_>) -> Prediction {
+        let net = self.net;
+        if self.config.use_reference_forward {
+            // Naive featurization too: this arm reproduces the whole
+            // pre-overhaul pipeline, not just the tape-based forward.
+            return net.predict_reference(&crate::embed::observe(env));
+        }
+        if !self.config.cache_predictions {
+            return net.predict(self.observer.observe(env));
+        }
+        let key = state_key(env);
+        if let Some(pred) = self.cache.get(key) {
+            mapzero_obs::counter!("search.predict_cache.hit");
+            return pred;
+        }
+        mapzero_obs::counter!("search.predict_cache.miss");
+        let pred = net.predict(self.observer.observe(env));
+        self.cache.insert(key, pred.clone());
+        pred
     }
 
     /// Greedy playout to the end of the episode: each remaining node is
@@ -575,6 +772,76 @@ mod tests {
         // overshoot the cap by a single node before the next poll.
         assert!(mcts.tree_size() <= 9, "tree grew to {}", mcts.tree_size());
         assert!(budget.exhausted());
+    }
+
+    /// The transposition cache is a pure speed knob: searches with it
+    /// on and off must make identical decisions (cached predictions are
+    /// bit-identical to recomputation).
+    #[test]
+    fn cached_search_matches_uncached_search() {
+        let dfg = suite::by_name("mac").unwrap();
+        let cgra = presets::simple_mesh(4, 4);
+        let problem = Problem::new(&dfg, &cgra, 1).unwrap();
+        let env = MapEnv::new(&problem);
+        let net = MapZeroNet::new(16, NetConfig::tiny());
+        let base = MctsConfig { playout: false, ..MctsConfig::fast_test() };
+        let mut cached = Mcts::new(&net, MctsConfig { cache_predictions: true, ..base });
+        let mut uncached = Mcts::new(&net, MctsConfig { cache_predictions: false, ..base });
+        let a = cached.search(&env);
+        let b = uncached.search(&env);
+        assert_eq!(a.best_action, b.best_action);
+        assert_eq!(a.visit_distribution, b.visit_distribution);
+        assert!((a.root_value - b.root_value).abs() < 1e-12);
+    }
+
+    /// `reset` must drop cache entries when the network parameters
+    /// changed (the training-rollback bug), and must keep them when the
+    /// parameters are unchanged.
+    #[test]
+    fn reset_rekeys_cache_on_weight_change_only() {
+        let dfg = suite::by_name("mac").unwrap();
+        let cgra = presets::simple_mesh(4, 4);
+        let problem = Problem::new(&dfg, &cgra, 1).unwrap();
+        let env = MapEnv::new(&problem);
+        let mut net = MapZeroNet::new(16, NetConfig::tiny());
+
+        let mut mcts = Mcts::new(&net, MctsConfig::fast_test());
+        let _ = mcts.search(&env);
+        let mut cache = mcts.into_cache();
+        assert!(!cache.is_empty(), "search should have populated the cache");
+
+        // Same parameters: entries survive a reset.
+        let mut mcts = Mcts::with_cache(&net, MctsConfig::fast_test(), cache);
+        mcts.reset();
+        cache = mcts.into_cache();
+        assert!(!cache.is_empty(), "reset must not clear a valid cache");
+
+        // Parameter update: entries must be dropped.
+        let obs = crate::embed::observe(&env);
+        let sample = crate::network::TrainSample {
+            observation: obs,
+            policy: vec![1.0 / 16.0; 16],
+            value: 0.1,
+        };
+        let _ = net.train_batch(&[sample], 0.01, 5.0);
+        let mcts = Mcts::with_cache(&net, MctsConfig::fast_test(), cache);
+        assert!(
+            mcts.into_cache().is_empty(),
+            "stale entries survived a weight change"
+        );
+    }
+
+    /// The flip-flop LRU keeps the entry count bounded by the capacity.
+    #[test]
+    fn predict_cache_is_bounded() {
+        let mut cache = PredictCache::new(8);
+        cache.fingerprint = Some(1);
+        for k in 0..100u64 {
+            cache.insert(k, Prediction { log_probs: vec![0.0], value: 0.0 });
+        }
+        assert!(cache.len() <= 8, "cache grew to {}", cache.len());
+        // Most-recent entries stay resident.
+        assert!(cache.get(99).is_some());
     }
 
     #[test]

@@ -2,11 +2,14 @@
 //! slice, an FC encoder for the current node's metadata, an MLP trunk
 //! producing the joint state vector, and policy / value heads.
 
+use crate::checkpoint::Fnv64;
 use crate::embed::Observation;
+use mapzero_nn::infer::log_softmax_masked_into;
 use mapzero_nn::{
-    clip_gradients, Adam, AdamState, GatLayer, GcnLayer, Graph, Linear, Matrix, Mlp, Optimizer,
-    Params, SeedRng, VarId,
+    clip_gradients, Adam, AdamState, BufId, GatLayer, GcnLayer, Graph, InferCtx, Linear, Matrix,
+    MessageIndex, Mlp, Optimizer, Params, SeedRng, VarId,
 };
+use std::cell::RefCell;
 
 /// Which graph encoder the network uses (§2.2 argues for GAT; GCN is
 /// kept for the `ablation_design` comparison).
@@ -52,6 +55,19 @@ impl Encoder {
         match self {
             Encoder::Gat(l) => l.forward(g, params, x, edges),
             Encoder::Gcn(l) => l.forward(g, params, x, edges),
+        }
+    }
+
+    fn infer(
+        &self,
+        ctx: &mut InferCtx,
+        params: &Params,
+        x: BufId,
+        index: &MessageIndex,
+    ) -> BufId {
+        match self {
+            Encoder::Gat(l) => l.infer(ctx, params, x, index),
+            Encoder::Gcn(l) => l.infer(ctx, params, x, index),
         }
     }
 }
@@ -118,7 +134,17 @@ impl Prediction {
     /// Probabilities (exp of log-probs; masked ≈ 0).
     #[must_use]
     pub fn probs(&self) -> Vec<f32> {
-        self.log_probs.iter().map(|lp| lp.exp()).collect()
+        let mut out = Vec::new();
+        self.probs_into(&mut out);
+        out
+    }
+
+    /// Probabilities written into a caller-provided buffer, so per-step
+    /// decision loops can reuse one allocation instead of taking a
+    /// fresh `Vec` per expansion.
+    pub fn probs_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend(self.log_probs.iter().map(|lp| lp.exp()));
     }
 
     /// Index of the most likely action.
@@ -160,6 +186,75 @@ pub struct LossBreakdown {
     pub grad_norm: f32,
 }
 
+/// The DFG half of the forward pass, reusable across per-step
+/// predictions.
+///
+/// The DFG encoder is the most expensive branch of the network, and its
+/// input only changes when a node's assigned-PE feature changes — once
+/// per agent step, while MCTS queries the net at dozens of interior
+/// states sharing the same assignment vector. Splitting it out lets
+/// [`MapZeroNet::predict_with_dfg`] (and the memo inside
+/// [`MapZeroNet::predict`]) run only the CGRA/meta/head path per query.
+///
+/// The embedding is pinned to the parameters it was computed under via
+/// [`Params::fingerprint`]; using it after a weight update or rollback
+/// is rejected.
+#[derive(Debug, Clone)]
+pub struct DfgEmbedding {
+    fingerprint: u64,
+    key: u64,
+    emb: Matrix,
+}
+
+impl DfgEmbedding {
+    /// FNV key of the DFG observation (features + edges) this embedding
+    /// encodes.
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+/// Per-thread scratch for the tape-free forward path: the bump-arena
+/// workspace, the two message indices (rebuilt in place per problem),
+/// and a single-entry DFG-embedding memo. Thread-local so
+/// [`MapZeroNet::predict`] keeps its `&self` signature and the net
+/// stays shareable across self-play worker threads.
+struct InferState {
+    ctx: InferCtx,
+    dfg_index: MessageIndex,
+    cgra_index: MessageIndex,
+    memo: Option<DfgEmbedding>,
+}
+
+thread_local! {
+    static INFER_STATE: RefCell<InferState> = RefCell::new(InferState {
+        ctx: InferCtx::new(),
+        dfg_index: MessageIndex::new(),
+        cgra_index: MessageIndex::new(),
+        memo: None,
+    });
+}
+
+/// Hash the DFG half of an observation: feature-matrix dims and bits
+/// plus the edge list. Two observations with equal keys produce the
+/// same DFG-encoder output, which is what the memo in
+/// [`MapZeroNet::predict`] relies on.
+fn dfg_obs_key(obs: &Observation) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_usize(obs.dfg_nodes.rows());
+    h.write_usize(obs.dfg_nodes.cols());
+    for &v in obs.dfg_nodes.data() {
+        h.write_f32(v);
+    }
+    h.write_usize(obs.dfg_edges.len());
+    for &(u, v) in &obs.dfg_edges {
+        h.write_usize(u);
+        h.write_usize(v);
+    }
+    h.finish()
+}
+
 /// The MapZero policy/value network.
 pub struct MapZeroNet {
     /// Parameter store (exposed for checkpointing).
@@ -188,6 +283,10 @@ impl MapZeroNet {
     /// same weights transfer across fabrics of equal PE count (§4.5).
     #[must_use]
     pub fn new(action_count: usize, config: NetConfig) -> Self {
+        // Pre-register the memo hit-rate pair so short runs that never
+        // hit still show `hit: 0` in traces and metric dumps.
+        mapzero_obs::counter!("nn.dfg_embed.hit", 0);
+        mapzero_obs::counter!("nn.dfg_embed.miss", 0);
         let mut params = Params::new();
         let mut rng = SeedRng::new(config.seed);
         let gat_out = config.head_dim * config.heads;
@@ -288,6 +387,14 @@ impl MapZeroNet {
 
     /// Inference: predict the action distribution and state value.
     ///
+    /// Runs the tape-free [`InferCtx`] path (no autodiff graph, no
+    /// per-op allocations) and memoizes the DFG-encoder branch per
+    /// thread, keyed by (parameter fingerprint, DFG observation hash):
+    /// successive queries whose DFG half is unchanged — every MCTS
+    /// expansion between agent steps — skip the most expensive branch
+    /// of the network. Bit-identical to
+    /// [`MapZeroNet::predict_reference`].
+    ///
     /// # Panics
     /// Panics if the observation mask has no legal action or its mask
     /// length differs from the action count.
@@ -297,12 +404,31 @@ impl MapZeroNet {
         crate::failpoint!("infer.predict");
         let _phase = mapzero_obs::phase::phase_guard(mapzero_obs::Phase::Infer);
         let started = mapzero_obs::enabled().then(std::time::Instant::now);
-        let mut g = Graph::new();
-        let (log_probs, value) = self.forward(&mut g, obs);
-        let prediction = Prediction {
-            log_probs: g.value(log_probs).data().to_vec(),
-            value: g.value(value)[(0, 0)],
-        };
+        let prediction = INFER_STATE.with(|cell| {
+            let st = &mut *cell.borrow_mut();
+            let InferState { ctx, dfg_index, cgra_index, memo } = st;
+            ctx.begin();
+            let fingerprint = self.params.fingerprint();
+            let key = dfg_obs_key(obs);
+            let cached = memo
+                .as_ref()
+                .filter(|m| m.fingerprint == fingerprint && m.key == key)
+                .map(|m| ctx.load(&m.emb));
+            let dfg_emb = if let Some(slot) = cached {
+                mapzero_obs::counter!("nn.dfg_embed.hit");
+                slot
+            } else {
+                mapzero_obs::counter!("nn.dfg_embed.miss");
+                let slot = self.dfg_branch(ctx, dfg_index, obs);
+                *memo = Some(DfgEmbedding {
+                    fingerprint,
+                    key,
+                    emb: ctx.value(slot).clone(),
+                });
+                slot
+            };
+            self.finish_forward(ctx, cgra_index, obs, dfg_emb)
+        });
         if let Some(start) = started {
             mapzero_obs::observe!(
                 "nn.forward_us",
@@ -310,6 +436,124 @@ impl MapZeroNet {
             );
         }
         prediction
+    }
+
+    /// Reference inference through the autodiff tape — the allocation-
+    /// heavy path [`MapZeroNet::predict`] replaces. Kept public as the
+    /// equivalence oracle for the hot-path proptests and as the
+    /// "before" arm of the `hotpath` bench.
+    ///
+    /// # Panics
+    /// Same contract as [`MapZeroNet::predict`].
+    #[must_use]
+    pub fn predict_reference(&self, obs: &Observation) -> Prediction {
+        assert_eq!(obs.mask.len(), self.action_count, "mask/action mismatch");
+        let _phase = mapzero_obs::phase::phase_guard(mapzero_obs::Phase::Infer);
+        let mut g = Graph::new();
+        let (log_probs, value) = self.forward(&mut g, obs);
+        Prediction {
+            log_probs: g.value(log_probs).data().to_vec(),
+            value: g.value(value)[(0, 0)],
+        }
+    }
+
+    /// Compute the DFG half of the forward pass for reuse across
+    /// per-step predictions (see [`DfgEmbedding`]).
+    #[must_use]
+    pub fn dfg_embedding(&self, obs: &Observation) -> DfgEmbedding {
+        INFER_STATE.with(|cell| {
+            let st = &mut *cell.borrow_mut();
+            let InferState { ctx, dfg_index, .. } = st;
+            ctx.begin();
+            let slot = self.dfg_branch(ctx, dfg_index, obs);
+            DfgEmbedding {
+                fingerprint: self.params.fingerprint(),
+                key: dfg_obs_key(obs),
+                emb: ctx.value(slot).clone(),
+            }
+        })
+    }
+
+    /// Predict with a precomputed DFG embedding: only the CGRA, meta
+    /// and head layers run. Bit-identical to [`MapZeroNet::predict`]
+    /// when `emb` matches the observation's DFG half.
+    ///
+    /// # Panics
+    /// Panics on mask/action mismatch, and if `emb` was computed under
+    /// different parameter values (a weight update or rollback since) —
+    /// a stale embedding must never silently contribute to a
+    /// prediction.
+    #[must_use]
+    pub fn predict_with_dfg(&self, obs: &Observation, emb: &DfgEmbedding) -> Prediction {
+        assert_eq!(obs.mask.len(), self.action_count, "mask/action mismatch");
+        assert_eq!(
+            emb.fingerprint,
+            self.params.fingerprint(),
+            "stale DfgEmbedding: parameters changed since it was computed"
+        );
+        crate::failpoint!("infer.predict");
+        let _phase = mapzero_obs::phase::phase_guard(mapzero_obs::Phase::Infer);
+        INFER_STATE.with(|cell| {
+            let st = &mut *cell.borrow_mut();
+            let InferState { ctx, cgra_index, .. } = st;
+            ctx.begin();
+            let slot = ctx.load(&emb.emb);
+            self.finish_forward(ctx, cgra_index, obs, slot)
+        })
+    }
+
+    /// A cheap identity fingerprint of the current parameter values
+    /// (see [`Params::fingerprint`]); prediction caches key on this to
+    /// detect weight updates and rollbacks.
+    #[must_use]
+    pub fn params_fingerprint(&self) -> u64 {
+        self.params.fingerprint()
+    }
+
+    /// DFG encoder stack → mean-pooled embedding (tape-free).
+    fn dfg_branch(
+        &self,
+        ctx: &mut InferCtx,
+        index: &mut MessageIndex,
+        obs: &Observation,
+    ) -> BufId {
+        index.rebuild(&obs.dfg_edges, obs.dfg_nodes.rows());
+        let x = ctx.load(&obs.dfg_nodes);
+        let h1 = self.gat_dfg1.infer(ctx, &self.params, x, index);
+        let h2 = self.gat_dfg2.infer(ctx, &self.params, h1, index);
+        ctx.mean_rows(h2)
+    }
+
+    /// CGRA branch, meta branch, trunk and heads (tape-free); mirrors
+    /// the second half of [`MapZeroNet::forward`] op for op.
+    fn finish_forward(
+        &self,
+        ctx: &mut InferCtx,
+        cgra_index: &mut MessageIndex,
+        obs: &Observation,
+        dfg_emb: BufId,
+    ) -> Prediction {
+        cgra_index.rebuild(&obs.cgra_edges, obs.cgra_nodes.rows());
+        let x_cgra = ctx.load(&obs.cgra_nodes);
+        let c1 = self.gat_cgra1.infer(ctx, &self.params, x_cgra, cgra_index);
+        let c2 = self.gat_cgra2.infer(ctx, &self.params, c1, cgra_index);
+        let cgra_emb = ctx.mean_rows(c2);
+
+        let meta_in = ctx.load(&obs.metadata);
+        let meta_emb = self.fc_meta.infer(ctx, &self.params, meta_in);
+        ctx.relu(meta_emb);
+
+        let joined = ctx.concat_cols(dfg_emb, cgra_emb);
+        let joined = ctx.concat_cols(joined, meta_emb);
+        let state = self.trunk.infer(ctx, &self.params, joined);
+        ctx.relu(state);
+
+        let logits = self.policy_head.infer(ctx, &self.params, state);
+        let mut log_probs = Vec::with_capacity(self.action_count);
+        log_softmax_masked_into(ctx.value(logits).row_slice(0), &obs.mask, &mut log_probs);
+        let value_raw = self.value_head.infer(ctx, &self.params, state);
+        let value = ctx.value(value_raw)[(0, 0)].tanh();
+        Prediction { log_probs, value }
     }
 
     /// One optimization step on a batch of samples, minimizing
@@ -449,5 +693,72 @@ mod tests {
     fn empty_batch_panics() {
         let mut net = MapZeroNet::new(16, NetConfig::tiny());
         let _ = net.train_batch(&[], 0.01, 1.0);
+    }
+
+    /// The tape-free predict must be bit-identical to the autodiff
+    /// reference — fresh, memo-hit, and after a weight update (which
+    /// must invalidate the memo via the params fingerprint).
+    #[test]
+    fn fast_predict_matches_reference_bitwise() {
+        let mut net = MapZeroNet::new(16, NetConfig::tiny());
+        let obs = sample_obs();
+        let reference = net.predict_reference(&obs);
+        assert_eq!(net.predict(&obs), reference, "fresh (memo miss)");
+        assert_eq!(net.predict(&obs), reference, "repeat (memo hit)");
+
+        let sample = TrainSample {
+            observation: sample_obs(),
+            policy: vec![1.0 / 16.0; 16],
+            value: 0.3,
+        };
+        let _ = net.train_batch(&[sample], 0.01, 5.0);
+        let updated = net.predict_reference(&obs);
+        assert_ne!(updated, reference, "training should move the outputs");
+        assert_eq!(net.predict(&obs), updated, "memo must invalidate on weight change");
+    }
+
+    #[test]
+    fn predict_with_dfg_matches_reference() {
+        let net = MapZeroNet::new(16, NetConfig::tiny());
+        let obs = sample_obs();
+        let emb = net.dfg_embedding(&obs);
+        assert_eq!(net.predict_with_dfg(&obs, &emb), net.predict_reference(&obs));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale DfgEmbedding")]
+    fn stale_dfg_embedding_is_rejected() {
+        let mut net = MapZeroNet::new(16, NetConfig::tiny());
+        let obs = sample_obs();
+        let emb = net.dfg_embedding(&obs);
+        let sample = TrainSample {
+            observation: sample_obs(),
+            policy: vec![1.0 / 16.0; 16],
+            value: 0.0,
+        };
+        let _ = net.train_batch(&[sample], 0.01, 5.0);
+        let _ = net.predict_with_dfg(&obs, &emb);
+    }
+
+    #[test]
+    fn probs_into_matches_probs() {
+        let net = MapZeroNet::new(16, NetConfig::tiny());
+        let pred = net.predict(&sample_obs());
+        let mut buf = vec![999.0; 3]; // stale contents must be cleared
+        pred.probs_into(&mut buf);
+        assert_eq!(buf, pred.probs());
+    }
+
+    #[test]
+    fn dfg_obs_key_tracks_assignment_column() {
+        let dfg = suite::by_name("sum").unwrap();
+        let cgra = presets::hrea();
+        let problem = Problem::new(&dfg, &cgra, 1).unwrap();
+        let mut env = MapEnv::new(&problem);
+        let before = dfg_obs_key(&observe(&env));
+        let action = env.legal_actions()[0];
+        let _ = env.step(action);
+        let after = dfg_obs_key(&observe(&env));
+        assert_ne!(before, after, "placing a node must change the DFG key");
     }
 }

@@ -556,7 +556,7 @@ impl Trainer {
     /// (zero reward, no trajectory) instead of unwinding the trainer or
     /// poisoning its worker thread.
     fn run_episodes(&self, picks: &[Dfg], epoch: u32) -> Vec<(f64, bool, Vec<TrajectoryStep>)> {
-        let run_one = |dfg: &Dfg| -> (f64, bool, Vec<TrajectoryStep>) {
+        let run_one = |episode: usize, dfg: &Dfg| -> (f64, bool, Vec<TrajectoryStep>) {
             isolated("self-play episode", || {
                 if matches!(self.config.fault, FaultInjection::EpisodePanic { epoch: e } if e == epoch)
                 {
@@ -571,8 +571,17 @@ impl Trainer {
                 // Self-play per Algorithm 1: the MCTS leaf evaluation is
                 // the network value (no playout shortcut), so every action
                 // is committed and recorded as an (s, pi, r) step.
+                //
+                // Each episode gets its own RNG stream derived from
+                // (run seed, epoch, episode index) — a function of the
+                // episode's position, never of which worker thread runs
+                // it, so results are identical for any worker count.
                 let agent_config = AgentConfig {
-                    mcts: crate::mcts::MctsConfig { playout: false, ..self.config.mcts },
+                    mcts: crate::mcts::MctsConfig {
+                        playout: false,
+                        seed: episode_seed(self.config.seed, epoch, episode),
+                        ..self.config.mcts
+                    },
                     use_mcts: true,
                     backtrack_budget: 32,
                     mcts_backtrack_cutoff: u64::MAX,
@@ -584,23 +593,50 @@ impl Trainer {
             })
             .unwrap_or((0.0, false, Vec::new()))
         };
-        if self.config.workers <= 1 || picks.len() <= 1 {
-            return picks.iter().map(run_one).collect();
+        let workers = self.effective_workers();
+        if workers <= 1 || picks.len() <= 1 {
+            return picks.iter().enumerate().map(|(i, d)| run_one(i, d)).collect();
         }
-        let chunk = picks.len().div_ceil(self.config.workers);
+        let chunk = picks.len().div_ceil(workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = picks
                 .chunks(chunk)
-                .map(|slice| scope.spawn(move || slice.iter().map(run_one).collect::<Vec<_>>()))
+                .enumerate()
+                .map(|(c, slice)| {
+                    let run_one = &run_one;
+                    scope.spawn(move || {
+                        slice
+                            .iter()
+                            .enumerate()
+                            .map(|(j, d)| run_one(c * chunk + j, d))
+                            .collect::<Vec<_>>()
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
                 // Episodes are individually isolated, so a worker can
                 // only die from a fault outside the episode body; treat
-                // that as "all episodes of the chunk failed".
+                // that as "all episodes of the chunk failed". Joining in
+                // spawn order keeps the merged vector in episode order
+                // regardless of which worker finishes first.
                 .flat_map(|h| h.join().unwrap_or_default())
                 .collect()
         })
+    }
+
+    /// Self-play worker count: `MAPZERO_THREADS` (when set to a positive
+    /// integer) overrides the configured value. Purely a throughput
+    /// knob — episode results and the training stream are bit-identical
+    /// for any worker count, and the checkpoint config fingerprint
+    /// deliberately excludes it, so an override cannot invalidate a
+    /// resume.
+    fn effective_workers(&self) -> usize {
+        std::env::var("MAPZERO_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(self.config.workers)
     }
 
     /// Map the held-out DFG greedily and report the routing penalty
@@ -679,6 +715,19 @@ pub enum TrainError {
     },
     /// A checkpoint could not be written, read or applied.
     Checkpoint(String),
+}
+
+/// Derive the RNG seed of one self-play episode from the run seed, the
+/// epoch and the episode's index within the epoch. FNV-mixed so
+/// neighbouring episodes get well-separated streams; independent of
+/// worker assignment so any `MAPZERO_THREADS` value replays the same
+/// episodes.
+fn episode_seed(seed: u64, epoch: u32, episode: usize) -> u64 {
+    let mut h = crate::checkpoint::Fnv64::new();
+    h.write_u64(seed);
+    h.write_u64(u64::from(epoch));
+    h.write_usize(episode);
+    h.finish()
 }
 
 fn checkpoint_err(e: impl std::fmt::Display) -> TrainError {
@@ -822,6 +871,39 @@ mod tests {
         let metrics = trainer.run().unwrap();
         assert_eq!(metrics.epochs.len(), epochs as usize);
         assert_eq!(metrics.epochs[0].success_rate, 0.0);
+    }
+
+    /// Parallel self-play is a pure throughput knob: the training
+    /// stream (episode order, per-episode seeds, merged trajectories)
+    /// must be bit-identical for any worker count.
+    #[test]
+    fn worker_count_does_not_change_training_results() {
+        let run = |workers: usize| {
+            let cgra = presets::simple_mesh(4, 4);
+            let config = TrainConfig { workers, ..TrainConfig::fast_test() };
+            let mut trainer = Trainer::new(cgra, NetConfig::tiny(), config);
+            let metrics = trainer.run().unwrap();
+            (metrics, trainer)
+        };
+        let (m1, t1) = run(1);
+        let (m3, t3) = run(3);
+        assert_eq!(m1.epochs.len(), m3.epochs.len());
+        for (a, b) in m1.epochs.iter().zip(&m3.epochs) {
+            assert_eq!(a.total_loss.to_bits(), b.total_loss.to_bits());
+            assert_eq!(a.avg_reward.to_bits(), b.avg_reward.to_bits());
+        }
+        let (p1, p3) = (&t1.net().params, &t3.net().params);
+        for id in p1.ids() {
+            assert_eq!(p1.value(id).data(), p3.value(id).data());
+        }
+    }
+
+    #[test]
+    fn episode_seeds_are_distinct_and_stable() {
+        assert_eq!(episode_seed(7, 1, 2), episode_seed(7, 1, 2));
+        assert_ne!(episode_seed(7, 1, 2), episode_seed(7, 1, 3));
+        assert_ne!(episode_seed(7, 1, 2), episode_seed(7, 2, 2));
+        assert_ne!(episode_seed(7, 1, 2), episode_seed(8, 1, 2));
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub struct Graph {
 }
 
 /// Large negative stand-in for −∞ inside masked softmax.
-const NEG_INF: f32 = -1.0e9;
+use crate::NEG_INF;
 
 impl Graph {
     /// Empty tape.
@@ -355,8 +355,9 @@ impl Graph {
 
     #[allow(clippy::too_many_lines)]
     fn backprop_node(&mut self, i: usize, g: &Matrix, params: &mut Params) {
-        // Clone whatever inputs are required up front; matrices are small
-        // at MapZero's scale and this keeps the tape code simple.
+        // Input deltas are computed against shared borrows of the tape
+        // values and applied afterwards via `Todo`, so no forward value
+        // is ever cloned here.
         enum Todo {
             None,
             One(VarId, Matrix),
@@ -369,10 +370,12 @@ impl Graph {
                 Todo::None
             }
             Op::MatMul(a, b) => {
-                let va = self.nodes[a.0].value.clone();
-                let vb = self.nodes[b.0].value.clone();
-                let da = g.matmul(&vb.transpose());
-                let db = va.transpose().matmul(g);
+                // Transpose-aware products: no materialized transpose
+                // and no defensive clones of the forward values.
+                let va = &self.nodes[a.0].value;
+                let vb = &self.nodes[b.0].value;
+                let da = g.matmul_transposed(vb);
+                let db = va.transpose_matmul(g);
                 Todo::Two(*a, da, *b, db)
             }
             Op::Add(a, b) => Todo::Two(*a, g.clone(), *b, g.clone()),
@@ -382,8 +385,8 @@ impl Graph {
                 Todo::Two(*a, g.clone(), *b, neg)
             }
             Op::Mul(a, b) => {
-                let va = self.nodes[a.0].value.clone();
-                let vb = self.nodes[b.0].value.clone();
+                let va = &self.nodes[a.0].value;
+                let vb = &self.nodes[b.0].value;
                 let da = Matrix::from_vec(
                     g.rows(),
                     g.cols(),
@@ -406,8 +409,8 @@ impl Graph {
                 Todo::Two(*x, g.clone(), *bias, db)
             }
             Op::ColMul(col, x) => {
-                let vc = self.nodes[col.0].value.clone();
-                let vx = self.nodes[x.0].value.clone();
+                let vc = &self.nodes[col.0].value;
+                let vx = &self.nodes[x.0].value;
                 let mut dcol = Matrix::zeros(vc.rows(), 1);
                 let mut dx = Matrix::zeros(vx.rows(), vx.cols());
                 for r in 0..vx.rows() {

@@ -1,5 +1,6 @@
 //! Network layers: fully-connected, MLP, and multi-head graph attention.
 
+use crate::infer::{BufId, InferCtx, MessageIndex};
 use crate::{Graph, Matrix, ParamId, Params, SeedRng, VarId};
 
 /// A fully-connected layer `y = x W + b`.
@@ -27,6 +28,13 @@ impl Linear {
         let b = g.param(params, self.bias);
         let xw = g.matmul(x, w);
         g.add_bias(xw, b)
+    }
+
+    /// Tape-free forward pass; bit-identical to [`Linear::forward`].
+    pub fn infer(&self, ctx: &mut InferCtx, params: &Params, x: BufId) -> BufId {
+        let y = ctx.matmul(x, params.value(self.weight));
+        ctx.add_bias(y, params.value(self.bias));
+        y
     }
 }
 
@@ -60,6 +68,17 @@ impl Mlp {
             x = layer.forward(g, params, x);
             if i + 1 < self.layers.len() {
                 x = g.relu(x);
+            }
+        }
+        x
+    }
+
+    /// Tape-free forward pass; bit-identical to [`Mlp::forward`].
+    pub fn infer(&self, ctx: &mut InferCtx, params: &Params, mut x: BufId) -> BufId {
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.infer(ctx, params, x);
+            if i + 1 < self.layers.len() {
+                ctx.relu(x);
             }
         }
         x
@@ -167,6 +186,42 @@ impl GatLayer {
         }
         out
     }
+
+    /// Tape-free forward pass; bit-identical to [`GatLayer::forward`].
+    ///
+    /// `index` must have been rebuilt for the same edge list and node
+    /// count (it carries the src/dst columns with self-loops appended,
+    /// so the per-pass index allocation of the tape path disappears).
+    pub fn infer(
+        &self,
+        ctx: &mut InferCtx,
+        params: &Params,
+        x: BufId,
+        index: &MessageIndex,
+    ) -> BufId {
+        let n = ctx.value(x).rows();
+        debug_assert_eq!(n, index.n(), "index built for a different graph");
+        let mut out: Option<BufId> = None;
+        for head in &self.heads {
+            let hw = ctx.matmul(x, params.value(head.weight)); // (n x d)
+            let score_dst = ctx.matmul(hw, params.value(head.att_dst)); // (n x 1)
+            let score_src = ctx.matmul(hw, params.value(head.att_src));
+            let e = ctx.gather_rows(score_dst, index.dst()); // (E x 1)
+            let e_src = ctx.gather_rows(score_src, index.src());
+            ctx.add_assign(e, e_src);
+            ctx.leaky_relu(e, self.negative_slope);
+            ctx.segment_softmax(e, index.dst()); // per-dst softmax
+            let msg = ctx.gather_rows(hw, index.src()); // (E x d)
+            ctx.col_mul(e, msg);
+            let agg = ctx.scatter_add_rows(msg, index.dst(), n); // (n x d)
+            ctx.tanh(agg);
+            out = Some(match out {
+                None => agg,
+                Some(prev) => ctx.concat_cols(prev, agg),
+            });
+        }
+        out.expect("at least one attention head")
+    }
 }
 
 
@@ -224,6 +279,26 @@ impl GcnLayer {
         let inv = g.input(inv_deg);
         let mean = g.col_mul(inv, agg);
         g.tanh(mean)
+    }
+
+    /// Tape-free forward pass; bit-identical to [`GcnLayer::forward`]
+    /// (the inverse degrees come precomputed from the index).
+    pub fn infer(
+        &self,
+        ctx: &mut InferCtx,
+        params: &Params,
+        x: BufId,
+        index: &MessageIndex,
+    ) -> BufId {
+        let n = ctx.value(x).rows();
+        debug_assert_eq!(n, index.n(), "index built for a different graph");
+        let hw = ctx.matmul(x, params.value(self.weight));
+        ctx.add_bias(hw, params.value(self.bias));
+        let msg = ctx.gather_rows(hw, index.src());
+        let agg = ctx.scatter_add_rows(msg, index.dst(), n);
+        ctx.col_mul_slice(agg, index.inv_deg());
+        ctx.tanh(agg);
+        agg
     }
 }
 
@@ -330,6 +405,51 @@ mod tests {
         for (a, b) in two.iter().zip(&four) {
             assert!((a - b).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn infer_paths_match_graph_forward_bitwise() {
+        let mut params = Params::new();
+        let mut rng = SeedRng::new(21);
+        let gat = GatLayer::new(&mut params, 6, 4, 2, &mut rng);
+        let gcn = GcnLayer::new(&mut params, 6, 4, &mut rng);
+        let mlp = Mlp::new(&mut params, 8, &[5, 3], &mut rng);
+        let edges = [(0usize, 1usize), (1, 2), (2, 3), (3, 4), (4, 0), (1, 4)];
+        let xdata: Vec<f32> = (0..30).map(|i| (i as f32 * 0.43).sin()).collect();
+        let x = Matrix::from_vec(5, 6, xdata);
+
+        let mut ctx = InferCtx::new();
+        let mut index = MessageIndex::new();
+        index.rebuild(&edges, 5);
+
+        // GAT
+        let mut g = Graph::new();
+        let gx = g.input(x.clone());
+        let gy = gat.forward(&mut g, &params, gx, &edges);
+        ctx.begin();
+        let cx = ctx.load(&x);
+        let cy = gat.infer(&mut ctx, &params, cx, &index);
+        assert_eq!(ctx.value(cy), g.value(gy), "GAT infer diverged");
+
+        // GCN
+        let mut g = Graph::new();
+        let gx = g.input(x.clone());
+        let gy = gcn.forward(&mut g, &params, gx, &edges);
+        ctx.begin();
+        let cx = ctx.load(&x);
+        let cy = gcn.infer(&mut ctx, &params, cx, &index);
+        assert_eq!(ctx.value(cy), g.value(gy), "GCN infer diverged");
+
+        // MLP (ReLU between layers)
+        let mdata: Vec<f32> = (0..16).map(|i| (i as f32 * 0.61).cos()).collect();
+        let mx = Matrix::from_vec(2, 8, mdata);
+        let mut g = Graph::new();
+        let gx = g.input(mx.clone());
+        let gy = mlp.forward(&mut g, &params, gx);
+        ctx.begin();
+        let cx = ctx.load(&mx);
+        let cy = mlp.infer(&mut ctx, &params, cx);
+        assert_eq!(ctx.value(cy), g.value(gy), "MLP infer diverged");
     }
 
     #[test]

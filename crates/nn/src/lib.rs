@@ -36,6 +36,7 @@
 //! ```
 
 mod graph;
+pub mod infer;
 mod init;
 mod layers;
 mod matrix;
@@ -43,11 +44,28 @@ mod optim;
 mod serialize;
 
 pub use graph::{Graph, VarId};
+pub use infer::{BufId, InferCtx, MessageIndex};
 pub use init::{RngState, SeedRng};
 pub use layers::{GatLayer, GcnLayer, Linear, Mlp};
 pub use matrix::Matrix;
 pub use optim::{clip_gradients, Adam, AdamState, LrSchedule, Optimizer, Sgd};
 pub use serialize::{decode_params, encode_params, load_params, save_params, WeightFormatError};
+
+/// The value masked-out logits are pinned to (also used by the
+/// inference path's masked log-softmax, which must stay bit-identical
+/// to the tape op).
+pub(crate) const NEG_INF: f32 = -1.0e9;
+
+/// Monotone global counter behind [`Params::fingerprint`]. Every
+/// registration or mutable-value access draws a fresh tick, so two
+/// parameter stores only ever share a fingerprint when one is an
+/// unmodified clone of the other (in which case their values are
+/// equal by construction).
+static PARAMS_VERSION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn next_params_version() -> u64 {
+    PARAMS_VERSION.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1
+}
 
 /// Parameter storage shared across forward passes.
 ///
@@ -58,6 +76,7 @@ pub use serialize::{decode_params, encode_params, load_params, save_params, Weig
 pub struct Params {
     values: Vec<Matrix>,
     grads: Vec<Matrix>,
+    version: u64,
 }
 
 /// Handle to one parameter matrix inside [`Params`].
@@ -76,6 +95,7 @@ impl Params {
         let id = ParamId(self.values.len());
         self.grads.push(Matrix::zeros(value.rows(), value.cols()));
         self.values.push(value);
+        self.version = next_params_version();
         id
     }
 
@@ -98,8 +118,27 @@ impl Params {
     }
 
     /// Mutable value (used by optimizers and loaders).
+    ///
+    /// Conservatively advances the fingerprint: every handout of a
+    /// mutable value counts as a mutation even if the caller ends up
+    /// writing the same bytes back.
     pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        self.version = next_params_version();
         &mut self.values[id.0]
+    }
+
+    /// A cheap identity fingerprint of the current parameter values.
+    ///
+    /// Two equal fingerprints guarantee equal values: the fingerprint
+    /// is a globally unique version drawn from a process-wide monotone
+    /// counter on every registration or [`Params::value_mut`] call, so
+    /// the only way to observe the same fingerprint twice is an
+    /// untouched snapshot (`clone`) of the same store. Prediction
+    /// caches key on this to detect weight updates and training
+    /// rollbacks without hashing the full parameter tensor.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.version
     }
 
     /// Accumulated gradient of a parameter.
@@ -139,5 +178,38 @@ impl Params {
             .map(|g| g.data().iter().map(|v| f64::from(*v) * f64::from(*v)).sum::<f64>())
             .sum::<f64>()
             .sqrt() as f32
+    }
+}
+
+#[cfg(test)]
+mod fingerprint_tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_tracks_value_mutations_not_grads() {
+        let mut params = Params::new();
+        let id = params.register(Matrix::zeros(2, 2));
+        let registered = params.fingerprint();
+        assert_ne!(registered, 0, "registration draws a version");
+
+        let snapshot = params.clone();
+        assert_eq!(snapshot.fingerprint(), registered, "clones share identity");
+
+        params.grad_mut(id).fill(1.0);
+        params.zero_grads();
+        assert_eq!(params.fingerprint(), registered, "gradients are not identity");
+
+        params.value_mut(id).fill(3.0);
+        assert_ne!(params.fingerprint(), registered, "value writes advance it");
+        assert_ne!(params.fingerprint(), snapshot.fingerprint());
+    }
+
+    #[test]
+    fn distinct_stores_never_share_fingerprints() {
+        let mut a = Params::new();
+        let mut b = Params::new();
+        a.register(Matrix::zeros(1, 1));
+        b.register(Matrix::zeros(1, 1));
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 }

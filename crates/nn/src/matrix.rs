@@ -71,37 +71,72 @@ impl Matrix {
     }
 
     /// Number of rows.
+    #[inline]
     #[must_use]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     /// Number of columns.
+    #[inline]
     #[must_use]
     pub fn cols(&self) -> usize {
         self.cols
     }
 
     /// The underlying row-major data.
+    #[inline]
     #[must_use]
     pub fn data(&self) -> &[f32] {
         &self.data
     }
 
     /// Mutable access to the underlying data.
+    #[inline]
     pub fn data_mut(&mut self) -> &mut [f32] {
         &mut self.data
     }
 
     /// One row as a slice.
+    #[inline]
     #[must_use]
     pub fn row_slice(&self, r: usize) -> &[f32] {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// One row as a mutable slice.
+    #[inline]
+    pub fn row_slice_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Fill with a constant.
+    #[inline]
     pub fn fill(&mut self, v: f32) {
         self.data.fill(v);
+    }
+
+    /// Reshape in place to `rows x cols`, zero-filling every element.
+    /// Keeps the existing allocation when capacity suffices, which is
+    /// what lets [`crate::infer::InferCtx`] reuse scratch matrices
+    /// across forward passes without touching the allocator.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn resize_to(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Become an element-wise copy of `src`, reusing the allocation.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
     }
 
     /// Matrix product `self x rhs`.
@@ -112,15 +147,98 @@ impl Matrix {
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.accumulate_matmul(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self x rhs` written into `out` (resized in
+    /// place), so hot inference loops can avoid a fresh allocation per
+    /// product. Bit-identical to [`Matrix::matmul`] — both run the same
+    /// accumulation kernel.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        out.resize_to(self.rows, rhs.cols);
+        self.accumulate_matmul(rhs, out);
+    }
+
+    /// The shared i-k-j accumulation kernel behind `matmul` /
+    /// `matmul_into`. `out` must be zeroed and shaped `self.rows x
+    /// rhs.cols`.
+    fn accumulate_matmul(&self, rhs: &Matrix, out: &mut Matrix) {
         for i in 0..self.rows {
             for k in 0..self.cols {
-                let a = self[(i, k)];
+                let a = self.data[i * self.cols + k];
                 if a == 0.0 {
                     continue;
                 }
                 let lhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(lhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// Matrix product `self x rhsᵀ` without materializing the
+    /// transpose: both operands are walked row-by-row (each output cell
+    /// is a dot product of two contiguous rows), so the backward pass
+    /// of `MatMul` stops allocating and striding a transposed copy.
+    ///
+    /// Bit-identical to `self.matmul(&rhs.transpose())`: accumulation
+    /// runs over `k` in ascending order with the same skip of zero
+    /// left-hand elements.
+    ///
+    /// # Panics
+    /// Panics unless `self.cols == rhs.cols`.
+    #[must_use]
+    pub fn matmul_transposed(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_transposed dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `selfᵀ x rhs` without materializing the
+    /// transpose: the accumulation walks `self` and `rhs` row-by-row
+    /// and scatters into `out` rows, keeping every access contiguous.
+    ///
+    /// Bit-identical to `self.transpose().matmul(rhs)`: for each output
+    /// cell the contributions arrive in the same (ascending-`i`) order
+    /// with the same zero skip.
+    ///
+    /// # Panics
+    /// Panics unless `self.rows == rhs.rows`.
+    #[must_use]
+    pub fn transpose_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "transpose_matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let b_row = &rhs.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (c, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[c * rhs.cols..(c + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
             }
@@ -168,6 +286,14 @@ impl Matrix {
         }
     }
 
+    /// Map every element in place — the allocation-free counterpart of
+    /// [`Matrix::map`] for paths that own the matrix anyway.
+    pub fn map_assign(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
     /// Frobenius norm.
     #[must_use]
     pub fn norm(&self) -> f32 {
@@ -193,6 +319,7 @@ impl Matrix {
 impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
+    #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
         debug_assert!(r < self.rows && c < self.cols);
         &self.data[r * self.cols + c]
@@ -200,6 +327,7 @@ impl Index<(usize, usize)> for Matrix {
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
         debug_assert!(r < self.rows && c < self.cols);
         &mut self.data[r * self.cols + c]
@@ -269,6 +397,44 @@ mod tests {
     #[should_panic(expected = "ragged rows")]
     fn ragged_rows_panic() {
         let _ = Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]);
+    }
+
+    #[test]
+    fn matmul_transposed_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[3.0, -4.0, 5.0]]);
+        let b = Matrix::from_rows(&[&[0.5, 0.0, -1.0], &[2.0, 3.0, 4.0]]);
+        assert_eq!(a.matmul_transposed(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, -4.0], &[5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[0.5, -1.0], &[2.0, 3.0], &[0.0, 4.0]]);
+        assert_eq!(a.transpose_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_and_reuses_storage() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let mut out = Matrix::filled(4, 4, 9.0);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn resize_to_zeroes_stale_data() {
+        let mut m = Matrix::filled(3, 3, 7.0);
+        m.resize_to(2, 2);
+        assert_eq!(m, Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn map_assign_matches_map() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, -4.0]]);
+        let mut b = a.clone();
+        b.map_assign(|v| v.max(0.0));
+        assert_eq!(b, a.map(|v| v.max(0.0)));
     }
 
     #[test]

@@ -38,14 +38,15 @@ impl Optimizer for Sgd {
                 .collect();
         }
         for (i, id) in ids.into_iter().enumerate() {
-            let g = params.grad(id).clone();
+            // v = momentum*v - lr*g, fused in place (no scaled copy,
+            // no delta clone — the old defensive clones were pure
+            // allocator traffic).
             let v = &mut self.velocity[i];
             v.scale_assign(self.momentum);
-            let mut scaled = g;
-            scaled.scale_assign(-lr);
-            v.add_assign(&scaled);
-            let delta = v.clone();
-            params.value_mut(id).add_assign(&delta);
+            for (vi, &gi) in v.data_mut().iter_mut().zip(params.grad(id).data()) {
+                *vi -= lr * gi;
+            }
+            params.value_mut(id).add_assign(v);
         }
     }
 }
@@ -124,11 +125,13 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (i, id) in ids.into_iter().enumerate() {
-            let g = params.grad(id).clone();
             let m = &mut self.m[i];
             let v = &mut self.v[i];
-            for ((mi, vi), &gi) in
-                m.data_mut().iter_mut().zip(v.data_mut().iter_mut()).zip(g.data())
+            for ((mi, vi), &gi) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(params.grad(id).data())
             {
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;

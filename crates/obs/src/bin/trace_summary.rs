@@ -10,7 +10,7 @@
 //! schema validation.
 
 use mapzero_obs::summary::format_duration;
-use mapzero_obs::TraceEvent;
+use mapzero_obs::trace::TraceLine;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -42,12 +42,13 @@ fn main() -> ExitCode {
     };
 
     let mut stats: BTreeMap<String, SpanStats> = BTreeMap::new();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     let mut events = 0u64;
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let event = match TraceEvent::from_json_line(line) {
+        let event = match TraceLine::from_json_line(line) {
             Ok(e) => e,
             Err(msg) => {
                 eprintln!("trace_summary: {path}:{}: {msg}", lineno + 1);
@@ -55,10 +56,19 @@ fn main() -> ExitCode {
             }
         };
         events += 1;
-        let entry = stats.entry(event.name).or_default();
-        entry.count += 1;
-        entry.total_us += event.dur_us;
-        entry.max_us = entry.max_us.max(event.dur_us);
+        match event {
+            TraceLine::Span(span) => {
+                let entry = stats.entry(span.name).or_default();
+                entry.count += 1;
+                entry.total_us += span.dur_us;
+                entry.max_us = entry.max_us.max(span.dur_us);
+            }
+            // Later snapshots win: counters are monotone, so the last
+            // dump is the run's final value.
+            TraceLine::Counter(c) => {
+                counters.insert(c.name, c.value);
+            }
+        }
     }
 
     if check_only {
@@ -78,6 +88,12 @@ fn main() -> ExitCode {
             format_duration(Duration::from_micros(mean_us)),
             format_duration(Duration::from_micros(s.max_us)),
         );
+    }
+    if !counters.is_empty() {
+        println!("\n{:<40} {:>12}", "counter", "value");
+        for (name, value) in &counters {
+            println!("{name:<40} {value:>12}");
+        }
     }
     println!("{events} events total");
     ExitCode::SUCCESS

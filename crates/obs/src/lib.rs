@@ -46,7 +46,7 @@ pub mod summary;
 pub mod trace;
 
 pub use phase::{Phase, PhaseLedger, RunCapture, RunTelemetry, PHASES};
-pub use trace::TraceEvent;
+pub use trace::{CounterEvent, TraceEvent, TraceLine};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -5,7 +5,7 @@
 //! pointer itself sits behind an `RwLock` that is only read when a span
 //! actually completes.
 
-use crate::trace::TraceEvent;
+use crate::trace::{CounterEvent, TraceEvent};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
@@ -16,6 +16,9 @@ use std::sync::{Arc, Mutex, RwLock};
 pub trait TelemetrySink: Send + Sync {
     /// Handle one completed span.
     fn record(&self, event: &TraceEvent);
+    /// Handle one counter snapshot entry (see [`dump_counters`]).
+    /// Sinks that only care about spans can ignore these.
+    fn record_counter(&self, _event: &CounterEvent) {}
     /// Flush buffered output (called at end of run / on uninstall).
     fn flush(&self) {}
 }
@@ -39,6 +42,12 @@ impl JsonlFileSink {
 
 impl TelemetrySink for JsonlFileSink {
     fn record(&self, event: &TraceEvent) {
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = writeln!(w, "{}", event.to_json_line());
+        }
+    }
+
+    fn record_counter(&self, event: &CounterEvent) {
         if let Ok(mut w) = self.writer.lock() {
             let _ = writeln!(w, "{}", event.to_json_line());
         }
@@ -125,6 +134,22 @@ pub fn uninstall_sink() {
     }
 }
 
+/// Append the current registry counter values to the installed sink as
+/// `counter` trace lines (no-op when no sink is installed). Called at
+/// end of run — e.g. by `traced_mapping` — so the trace file carries
+/// the headline counters (cache hit rates, expansions, …) and
+/// `trace_summary` can render them next to the span table.
+pub fn dump_counters() {
+    if let Ok(slot) = SINK.read() {
+        if let Some(sink) = slot.as_ref() {
+            let snapshot = crate::metrics::registry().snapshot();
+            for (name, value) in snapshot.counters {
+                sink.record_counter(&CounterEvent { name, value });
+            }
+        }
+    }
+}
+
 /// Flush the installed sink, if any.
 pub fn flush() {
     if let Ok(slot) = SINK.read() {
@@ -174,6 +199,32 @@ mod tests {
         uninstall_sink();
         assert!(!tracing_active());
         let _span = crate::span!("test.void"); // must not panic or block
+    }
+
+    #[test]
+    fn dump_counters_writes_parseable_counter_lines() {
+        let _serial = test_lock();
+        let path = std::env::temp_dir().join("mapzero_obs_counter_dump_test.jsonl");
+        let sink = Arc::new(JsonlFileSink::create(&path).unwrap());
+        install_sink(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+        crate::metrics::registry().counter("test.dump.counter").add(7);
+        dump_counters();
+        uninstall_sink(); // flushes
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut found = false;
+        for line in text.lines() {
+            // Every line parses; the registry is global, so other
+            // counters may legitimately be present too.
+            match crate::trace::TraceLine::from_json_line(line).unwrap() {
+                crate::trace::TraceLine::Counter(c) if c.name == "test.dump.counter" => {
+                    assert!(c.value >= 7);
+                    found = true;
+                }
+                _ => {}
+            }
+        }
+        assert!(found, "dumped counter missing from trace");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -98,6 +98,82 @@ impl TraceEvent {
     }
 }
 
+/// One named counter value, as written to / read from a JSONL trace.
+/// A final registry snapshot is appended to the trace by
+/// [`crate::sink::dump_counters`], so the file is a self-contained run
+/// record (spans *and* the headline counters, e.g. the
+/// `search.predict_cache.{hit,miss}` cache hit rate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterEvent {
+    /// Dotted counter name, e.g. `"search.predict_cache.hit"`.
+    pub name: String,
+    /// Counter value at snapshot time.
+    pub value: u64,
+}
+
+impl CounterEvent {
+    /// Encode as one compact JSON object (one JSONL line, sans newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        Json::obj(vec![
+            ("type", Json::from("counter")),
+            ("name", Json::from(self.name.as_str())),
+            ("value", Json::from(self.value)),
+        ])
+        .to_string_compact()
+    }
+
+    /// Decode one JSONL line.
+    ///
+    /// # Errors
+    /// Returns a message naming the missing or ill-typed field, or the
+    /// JSON syntax error.
+    pub fn from_json_line(line: &str) -> Result<CounterEvent, String> {
+        let v = crate::json::parse(line)?;
+        let ty = v.get("type").and_then(Json::as_str).ok_or("missing field: type")?;
+        if ty != "counter" {
+            return Err(format!("unknown event type: {ty}"));
+        }
+        Ok(CounterEvent {
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("missing field: name")?
+                .to_owned(),
+            value: v
+                .get("value")
+                .and_then(Json::as_u64)
+                .ok_or("missing or non-integer field: value")?,
+        })
+    }
+}
+
+/// Any one line of a JSONL trace: a completed span or a counter
+/// snapshot entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceLine {
+    /// A completed span.
+    Span(TraceEvent),
+    /// A counter snapshot entry.
+    Counter(CounterEvent),
+}
+
+impl TraceLine {
+    /// Decode one JSONL line, dispatching on its `type` field.
+    ///
+    /// # Errors
+    /// Returns a message naming the unknown type or the field error.
+    pub fn from_json_line(line: &str) -> Result<TraceLine, String> {
+        let v = crate::json::parse(line)?;
+        match v.get("type").and_then(Json::as_str) {
+            Some("span") => TraceEvent::from_json_line(line).map(TraceLine::Span),
+            Some("counter") => CounterEvent::from_json_line(line).map(TraceLine::Counter),
+            Some(ty) => Err(format!("unknown event type: {ty}")),
+            None => Err("missing field: type".to_owned()),
+        }
+    }
+}
+
 /// RAII guard for one span; created by [`crate::span!`]. Inert (no
 /// clock read, no allocation) when tracing is off.
 #[derive(Debug)]
@@ -168,6 +244,34 @@ mod tests {
         };
         let line = e.to_json_line();
         assert_eq!(TraceEvent::from_json_line(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn counter_event_round_trips_through_jsonl() {
+        let c = CounterEvent { name: "search.predict_cache.hit".to_owned(), value: 585 };
+        let line = c.to_json_line();
+        assert_eq!(CounterEvent::from_json_line(&line).unwrap(), c);
+        // The typed dispatch sees the same thing.
+        assert_eq!(TraceLine::from_json_line(&line).unwrap(), TraceLine::Counter(c));
+    }
+
+    #[test]
+    fn trace_line_dispatches_on_type() {
+        let span = TraceEvent {
+            name: "mcts.expand".to_owned(),
+            ts_us: 1,
+            dur_us: 2,
+            tid: 0,
+            depth: 0,
+            seq: 3,
+        };
+        assert_eq!(
+            TraceLine::from_json_line(&span.to_json_line()).unwrap(),
+            TraceLine::Span(span)
+        );
+        assert!(TraceLine::from_json_line("{\"type\":\"banana\"}").is_err());
+        assert!(TraceLine::from_json_line("{}").is_err());
+        assert!(TraceLine::from_json_line("{\"type\":\"counter\",\"name\":\"x\"}").is_err());
     }
 
     #[test]

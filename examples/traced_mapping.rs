@@ -34,6 +34,9 @@ fn main() {
     print!("{}", obs::summary::render_run(telemetry, report.elapsed));
 
     if let Some(path) = trace_path {
+        // Append the final counter snapshot so the trace file carries
+        // the cache hit rates etc. alongside the spans.
+        obs::sink::dump_counters();
         obs::sink::flush();
         println!("\nspan trace written to {path}");
     }

@@ -23,6 +23,11 @@ chaos:
 bench:
     cargo bench --workspace
 
+# Inference hot-path bench: predictions/sec (tape vs tape-free) and
+# end-to-end compile time, written to results/BENCH_hotpath.json.
+bench-hotpath:
+    cargo run --release -p mapzero-bench --bin hotpath
+
 # Regenerate every paper table/figure (quick mode).
 figures:
     cargo run --release -p mapzero-bench --bin run_all

@@ -25,6 +25,51 @@ echo "==> chaos smoke (failpoint injection + kill/resume + torn-write proptest)"
 # every CI run; local `just chaos` uses the same seed.
 PROPTEST_SEED=20260807 cargo test --release -q --test chaos
 
+echo "==> perf smoke (hotpath bench on a tiny kernel + schema check)"
+perf_dir="$(mktemp -d -t mapzero-ci-perf.XXXXXX)"
+trap 'rm -f "$trace"; rm -rf "$perf_dir"' EXIT
+MAPZERO_RESULTS_DIR="$perf_dir" cargo run --release -q -p mapzero-bench --bin hotpath
+python3 - "$perf_dir/BENCH_hotpath.json" results/BENCH_hotpath.json <<'PY'
+import json, sys
+
+fresh_path, baseline_path = sys.argv[1], sys.argv[2]
+with open(fresh_path) as f:
+    fresh = json.load(f)
+
+# Schema: the fields the nightly aggregation and the README point at.
+required = [
+    "bench", "elapsed_secs", "metrics",
+    "predictions_per_sec_reference", "predictions_per_sec_fast",
+    "predict_speedup", "compile_kernel",
+    "compile_secs_before", "compile_secs_after", "compile_speedup",
+]
+missing = [k for k in required if k not in fresh]
+if missing:
+    sys.exit(f"perf smoke: BENCH_hotpath.json missing fields {missing}")
+counters = fresh["metrics"]["counters"]
+for c in ("search.predict_cache.hit", "search.predict_cache.miss",
+          "nn.dfg_embed.hit", "nn.dfg_embed.miss"):
+    if c not in counters:
+        sys.exit(f"perf smoke: counter {c!r} absent from metrics delta")
+
+# Regression check vs the committed baseline: warn (non-fatal) when the
+# fresh run is more than 2x slower — CI machines vary, so this is a
+# signal, not a gate.
+try:
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+except OSError:
+    print("perf smoke: no committed baseline, skipping regression check")
+    sys.exit(0)
+for key in ("predictions_per_sec_fast",):
+    fresh_v, base_v = fresh.get(key, 0.0), baseline.get(key, 0.0)
+    if base_v > 0 and fresh_v < base_v / 2:
+        print(f"WARNING: perf smoke: {key} regressed >2x "
+              f"({fresh_v:.0f} vs committed {base_v:.0f})")
+print(f"perf smoke: OK (predict {fresh['predict_speedup']:.1f}x, "
+      f"compile {fresh['compile_speedup']:.2f}x)")
+PY
+
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
