@@ -1,0 +1,159 @@
+//! Load characterization of the compile service: offered load at 1×,
+//! 4× and 16× of a base burst against a fixed-capacity service, writing
+//! throughput, latency percentiles and shed rate per tier into
+//! `results/BENCH_serve.json`.
+//!
+//! The service is deliberately small (2 workers, 16-deep queue) so the
+//! 16× tier demonstrates admission control doing its job: excess
+//! requests are answered `rejected` immediately instead of growing an
+//! unbounded backlog. `MAPZERO_SERVE_LOAD_BASE` overrides the base
+//! burst size (default 8).
+
+use mapzero_bench::{print_table, Harness};
+use mapzero_obs::json::Json;
+use mapzero_serve::queue::QueueConfig;
+use mapzero_serve::service::{MapService, ServeConfig};
+use mapzero_serve::wire::{MapRequest, Outcome};
+use std::time::{Duration, Instant};
+
+const KERNELS: [&str; 4] = ["sum", "mac", "accumulate", "conv2"];
+const TENANTS: [(&str, u32); 3] = [("alpha", 2), ("beta", 1), ("gamma", 1)];
+
+fn burst(n: usize) -> Vec<MapRequest> {
+    (0..n)
+        .map(|i| {
+            let (tenant, weight) = TENANTS[i % TENANTS.len()];
+            let mut req = MapRequest::new(
+                &format!("{tenant}-{i}"),
+                tenant,
+                mapzero_dfg::suite::by_name(KERNELS[i % KERNELS.len()])
+                    .expect("kernel exists"),
+                mapzero_arch::presets::hrea(),
+            );
+            req.weight = weight;
+            req.deadline = Some(Duration::from_secs(60));
+            req
+        })
+        .collect()
+}
+
+struct TierResult {
+    load: usize,
+    offered: usize,
+    completed: usize,
+    shed: usize,
+    elapsed: Duration,
+    p50: Duration,
+    p99: Duration,
+}
+
+impl TierResult {
+    fn throughput(&self) -> f64 {
+        self.completed as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    fn shed_rate(&self) -> f64 {
+        self.shed as f64 / self.offered as f64
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("load", Json::Num(self.load as f64)),
+            ("offered", Json::Num(self.offered as f64)),
+            ("completed", Json::Num(self.completed as f64)),
+            ("shed", Json::Num(self.shed as f64)),
+            ("shed_rate", Json::Num(self.shed_rate())),
+            ("throughput_rps", Json::Num(self.throughput())),
+            ("p50_ms", Json::Num(self.p50.as_secs_f64() * 1e3)),
+            ("p99_ms", Json::Num(self.p99.as_secs_f64() * 1e3)),
+        ])
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run_tier(load: usize, base: usize) -> TierResult {
+    // A fresh fixed-capacity service per tier: the comparison is
+    // offered load against constant capacity, not warm-cache carryover.
+    let service = MapService::start(ServeConfig {
+        workers: 2,
+        queue: QueueConfig { capacity: 16, tenant_inflight_cap: 8 },
+        ..ServeConfig::fast_test()
+    });
+    let offered = base * load;
+    let started = Instant::now();
+    let responses = service.process_batch(burst(offered));
+    let elapsed = started.elapsed();
+    service.shutdown();
+
+    let mut latencies: Vec<Duration> = responses
+        .iter()
+        .filter(|r| r.outcome == Outcome::Mapped)
+        .map(|r| r.queue_wait + r.service_time)
+        .collect();
+    latencies.sort_unstable();
+    let shed = responses.iter().filter(|r| r.outcome == Outcome::Rejected).count();
+    let completed = latencies.len();
+    assert_eq!(responses.len(), offered, "every offered request is answered");
+    TierResult {
+        load,
+        offered,
+        completed,
+        shed,
+        elapsed,
+        p50: percentile(&latencies, 0.5),
+        p99: percentile(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    let harness = Harness::begin(
+        "serve",
+        "Compile service under load: throughput, latency, shedding (2 workers, queue depth 16)",
+    );
+    let base = std::env::var("MAPZERO_SERVE_LOAD_BASE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(8)
+        .max(1);
+
+    let mut tiers = Vec::new();
+    for load in [1usize, 4, 16] {
+        harness.progress(format!("offered load {load}x ({} requests)", base * load));
+        tiers.push(run_tier(load, base));
+    }
+
+    let rows: Vec<Vec<String>> = tiers
+        .iter()
+        .map(|t| {
+            vec![
+                format!("{}x", t.load),
+                t.offered.to_string(),
+                t.completed.to_string(),
+                format!("{:.1}%", t.shed_rate() * 100.0),
+                format!("{:.1}", t.throughput()),
+                format!("{:.1}", t.p50.as_secs_f64() * 1e3),
+                format!("{:.1}", t.p99.as_secs_f64() * 1e3),
+            ]
+        })
+        .collect();
+    print_table(
+        &["load", "offered", "completed", "shed", "rps", "p50 ms", "p99 ms"],
+        &rows,
+    );
+    harness.note(
+        "\nAdmission control sheds excess burst instead of queueing it: the \
+         rejected fraction grows with offered load while completed-request \
+         latency stays bounded by queue depth, not burst size.",
+    );
+
+    harness.field("base_burst", Json::Num(base as f64));
+    harness.field("tiers", Json::Arr(tiers.iter().map(TierResult::to_json).collect()));
+    harness.finish();
+}

@@ -16,6 +16,7 @@ use crate::supervise::Budget;
 use mapzero_arch::PeId;
 use std::cell::RefCell;
 use std::collections::HashSet;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 /// Agent configuration.
@@ -99,24 +100,78 @@ pub struct EpisodeResult {
     pub routed_edges: u64,
 }
 
+/// Where an agent keeps its prediction cache between episodes.
+///
+/// The local variant carries the cache across one agent's episodes (and
+/// the compiler's II attempts, which share early search states). The
+/// shared variant is the serve worker pool's: every worker's agent
+/// drains and refills one process-wide cache, so requests for the same
+/// fabric warm each other up. Either way a panic mid-episode merely
+/// loses the borrowed cache contents, never corrupts the slot — the
+/// cache is moved out by value before the episode runs.
+enum CacheSlot {
+    Local(RefCell<PredictCache>),
+    Shared(Arc<Mutex<PredictCache>>),
+}
+
+impl CacheSlot {
+    /// Move the cache out, leaving a placeholder; guarantees at least
+    /// `capacity` on what is handed to the episode.
+    fn take(&self, capacity: usize) -> PredictCache {
+        let mut cache = match self {
+            CacheSlot::Local(cell) => cell.take(),
+            CacheSlot::Shared(slot) => std::mem::take(
+                &mut *slot.lock().unwrap_or_else(PoisonError::into_inner),
+            ),
+        };
+        cache.reserve_capacity(capacity);
+        cache
+    }
+
+    /// Return the cache after an episode. Two workers may have raced
+    /// for a shared slot (the loser ran on the placeholder); keep
+    /// whichever copy memoizes more states.
+    fn put_back(&self, cache: PredictCache) {
+        match self {
+            CacheSlot::Local(cell) => {
+                cell.replace(cache);
+            }
+            CacheSlot::Shared(slot) => {
+                let mut held = slot.lock().unwrap_or_else(PoisonError::into_inner);
+                if cache.len() >= held.len() {
+                    *held = cache;
+                }
+            }
+        }
+    }
+}
+
 /// The MapZero placement agent.
 pub struct MapZeroAgent<'n> {
     net: &'n MapZeroNet,
     config: AgentConfig,
-    /// Prediction cache carried across episodes (and the compiler's II
-    /// attempts, which share early search states): each episode's MCTS
-    /// borrows it and hands it back. `RefCell` because episodes run
-    /// through `&self`; a panic mid-episode merely loses the cache
-    /// contents, never corrupts them.
-    cache: RefCell<PredictCache>,
+    cache: CacheSlot,
 }
 
 impl<'n> MapZeroAgent<'n> {
     /// Create an agent around a (possibly pre-trained) network.
     #[must_use]
     pub fn new(net: &'n MapZeroNet, config: AgentConfig) -> Self {
-        let cache = RefCell::new(PredictCache::new(config.mcts.cache_capacity));
+        let cache = CacheSlot::Local(RefCell::new(PredictCache::new(config.mcts.cache_capacity)));
         MapZeroAgent { net, config, cache }
+    }
+
+    /// Create an agent whose episodes drain and refill a cache shared
+    /// with other agents (the serve worker pool). Cache hits are
+    /// bit-identical to recomputation, so sharing is a pure speed knob:
+    /// results do not depend on which worker warmed the cache.
+    #[must_use]
+    pub fn with_shared_cache(
+        net: &'n MapZeroNet,
+        config: AgentConfig,
+        cache: Arc<Mutex<PredictCache>>,
+    ) -> Self {
+        MapZeroAgent { net, config, cache: CacheSlot::Shared(cache) }
     }
 
     /// Run one mapping episode on `problem` with a wall-clock deadline.
@@ -131,10 +186,10 @@ impl<'n> MapZeroAgent<'n> {
     /// the current (possibly long) decision to finish.
     #[must_use]
     pub fn run_episode_budgeted(&self, problem: &Problem<'_>, budget: &Budget) -> EpisodeResult {
-        let cache = self.cache.take();
+        let cache = self.cache.take(self.config.mcts.cache_capacity);
         let mut mcts = Mcts::with_cache(self.net, self.config.mcts, cache);
         let result = self.episode_loop(&mut mcts, problem, budget);
-        self.cache.replace(mcts.into_cache());
+        self.cache.put_back(mcts.into_cache());
         result
     }
 

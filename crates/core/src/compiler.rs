@@ -13,6 +13,7 @@
 
 use crate::agent::{AgentConfig, MapZeroAgent};
 use crate::mapping::{MapError, MapReport, Mapper, PartialMapStats};
+use crate::mcts::PredictCache;
 use crate::network::{MapZeroNet, NetConfig};
 use crate::problem::Problem;
 use crate::supervise::{isolated, Budget};
@@ -20,6 +21,7 @@ use crate::train::{TrainConfig, TrainError, Trainer, TrainingMetrics};
 use mapzero_arch::Cgra;
 use mapzero_dfg::Dfg;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Compiler configuration.
@@ -80,19 +82,46 @@ impl MapZeroConfig {
 /// guaranteed slot.
 const PRIMARY_SHARE: f64 = 0.7;
 
+/// Requested II range for one mapping call, intersected with the
+/// compiler's own search window (`mii ..= mii + max_extra_ii`). Used by
+/// the serve layer to honor per-request `ii_min`/`ii_max` directives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IiBounds {
+    /// Lowest II to try (clamped up to MII; `None` = start at MII).
+    pub min: Option<u32>,
+    /// Highest II to try (`None` = the compiler's default ceiling).
+    pub max: Option<u32>,
+}
+
+impl IiBounds {
+    /// No constraints: the compiler's default window.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        IiBounds::default()
+    }
+}
+
 /// The MapZero compiler. Caches one network per action-space size, so
 /// fabrics with equal PE counts share weights (§4.5).
+///
+/// Networks are held behind `Arc` so a pool of compilers (the serve
+/// worker pool) can share one trained network per fabric size instead
+/// of each worker paying for its own; see [`Compiler::install_shared_net`].
 pub struct Compiler {
     config: MapZeroConfig,
-    nets: HashMap<usize, MapZeroNet>,
+    nets: HashMap<usize, Arc<MapZeroNet>>,
     fallback: Option<Box<dyn Mapper + Send>>,
+    /// When set, agents drain/refill this cache instead of a private
+    /// one, so concurrent compilers warm each other up (hits are
+    /// bit-identical to recomputation — a pure speed knob).
+    shared_cache: Option<Arc<Mutex<PredictCache>>>,
 }
 
 impl Compiler {
     /// Create a compiler.
     #[must_use]
     pub fn new(config: MapZeroConfig) -> Self {
-        Compiler { config, nets: HashMap::new(), fallback: None }
+        Compiler { config, nets: HashMap::new(), fallback: None, shared_cache: None }
     }
 
     /// Install a fallback mapper (typically the SA baseline) that runs
@@ -102,6 +131,15 @@ impl Compiler {
     #[must_use]
     pub fn with_fallback(mut self, fallback: Box<dyn Mapper + Send>) -> Self {
         self.fallback = Some(fallback);
+        self
+    }
+
+    /// Share a prediction cache with other compilers (the serve worker
+    /// pool): every mapping episode drains it, runs, and puts the
+    /// warmer copy back.
+    #[must_use]
+    pub fn with_shared_cache(mut self, cache: Arc<Mutex<PredictCache>>) -> Self {
+        self.shared_cache = Some(cache);
         self
     }
 
@@ -119,13 +157,27 @@ impl Compiler {
 
     /// Install a pre-trained network for fabrics with this PE count.
     pub fn install_net(&mut self, net: MapZeroNet) {
+        self.nets.insert(net.action_count(), Arc::new(net));
+    }
+
+    /// Install a network already shared with other compilers (the serve
+    /// worker pool: one `Arc<MapZeroNet>` per fabric size, cloned into
+    /// every worker's compiler).
+    pub fn install_shared_net(&mut self, net: Arc<MapZeroNet>) {
         self.nets.insert(net.action_count(), net);
     }
 
     /// Borrow the network used for a given PE count, if one exists yet.
     #[must_use]
     pub fn net_for(&self, pe_count: usize) -> Option<&MapZeroNet> {
-        self.nets.get(&pe_count)
+        self.nets.get(&pe_count).map(|net| &**net)
+    }
+
+    /// The shared handle to the network for a given PE count, for
+    /// installing into sibling compilers.
+    #[must_use]
+    pub fn shared_net_for(&self, pe_count: usize) -> Option<Arc<MapZeroNet>> {
+        self.nets.get(&pe_count).map(Arc::clone)
     }
 
     /// The action-space sizes for which networks exist, ascending.
@@ -149,7 +201,7 @@ impl Compiler {
     ) -> Result<TrainingMetrics, TrainError> {
         let mut trainer = Trainer::new(cgra.clone(), self.config.net, config);
         let metrics = trainer.run()?;
-        self.nets.insert(cgra.pe_count(), trainer.into_net());
+        self.nets.insert(cgra.pe_count(), Arc::new(trainer.into_net()));
         Ok(metrics)
     }
 
@@ -171,11 +223,20 @@ impl Compiler {
         mut config: TrainConfig,
     ) -> Result<TrainingMetrics, TrainError> {
         self.ensure_net(cgra);
-        let Some(net) = self.nets.remove(&cgra.pe_count()) else {
+        let Some(shared) = self.nets.remove(&cgra.pe_count()) else {
             return Err(TrainError::Unusable(MapError::Internal(
                 "network missing after ensure_net".to_owned(),
             )));
         };
+        // The trainer needs an owned network. Take it out of the Arc
+        // when we are the last holder; otherwise (another compiler in a
+        // pool still shares it) rebuild an identical one from the
+        // shared parameters — the sibling's copy is left untouched.
+        let net = Arc::try_unwrap(shared).unwrap_or_else(|shared| {
+            let mut fresh = MapZeroNet::new(shared.action_count(), self.config.net);
+            fresh.restore_params(shared.params.clone());
+            fresh
+        });
         // Fine-tuning trains on the target kernel only.
         config.curriculum_per_size = 0;
         let mut trainer =
@@ -183,7 +244,7 @@ impl Compiler {
         let result = trainer.run();
         // Re-install even on divergence: the trainer has rolled back to
         // the last healthy parameters by then.
-        self.nets.insert(cgra.pe_count(), trainer.into_net());
+        self.nets.insert(cgra.pe_count(), Arc::new(trainer.into_net()));
         result
     }
 
@@ -199,7 +260,7 @@ impl Compiler {
             // mapping still works, just with more backtracking.
         }
         self.nets
-            .insert(cgra.pe_count(), MapZeroNet::new(cgra.pe_count(), self.config.net));
+            .insert(cgra.pe_count(), Arc::new(MapZeroNet::new(cgra.pe_count(), self.config.net)));
     }
 
     /// Map with the configured default time limit.
@@ -256,9 +317,28 @@ impl Compiler {
         cgra: &Cgra,
         budget: &Budget,
     ) -> Result<MapReport, MapError> {
+        self.map_request(dfg, cgra, budget, IiBounds::unbounded())
+    }
+
+    /// [`Compiler::map_with_budget`] with an explicit II window — the
+    /// serve layer's entry point. `bounds` is intersected with the
+    /// compiler's own window `mii ..= mii + max_extra_ii`; an empty
+    /// intersection is [`MapError::NoSchedule`] (the request asked for
+    /// an II this kernel/fabric pair cannot satisfy).
+    ///
+    /// # Errors
+    /// Same contract as [`Compiler::map`], plus `NoSchedule` for an
+    /// empty II window.
+    pub fn map_request(
+        &mut self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        budget: &Budget,
+        bounds: IiBounds,
+    ) -> Result<MapReport, MapError> {
         let _span = mapzero_obs::span!("compile.map");
         let capture = mapzero_obs::RunCapture::begin();
-        let result = self.map_attempts(dfg, cgra, budget);
+        let result = self.map_attempts(dfg, cgra, budget, bounds);
         match &result {
             Ok(report) if report.engine == report.mapper => {
                 mapzero_obs::counter!("compile.success");
@@ -299,9 +379,22 @@ impl Compiler {
         dfg: &Dfg,
         cgra: &Cgra,
         budget: &Budget,
+        bounds: IiBounds,
     ) -> Result<MapReport, MapError> {
         let start = Instant::now();
         let mii = Problem::mii(dfg, cgra)?;
+        // Intersect the request's II window with the compiler's own.
+        let ii_lo = mii.max(bounds.min.unwrap_or(mii));
+        let ii_hi = (mii + self.config.max_extra_ii).min(bounds.max.unwrap_or(u32::MAX));
+        if ii_lo > ii_hi {
+            return Err(MapError::NoSchedule(format!(
+                "requested II window {:?}..={:?} excludes the feasible range {}..={}",
+                bounds.min,
+                bounds.max,
+                mii,
+                mii + self.config.max_extra_ii
+            )));
+        }
         self.ensure_net(cgra);
 
         // Reserve the tail of the deadline for the fallback engine, so
@@ -321,8 +414,15 @@ impl Compiler {
             let Some(net) = self.nets.get(&cgra.pe_count()) else {
                 return Err(MapError::Internal("network missing after ensure_net".to_owned()));
             };
-            let agent = MapZeroAgent::new(net, self.config.agent);
-            'outer: for ii in mii..=mii + self.config.max_extra_ii {
+            let agent = match &self.shared_cache {
+                Some(cache) => MapZeroAgent::with_shared_cache(
+                    net,
+                    self.config.agent,
+                    Arc::clone(cache),
+                ),
+                None => MapZeroAgent::new(net, self.config.agent),
+            };
+            'outer: for ii in ii_lo..=ii_hi {
                 let problem = match Problem::new(dfg, cgra, ii) {
                     Ok(p) => p,
                     Err(MapError::NoSchedule(_)) => continue,
@@ -331,7 +431,7 @@ impl Compiler {
                 // Split the remaining budget across the remaining II
                 // candidates so an unroutable MII cannot starve higher
                 // IIs.
-                let remaining_iis = mii + self.config.max_extra_ii - ii + 1;
+                let remaining_iis = ii_hi - ii + 1;
                 for _attempt in 0..self.config.attempts_per_ii {
                     if primary_budget.exhausted() {
                         timed_out = true;
@@ -373,16 +473,29 @@ impl Compiler {
                     .remaining_time()
                     .unwrap_or(self.config.time_limit);
                 if !slot.is_zero() {
-                    if let Ok(rep) = fb.map(dfg, cgra, slot) {
-                        stats.backtracks += rep.backtracks;
-                        stats.explored += rep.explored;
-                        if let Some(m) = rep.mapping {
-                            stats.best_ii = Some(m.ii);
-                            stats.nodes_placed = dfg.node_count();
-                            stats.routed_edges = dfg.edge_count() as u64;
-                            engine = fb.name().to_owned();
-                            mapping = Some(m);
+                    match fb.map(dfg, cgra, slot) {
+                        Ok(rep) => {
+                            stats.backtracks += rep.backtracks;
+                            stats.explored += rep.explored;
+                            if let Some(m) = rep.mapping {
+                                stats.best_ii = Some(m.ii);
+                                stats.nodes_placed = dfg.node_count();
+                                stats.routed_edges = dfg.edge_count() as u64;
+                                engine = fb.name().to_owned();
+                                mapping = Some(m);
+                            }
                         }
+                        // Both engines timed out: keep whichever
+                        // engine's partial progress went further, so
+                        // the Timeout error reports the true best.
+                        Err(MapError::Timeout { best_partial }) => {
+                            timed_out = true;
+                            stats.absorb_better(&best_partial);
+                        }
+                        // Other fallback failures (unmappable per the
+                        // fallback's own model, internal faults) do not
+                        // improve on the primary's diagnosis.
+                        Err(_) => {}
                     }
                 }
             }
@@ -530,6 +643,117 @@ mod tests {
             self.called.store(true, std::sync::atomic::Ordering::Relaxed);
             Err(MapError::Unmappable("stub".into()))
         }
+    }
+
+    /// A fallback stub that always times out, carrying a partial result
+    /// further along than anything the starved primary can reach.
+    struct TimesOutFurther;
+
+    impl Mapper for TimesOutFurther {
+        fn name(&self) -> &str {
+            "slow-but-deep"
+        }
+        fn map(
+            &mut self,
+            dfg: &Dfg,
+            _cgra: &Cgra,
+            _limit: Duration,
+        ) -> Result<MapReport, MapError> {
+            Err(MapError::Timeout {
+                best_partial: PartialMapStats {
+                    total_nodes: dfg.node_count(),
+                    nodes_placed: dfg.node_count() - 1,
+                    routed_edges: dfg.edge_count() as u64 - 1,
+                    backtracks: 3,
+                    explored: 40,
+                    best_ii: None,
+                },
+            })
+        }
+    }
+
+    #[test]
+    fn both_engines_timing_out_reports_the_better_partial() {
+        // Regression: the fallback's Timeout partial used to be dropped
+        // entirely (`if let Ok(..)`), so a primary starved to zero
+        // progress reported zero even when the fallback nearly
+        // finished.
+        let cgra = presets::hrea();
+        let config = MapZeroConfig { expansion_budget: Some(1), ..MapZeroConfig::fast_test() };
+        let mut compiler = Compiler::new(config).with_fallback(Box::new(TimesOutFurther));
+        let dfg = suite::by_name("arf").unwrap();
+        let err = compiler.map(&dfg, &cgra).unwrap_err();
+        let MapError::Timeout { best_partial } = err else {
+            panic!("expected Timeout, got {err:?}");
+        };
+        assert_eq!(best_partial.nodes_placed, dfg.node_count() - 1);
+        assert_eq!(best_partial.routed_edges, dfg.edge_count() as u64 - 1);
+        // Work counters sum across engines rather than being replaced.
+        assert!(best_partial.explored >= 40);
+        assert!(best_partial.backtracks >= 3);
+    }
+
+    #[test]
+    fn empty_ii_window_is_no_schedule() {
+        let cgra = presets::hrea();
+        let mut compiler = Compiler::new(MapZeroConfig::fast_test());
+        let dfg = suite::by_name("sum").unwrap();
+        let err = compiler
+            .map_request(
+                &dfg,
+                &cgra,
+                &Budget::unlimited(),
+                IiBounds { min: Some(50), max: Some(60) },
+            )
+            .unwrap_err();
+        assert!(matches!(err, MapError::NoSchedule(_)), "{err:?}");
+        // A max below MII is likewise empty.
+        let err = compiler
+            .map_request(&dfg, &cgra, &Budget::unlimited(), IiBounds {
+                min: None,
+                max: Some(0),
+            })
+            .unwrap_err();
+        assert!(matches!(err, MapError::NoSchedule(_)), "{err:?}");
+    }
+
+    #[test]
+    fn ii_bounds_respected_by_successful_mapping() {
+        let cgra = presets::hrea();
+        let mut compiler = Compiler::new(MapZeroConfig::fast_test());
+        let dfg = suite::by_name("sum").unwrap();
+        let report = compiler
+            .map_request(&dfg, &cgra, &Budget::unlimited(), IiBounds {
+                min: Some(2),
+                max: None,
+            })
+            .unwrap();
+        let mapping = report.mapping.expect("sum maps at II >= 2");
+        assert!(mapping.ii >= 2, "ii_min must floor the search, got {}", mapping.ii);
+        assert!(mapping.validate(&dfg, &cgra).is_empty());
+    }
+
+    #[test]
+    fn shared_cache_compilers_produce_identical_mappings() {
+        let cgra = presets::hrea();
+        let dfg = suite::by_name("mac").unwrap();
+        let mut solo = Compiler::new(MapZeroConfig::fast_test());
+        let baseline = solo.map(&dfg, &cgra).unwrap();
+
+        let cache = Arc::new(Mutex::new(PredictCache::new(256)));
+        let mut a = Compiler::new(MapZeroConfig::fast_test())
+            .with_shared_cache(Arc::clone(&cache));
+        let first = a.map(&dfg, &cgra).unwrap();
+        // Second compiler starts with a warm shared cache; hits are
+        // bit-identical to recomputation so the mapping cannot change.
+        let net = a.shared_net_for(cgra.pe_count()).unwrap();
+        let mut b = Compiler::new(MapZeroConfig::fast_test())
+            .with_shared_cache(Arc::clone(&cache));
+        b.install_shared_net(net);
+        let second = b.map(&dfg, &cgra).unwrap();
+        assert!(!cache.lock().unwrap().is_empty(), "shared cache must be warmed");
+        assert_eq!(baseline.mapping, first.mapping);
+        assert_eq!(first.mapping, second.mapping);
     }
 
     #[test]

@@ -20,17 +20,29 @@
 //! | `checkpoint.pre_write` | before each checkpoint payload write | io |
 //! | `checkpoint.pre_rename` | between temp write and atomic rename | io, panic |
 //! | `checkpoint.pre_manifest` | before the MANIFEST commit point | io, panic |
+//! | `serve.enqueue` | `mapzero-serve` request admission | panic, delay |
+//! | `serve.worker.pre_map` | `mapzero-serve` worker, before mapping | panic, delay |
+//! | `serve.respond` | `mapzero-serve` response delivery | panic, io |
 //!
 //! Arming is **per-thread** (tests run concurrently in one binary; a
 //! fault armed by one test must not leak into another), except for
 //! `MAPZERO_FAILPOINTS`, which seeds every new thread's registry. Unit
 //! sites use the [`crate::failpoint!`] macro; fallible I/O sites call
 //! [`trigger`] directly and `?`-propagate the injected `io::Error`.
+//!
+//! A spec term whose name carries the `global:` prefix instead arms a
+//! **process-wide** failpoint that fires exactly once across all
+//! threads (on the `after`-th visit to the site from anywhere). That is
+//! the chaos knob for thread pools: `global:serve.worker.pre_map=panic`
+//! kills exactly one worker; the per-thread form would re-arm in every
+//! respawned worker and cascade. Programmatic equivalents:
+//! [`arm_global`] / [`disarm_global`].
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::io;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Duration;
 
 /// What an armed failpoint does when it fires.
@@ -76,12 +88,77 @@ fn env_spec() -> &'static [(String, FailAction, u64)] {
 }
 
 fn env_armed() -> HashMap<String, Armed> {
+    // Touching any thread's registry also materializes the global one,
+    // so env-seeded `global:` terms are live before the first visit.
+    let _ = global_registry();
     env_spec()
         .iter()
+        .filter(|(name, _, _)| !name.starts_with(GLOBAL_PREFIX))
         .map(|(name, action, after)| {
             (name.clone(), Armed { action: *action, after: *after, hits: 0 })
         })
         .collect()
+}
+
+/// Spec-name prefix selecting the process-wide registry.
+const GLOBAL_PREFIX: &str = "global:";
+
+/// Fast-path flag: `true` while at least one global failpoint is armed,
+/// so disarmed processes never take the registry mutex on a visit.
+static GLOBAL_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Process-wide armed sites, seeded from `global:`-prefixed
+/// `MAPZERO_FAILPOINTS` terms.
+fn global_registry() -> &'static Mutex<HashMap<String, Armed>> {
+    static REG: OnceLock<Mutex<HashMap<String, Armed>>> = OnceLock::new();
+    REG.get_or_init(|| {
+        let map: HashMap<String, Armed> = env_spec()
+            .iter()
+            .filter_map(|(name, action, after)| {
+                let site = name.strip_prefix(GLOBAL_PREFIX)?;
+                Some((site.to_owned(), Armed { action: *action, after: *after, hits: 0 }))
+            })
+            .collect();
+        if !map.is_empty() {
+            GLOBAL_ACTIVE.store(true, Ordering::Release);
+        }
+        Mutex::new(map)
+    })
+}
+
+/// Arm `name` process-wide: the `after`-th visit *from any thread*
+/// fires `action`, then the site disarms itself (exactly one firing
+/// total — the thread-pool chaos primitive).
+pub fn arm_global(name: &str, after: u64, action: FailAction) {
+    assert!(after >= 1, "failpoint fires on the after-th visit; after must be >= 1");
+    let mut reg = global_registry().lock().unwrap_or_else(PoisonError::into_inner);
+    reg.insert(name.to_owned(), Armed { action, after, hits: 0 });
+    GLOBAL_ACTIVE.store(true, Ordering::Release);
+}
+
+/// Disarm the process-wide `name` (no-op when not armed).
+pub fn disarm_global(name: &str) {
+    let mut reg = global_registry().lock().unwrap_or_else(PoisonError::into_inner);
+    reg.remove(name);
+    if reg.is_empty() {
+        GLOBAL_ACTIVE.store(false, Ordering::Release);
+    }
+}
+
+/// Check the process-wide registry for a due firing at `name`.
+fn fire_global(name: &str) -> Option<FailAction> {
+    let mut reg = global_registry().lock().unwrap_or_else(PoisonError::into_inner);
+    let entry = reg.get_mut(name)?;
+    entry.hits += 1;
+    if entry.hits < entry.after {
+        return None;
+    }
+    let action = entry.action;
+    reg.remove(name);
+    if reg.is_empty() {
+        GLOBAL_ACTIVE.store(false, Ordering::Release);
+    }
+    Some(action)
 }
 
 /// Parse a failpoint spec: comma-separated `name=action[@after]` terms
@@ -182,7 +259,7 @@ pub fn scoped(name: &str, after: u64, action: FailAction) -> FailScope {
 /// # Panics
 /// Panics (by design) when an armed [`FailAction::Panic`] fires.
 pub fn trigger(name: &str) -> io::Result<()> {
-    let fired = ARMED.with(|m| {
+    let mut fired = ARMED.with(|m| {
         let mut m = m.borrow_mut();
         if m.is_empty() {
             return None;
@@ -197,6 +274,9 @@ pub fn trigger(name: &str) -> io::Result<()> {
             None
         }
     });
+    if fired.is_none() && GLOBAL_ACTIVE.load(Ordering::Acquire) {
+        fired = fire_global(name);
+    }
     match fired {
         None => Ok(()),
         Some(FailAction::Delay(d)) => {
@@ -291,6 +371,50 @@ mod tests {
     #[test]
     fn unit_macro_passes_when_disarmed() {
         crate::failpoint!("t.macro");
+    }
+
+    #[test]
+    fn global_failpoint_fires_exactly_once_across_threads() {
+        arm_global("t.global.once", 1, FailAction::IoError);
+        // Eight threads race the same site; exactly one observes the
+        // injected error, and the site self-disarms process-wide.
+        let fired: usize = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| s.spawn(|| usize::from(trigger("t.global.once").is_err())))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(fired, 1, "a global failpoint must fire exactly once process-wide");
+        assert!(trigger("t.global.once").is_ok());
+    }
+
+    #[test]
+    fn global_failpoint_counts_visits_across_threads() {
+        arm_global("t.global.nth", 3, FailAction::IoError);
+        assert!(trigger("t.global.nth").is_ok());
+        let ok = std::thread::spawn(|| trigger("t.global.nth").is_ok()).join().unwrap();
+        assert!(ok, "second visit (other thread) must not fire yet");
+        assert!(trigger("t.global.nth").is_err(), "third visit fires");
+    }
+
+    #[test]
+    fn disarm_global_clears_pending_fault() {
+        arm_global("t.global.clear", 1, FailAction::Panic);
+        disarm_global("t.global.clear");
+        assert!(trigger("t.global.clear").is_ok());
+    }
+
+    #[test]
+    fn thread_local_arming_shadows_global() {
+        // A thread-local arm at the same site fires first; the global
+        // stays pending for other threads.
+        arm_global("t.global.shadow", 1, FailAction::IoError);
+        arm("t.global.shadow", 1, FailAction::IoError);
+        assert!(trigger("t.global.shadow").is_err(), "local fires");
+        assert!(trigger("t.global.shadow").is_err(), "then the global");
+        assert!(trigger("t.global.shadow").is_ok());
     }
 
     #[test]

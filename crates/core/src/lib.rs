@@ -63,7 +63,7 @@ pub mod viz;
 
 pub use agent::{AgentConfig, MapZeroAgent};
 pub use checkpoint::{CheckpointError, CheckpointStore, LoadedGeneration};
-pub use compiler::{Compiler, MapZeroConfig};
+pub use compiler::{Compiler, IiBounds, MapZeroConfig};
 pub use failpoint::{FailAction, FailScope};
 pub use env::{MapEnv, StepOutcome};
 pub use mapping::{MapError, MapReport, Mapper, Mapping, PartialMapStats, Placement};

@@ -158,6 +158,38 @@ pub struct PartialMapStats {
     pub routed_edges: u64,
 }
 
+impl PartialMapStats {
+    /// Fold another engine's partial progress into this one. Work
+    /// counters (`backtracks`, `explored`) accumulate — both engines
+    /// really did that work — while the progress fields (`best_ii`,
+    /// `nodes_placed`, `routed_edges`) are carried wholesale from
+    /// whichever attempt got further: a complete mapping at a lower II
+    /// beats any incomplete attempt, and incomplete attempts compare by
+    /// nodes placed, then routed edges.
+    ///
+    /// This is how the compiler's fallback path keeps the better of the
+    /// primary's and the fallback's partial progress when *both* time
+    /// out, instead of dropping the fallback's.
+    pub fn absorb_better(&mut self, other: &PartialMapStats) {
+        self.backtracks += other.backtracks;
+        self.explored += other.explored;
+        let other_further = match (self.best_ii, other.best_ii) {
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some(a), Some(b)) => b < a,
+            (None, None) => {
+                (other.nodes_placed, other.routed_edges)
+                    > (self.nodes_placed, self.routed_edges)
+            }
+        };
+        if other_further {
+            self.best_ii = other.best_ii;
+            self.nodes_placed = other.nodes_placed;
+            self.routed_edges = other.routed_edges;
+        }
+    }
+}
+
 impl fmt::Display for PartialMapStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.best_ii {
@@ -457,6 +489,47 @@ mod tests {
         assert!(texts[2].contains("7/12 nodes placed"), "{}", texts[2]);
         assert!(texts[3].contains("epoch 9"), "{}", texts[3]);
         assert!(texts[4].contains("router panicked"), "{}", texts[4]);
+    }
+
+    #[test]
+    fn absorb_better_carries_the_further_attempt_and_sums_work() {
+        let base = PartialMapStats {
+            best_ii: None,
+            nodes_placed: 4,
+            total_nodes: 12,
+            backtracks: 10,
+            explored: 100,
+            routed_edges: 3,
+        };
+
+        // A fallback that placed more nodes wins the progress fields.
+        let mut a = base;
+        a.absorb_better(&PartialMapStats {
+            nodes_placed: 9,
+            routed_edges: 8,
+            backtracks: 5,
+            explored: 50,
+            ..base
+        });
+        assert_eq!(a.nodes_placed, 9);
+        assert_eq!(a.routed_edges, 8);
+        assert_eq!((a.backtracks, a.explored), (15, 150));
+
+        // A complete mapping (best_ii) beats any incomplete attempt…
+        let mut b = base;
+        b.absorb_better(&PartialMapStats { best_ii: Some(5), ..base });
+        assert_eq!(b.best_ii, Some(5));
+
+        // …and is never displaced by one.
+        let mut c = PartialMapStats { best_ii: Some(3), ..base };
+        c.absorb_better(&PartialMapStats { nodes_placed: 12, ..base });
+        assert_eq!(c.best_ii, Some(3));
+        assert_eq!(c.nodes_placed, 4);
+
+        // Two complete mappings: the lower II is the better one.
+        let mut d = PartialMapStats { best_ii: Some(4), ..base };
+        d.absorb_better(&PartialMapStats { best_ii: Some(2), ..base });
+        assert_eq!(d.best_ii, Some(2));
     }
 
     #[test]

@@ -198,6 +198,13 @@ impl PredictCache {
         self.cur.insert(key, pred);
     }
 
+    /// Raise the capacity to at least `capacity` without dropping any
+    /// entries. Used when an episode takes over a shared cache that was
+    /// created (or reset by [`std::mem::take`]) at placeholder size.
+    pub fn reserve_capacity(&mut self, capacity: usize) {
+        self.capacity = self.capacity.max(capacity.max(2));
+    }
+
     /// Number of live entries across both segments.
     #[must_use]
     pub fn len(&self) -> usize {

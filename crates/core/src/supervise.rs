@@ -65,6 +65,28 @@ impl Budget {
         Budget { deadline: Instant::now().checked_add(limit), ..Budget::unlimited() }
     }
 
+    /// A budget expiring at the absolute instant `deadline`.
+    ///
+    /// This is how a queued request charges its queue wait against its
+    /// own deadline: the instant is fixed at enqueue time, so however
+    /// long the request waits for a worker, the mapping work gets only
+    /// what remains (possibly nothing — the budget may already be
+    /// expired when work starts). Compose with the same `checked_add`
+    /// contract as [`Budget::with_deadline`]: callers deriving the
+    /// instant from `enqueue + timeout` should treat an overflowing
+    /// `Instant::checked_add` as unbounded, e.g.
+    /// `enqueue.checked_add(t).map_or_else(Budget::unlimited, Budget::from_deadline_at)`.
+    #[must_use]
+    pub fn from_deadline_at(deadline: Instant) -> Self {
+        Budget { deadline: Some(deadline), ..Budget::unlimited() }
+    }
+
+    /// The absolute deadline, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
     /// Cap the total number of charged expansions.
     #[must_use]
     pub fn with_expansion_cap(mut self, cap: u64) -> Self {
@@ -226,6 +248,57 @@ mod tests {
         let slice = parent.slice(Duration::from_secs(60));
         assert!(slice.expired());
         assert_eq!(slice.remaining_time(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn from_deadline_at_charges_elapsed_wait() {
+        // A deadline fixed in the past is already expired: the "queue
+        // wait" consumed the whole allowance before work began.
+        let enqueue = Instant::now();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = Budget::from_deadline_at(enqueue);
+        assert!(b.expired());
+        assert_eq!(b.remaining_time(), Some(Duration::ZERO));
+
+        // A future absolute deadline behaves like with_deadline.
+        let b = Budget::from_deadline_at(Instant::now() + Duration::from_secs(60));
+        assert!(!b.expired());
+        assert!(b.remaining_time().is_some_and(|t| t <= Duration::from_secs(60)));
+        assert!(b.deadline().is_some());
+    }
+
+    #[test]
+    fn from_deadline_at_overflow_contract_matches_checked_add() {
+        // The documented composition: an enqueue instant plus a timeout
+        // too large for the clock must degrade to unbounded, exactly as
+        // with_deadline(Duration::MAX) does.
+        let enqueue = Instant::now();
+        let b = enqueue
+            .checked_add(Duration::MAX)
+            .map_or_else(Budget::unlimited, Budget::from_deadline_at);
+        assert!(!b.expired());
+        assert_eq!(b.remaining_time(), None);
+        assert_eq!(b.deadline(), None);
+
+        // A representable timeout takes the bounded branch.
+        let b = enqueue
+            .checked_add(Duration::from_secs(1))
+            .map_or_else(Budget::unlimited, Budget::from_deadline_at);
+        assert!(b.deadline().is_some());
+    }
+
+    #[test]
+    fn slice_of_absolute_deadline_budget_clamps_to_it() {
+        let enqueue = Instant::now();
+        let parent = Budget::from_deadline_at(enqueue + Duration::from_millis(10));
+        let slice = parent.slice(Duration::from_secs(60));
+        assert!(slice.remaining_time().is_some_and(|t| t <= Duration::from_millis(10)));
+        // Expansions still drain the shared pool through the slice.
+        let parent = Budget::from_deadline_at(enqueue + Duration::from_secs(60))
+            .with_expansion_cap(4);
+        let slice = parent.slice(Duration::from_secs(1));
+        slice.charge(4);
+        assert!(parent.drained());
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! The `mapzero_serve` binary: the compile service behind stdin/stdout
+//! batches or a Unix socket.
+//!
+//! Default (stdin) mode reads one request batch from stdin, writes one
+//! JSONL response per request to stdout in completion order, and exits
+//! 0 — the CI smoke gate and shell pipelines use this:
+//!
+//! ```text
+//! mapzero_serve --workers 4 --summary < batch.txt
+//! ```
+//!
+//! Socket mode (`--socket PATH`) accepts connections forever; each
+//! connection is an independent batch (requests in, JSONL out, close).
+//!
+//! Flags:
+//! - `--workers N`        worker threads (default 2)
+//! - `--queue-cap N`      queue capacity before shedding (default 64)
+//! - `--inflight-cap N`   per-tenant concurrent jobs (default 2)
+//! - `--retries N`        internal-fault/worker-death retries (default 2)
+//! - `--no-hedge`         disable the SA fallback lane
+//! - `--summary`          append one `{"summary":...}` JSONL line
+//! - `--socket PATH`      serve a Unix socket instead of stdin
+
+use mapzero_serve::service::{MapService, ServeConfig};
+use mapzero_serve::wire::RequestReader;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixListener;
+use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+
+fn main() -> ExitCode {
+    if let Some(path) = mapzero_obs::init_from_env() {
+        eprintln!("telemetry trace -> {path}");
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServeConfig::default();
+    let mut socket: Option<String> = None;
+    let mut summary = false;
+
+    fn num<'a>(it: &mut impl Iterator<Item = &'a String>, what: &str) -> Option<usize> {
+        match it.next().map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) => Some(n),
+            _ => {
+                eprintln!("{what}: expected a number");
+                None
+            }
+        }
+    }
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => match num(&mut it, "--workers") {
+                Some(n) => config.workers = n.max(1),
+                None => return ExitCode::FAILURE,
+            },
+            "--queue-cap" => match num(&mut it, "--queue-cap") {
+                Some(n) => config.queue.capacity = n.max(1),
+                None => return ExitCode::FAILURE,
+            },
+            "--inflight-cap" => match num(&mut it, "--inflight-cap") {
+                Some(n) => config.queue.tenant_inflight_cap = n.max(1),
+                None => return ExitCode::FAILURE,
+            },
+            "--retries" => match num(&mut it, "--retries") {
+                Some(n) => config.max_retries = u32::try_from(n).unwrap_or(u32::MAX),
+                None => return ExitCode::FAILURE,
+            },
+            "--no-hedge" => config.hedge = false,
+            "--summary" => summary = true,
+            "--socket" => match it.next() {
+                Some(path) => socket = Some(path.clone()),
+                None => {
+                    eprintln!("--socket: expected a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let service = MapService::start(config);
+    let code = match socket {
+        Some(path) => serve_socket(&service, &path),
+        None => serve_stdin(&service, summary),
+    };
+    service.shutdown();
+    code
+}
+
+/// One batch from stdin, JSONL to stdout, exit.
+fn serve_stdin(service: &MapService, summary: bool) -> ExitCode {
+    let stdin = std::io::stdin();
+    let mut reader = RequestReader::new(stdin.lock());
+    let (tx, rx) = mpsc::channel();
+    let mut submitted = 0usize;
+    loop {
+        match reader.next_request() {
+            Ok(Some(request)) => {
+                let _ = service.submit(request, &tx);
+                submitted += 1;
+            }
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("bad request batch: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    drop(tx);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for _ in 0..submitted {
+        match rx.recv() {
+            Ok(resp) => {
+                if writeln!(out, "{}", resp.to_jsonl()).is_err() {
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    if summary {
+        let _ = writeln!(out, "{}", summary_line(service));
+    }
+    ExitCode::SUCCESS
+}
+
+/// Accept loop: each connection is one batch.
+fn serve_socket(service: &MapService, path: &str) -> ExitCode {
+    let _ = std::fs::remove_file(path);
+    let listener = match UnixListener::bind(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("serving on {path}");
+    for conn in listener.incoming() {
+        let Ok(stream) = conn else { continue };
+        let service = service.clone();
+        std::thread::spawn(move || {
+            let reader = BufReader::new(match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return,
+            });
+            serve_connection(&service, reader, stream);
+        });
+    }
+    ExitCode::SUCCESS
+}
+
+fn serve_connection<R: BufRead, W: Write>(service: &MapService, input: R, mut output: W) {
+    let mut reader = RequestReader::new(input);
+    let (tx, rx) = mpsc::channel();
+    let mut submitted = 0usize;
+    loop {
+        match reader.next_request() {
+            Ok(Some(request)) => {
+                let _ = service.submit(request, &tx);
+                submitted += 1;
+            }
+            Ok(None) => break,
+            Err(e) => {
+                let _ = writeln!(output, "{{\"error\":\"{e}\"}}");
+                return;
+            }
+        }
+    }
+    drop(tx);
+    for _ in 0..submitted {
+        match rx.recv() {
+            Ok(resp) => {
+                if writeln!(output, "{}", resp.to_jsonl()).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Service-level counters as one JSONL record.
+fn summary_line(service: &MapService) -> String {
+    use mapzero_obs::json::Json;
+    let stats = service.stats();
+    Json::obj(vec![(
+        "summary",
+        Json::obj(vec![
+            ("shed", Json::from(stats.shed.load(Ordering::Relaxed))),
+            ("retries", Json::from(stats.retries.load(Ordering::Relaxed))),
+            ("worker_deaths", Json::from(stats.worker_deaths.load(Ordering::Relaxed))),
+            ("respawns", Json::from(stats.respawns.load(Ordering::Relaxed))),
+            ("responses", Json::from(stats.responses.load(Ordering::Relaxed))),
+            ("queue_depth", Json::from(service.queue_depth() as u64)),
+        ]),
+    )])
+    .to_string_compact()
+}

@@ -1,0 +1,50 @@
+//! `mapzero-serve`: the long-lived multi-tenant compile service.
+//!
+//! MapZero's operational pitch — orders-of-magnitude faster compilation
+//! than search-based mappers — only holds in production if one slow or
+//! crashing request cannot starve or take down every other tenant.
+//! This crate turns the single-shot [`mapzero_core::Compiler`] into a
+//! supervised service (see DESIGN.md §10 for the full contract):
+//!
+//! - [`wire`] — the request/response formats: line-oriented batches
+//!   embedding the existing `textfmt` codecs in, one JSONL record per
+//!   request out.
+//! - [`queue`] — bounded admission with load-shedding, stride-scheduled
+//!   weighted per-tenant fairness, per-tenant in-flight caps.
+//! - [`service`] — the worker pool sharing one network per fabric size
+//!   and one prediction cache, with deadline propagation from enqueue
+//!   time, retry-with-backoff for contained faults, optional SA
+//!   hedging, and worker-death containment (respawn; retry or fail the
+//!   request structurally, never lose it).
+//!
+//! The `mapzero_serve` binary wires this to stdin/stdout batches or a
+//! Unix socket. Chaos coverage lives in `tests/chaos_isolation.rs`:
+//! with one tenant's requests armed (via failpoints) to panic or stall,
+//! the other tenant's requests still complete in time with bit-identical
+//! mappings.
+//!
+//! # Example
+//!
+//! ```
+//! use mapzero_serve::service::{MapService, ServeConfig};
+//! use mapzero_serve::wire::{MapRequest, Outcome};
+//!
+//! let service = MapService::start(ServeConfig::fast_test());
+//! let request = MapRequest::new(
+//!     "r-1",
+//!     "docs",
+//!     mapzero_dfg::suite::by_name("sum").expect("kernel exists"),
+//!     mapzero_arch::presets::hrea(),
+//! );
+//! let responses = service.process_batch(vec![request]);
+//! assert_eq!(responses[0].outcome, Outcome::Mapped);
+//! service.shutdown();
+//! ```
+
+pub mod queue;
+pub mod service;
+pub mod wire;
+
+pub use queue::{JobQueue, QueueConfig, SubmitError};
+pub use service::{MapService, ServeConfig, ServiceStats};
+pub use wire::{parse_batch, MapRequest, MapResponse, Outcome, RequestReader, WireError};

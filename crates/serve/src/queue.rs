@@ -1,0 +1,352 @@
+//! The bounded, tenant-fair job queue.
+//!
+//! Three admission/scheduling properties, all enforced here so the
+//! worker pool above stays trivial:
+//!
+//! 1. **Bounded depth** — [`JobQueue::submit`] sheds (returns the
+//!    observed depth) instead of queueing past capacity; an admitted
+//!    job is never dropped ([`JobQueue::requeue_front`] bypasses the
+//!    cap so retries of already-admitted work cannot be shed).
+//! 2. **Weighted fairness** — tenants are stride-scheduled: each pop
+//!    takes the runnable tenant with the lowest virtual *pass*, and a
+//!    tenant's pass advances by `STRIDE_SCALE / weight` per pop, so a
+//!    weight-3 tenant drains three jobs for every one of a weight-1
+//!    tenant under contention, without starving anyone.
+//! 3. **In-flight caps** — a tenant at its concurrency cap is skipped
+//!    (not popped) until [`JobQueue::finish`] frees a slot, so one
+//!    tenant cannot occupy every worker no matter how fast it submits.
+//!
+//! The queue is a plain `Mutex<State>` + `Condvar`; scheduling
+//! decisions are deterministic given the submit/pop order (ties broken
+//! by tenant name), which the fairness unit tests rely on.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Stride-scheduling scale: pass increments are `STRIDE_SCALE / weight`.
+const STRIDE_SCALE: u64 = 1 << 20;
+
+/// Queue sizing and per-tenant limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueConfig {
+    /// Maximum queued (not yet running) jobs before shedding.
+    pub capacity: usize,
+    /// Maximum concurrently running jobs per tenant.
+    pub tenant_inflight_cap: usize,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig { capacity: 64, tenant_inflight_cap: 2 }
+    }
+}
+
+/// One unit of queued work (the service layer wraps the request with
+/// its delivery channel and bookkeeping).
+#[derive(Debug)]
+pub struct Job<T> {
+    /// The payload (a request plus service bookkeeping).
+    pub item: T,
+    /// When the job was first admitted — queue wait and deadlines are
+    /// measured from here, surviving requeues.
+    pub enqueued_at: Instant,
+    /// Processing attempts so far (0 for a fresh job).
+    pub attempts: u32,
+}
+
+#[derive(Debug)]
+struct TenantLane<T> {
+    jobs: VecDeque<Job<T>>,
+    weight: u32,
+    inflight: usize,
+    /// Stride-scheduling virtual time; lowest runnable pass pops next.
+    pass: u64,
+}
+
+// Manual impl: `derive(Default)` would needlessly bound `T: Default`.
+impl<T> Default for TenantLane<T> {
+    fn default() -> Self {
+        TenantLane { jobs: VecDeque::new(), weight: 1, inflight: 0, pass: 0 }
+    }
+}
+
+#[derive(Debug)]
+struct State<T> {
+    lanes: HashMap<String, TenantLane<T>>,
+    queued: usize,
+    closed: bool,
+    /// Global virtual time: new/idle tenants join at the current floor
+    /// so a freshly-arrived tenant cannot monopolize (tiny pass) nor be
+    /// locked out (huge pass).
+    virtual_time: u64,
+}
+
+/// The bounded tenant-fair queue. `T` is the job payload.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    config: QueueConfig,
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Queue at capacity; the payload carries the depth observed.
+    Shed {
+        /// Queued jobs at the moment of shedding.
+        queue_depth: usize,
+    },
+    /// The queue is shut down.
+    Closed,
+}
+
+impl<T> JobQueue<T> {
+    /// An empty open queue.
+    #[must_use]
+    pub fn new(config: QueueConfig) -> Self {
+        JobQueue {
+            config,
+            state: Mutex::new(State {
+                lanes: HashMap::new(),
+                queued: 0,
+                closed: false,
+                virtual_time: 0,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admit a job, or shed it when the queue is full. A refused item
+    /// is handed back so the caller can answer it (the service sends a
+    /// `Rejected` response on the request's own channel).
+    ///
+    /// # Errors
+    /// [`SubmitError::Shed`] at capacity, [`SubmitError::Closed`] after
+    /// [`JobQueue::close`]; both return the item.
+    pub fn submit(&self, tenant: &str, weight: u32, item: T) -> Result<(), (SubmitError, T)> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err((SubmitError::Closed, item));
+        }
+        if s.queued >= self.config.capacity {
+            return Err((SubmitError::Shed { queue_depth: s.queued }, item));
+        }
+        let vt = s.virtual_time;
+        let lane = s.lanes.entry(tenant.to_owned()).or_default();
+        lane.weight = weight.max(1);
+        if lane.jobs.is_empty() && lane.inflight == 0 {
+            // (Re)joining tenant starts at the current virtual floor.
+            lane.pass = lane.pass.max(vt);
+        }
+        lane.jobs.push_back(Job { item, enqueued_at: Instant::now(), attempts: 0 });
+        s.queued += 1;
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Re-admit an already-admitted job at the front of its tenant's
+    /// lane, bypassing the capacity check: a retry (worker death,
+    /// transient internal fault) must never be shed — the admission
+    /// decision was already made.
+    pub fn requeue_front(&self, tenant: &str, job: Job<T>) {
+        let mut s = self.lock();
+        let lane = s.lanes.entry(tenant.to_owned()).or_default();
+        lane.jobs.push_front(job);
+        s.queued += 1;
+        drop(s);
+        self.ready.notify_one();
+    }
+
+    /// Block until a job is runnable (fairness- and cap-aware) or the
+    /// queue closes with nothing left. Returns the tenant name with the
+    /// job; the caller must pair every `pop` with [`JobQueue::finish`].
+    pub fn pop(&self) -> Option<(String, Job<T>)> {
+        let mut s = self.lock();
+        loop {
+            // Runnable = has queued jobs and spare in-flight quota.
+            let next = s
+                .lanes
+                .iter()
+                .filter(|(_, lane)| {
+                    !lane.jobs.is_empty() && lane.inflight < self.config.tenant_inflight_cap
+                })
+                .min_by(|(na, a), (nb, b)| a.pass.cmp(&b.pass).then_with(|| na.cmp(nb)))
+                .map(|(name, _)| name.clone());
+            if let Some(name) = next {
+                let lane = s.lanes.get_mut(&name).expect("lane exists");
+                let job = lane.jobs.pop_front().expect("non-empty lane");
+                lane.inflight += 1;
+                lane.pass += STRIDE_SCALE / u64::from(lane.weight.max(1));
+                let pass = lane.pass;
+                s.virtual_time = s.virtual_time.max(pass);
+                s.queued -= 1;
+                return Some((name, job));
+            }
+            if s.closed && s.queued == 0 {
+                return None;
+            }
+            // Either empty, or every backlogged tenant is at its cap.
+            s = self.ready.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Release the in-flight slot a [`JobQueue::pop`] took.
+    pub fn finish(&self, tenant: &str) {
+        let mut s = self.lock();
+        if let Some(lane) = s.lanes.get_mut(tenant) {
+            lane.inflight = lane.inflight.saturating_sub(1);
+        }
+        drop(s);
+        // A freed cap slot may make a skipped lane runnable.
+        self.ready.notify_all();
+    }
+
+    /// Jobs queued (not running) right now.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.lock().queued
+    }
+
+    /// In-flight jobs for one tenant.
+    #[must_use]
+    pub fn inflight(&self, tenant: &str) -> usize {
+        self.lock().lanes.get(tenant).map_or(0, |l| l.inflight)
+    }
+
+    /// Stop admissions; blocked `pop`s return `None` once drained.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(capacity: usize, cap: usize) -> QueueConfig {
+        QueueConfig { capacity, tenant_inflight_cap: cap }
+    }
+
+    #[test]
+    fn sheds_at_capacity_with_observed_depth() {
+        let q = JobQueue::new(cfg(2, 8));
+        q.submit("a", 1, 1).unwrap();
+        q.submit("a", 1, 2).unwrap();
+        let (err, item) = q.submit("a", 1, 3).unwrap_err();
+        assert_eq!(err, SubmitError::Shed { queue_depth: 2 });
+        assert_eq!(item, 3, "refused item handed back");
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn requeue_front_bypasses_capacity_and_pops_first() {
+        let q = JobQueue::new(cfg(1, 8));
+        q.submit("a", 1, 1).unwrap();
+        let (_, mut job) = q.pop().unwrap();
+        q.finish("a");
+        job.attempts += 1;
+        q.submit("a", 1, 2).unwrap(); // fills capacity again
+        q.requeue_front("a", job); // must still be admitted
+        assert_eq!(q.depth(), 2);
+        let (_, first) = q.pop().unwrap();
+        assert_eq!(first.item, 1, "requeued job runs before newer work");
+        assert_eq!(first.attempts, 1);
+    }
+
+    #[test]
+    fn weighted_tenants_drain_proportionally() {
+        let q = JobQueue::new(cfg(64, 64));
+        for i in 0..12 {
+            q.submit("heavy", 3, i).unwrap();
+            q.submit("light", 1, 100 + i).unwrap();
+        }
+        // Drain the first 8 pops and count per tenant: stride order
+        // gives `heavy` ~3 of every 4 slots.
+        let mut heavy = 0;
+        for _ in 0..8 {
+            let (tenant, _) = q.pop().unwrap();
+            if tenant == "heavy" {
+                heavy += 1;
+            }
+        }
+        assert_eq!(heavy, 6, "weight-3 tenant gets 3/4 of contended slots");
+    }
+
+    #[test]
+    fn equal_weights_alternate() {
+        let q = JobQueue::new(cfg(64, 64));
+        for i in 0..4 {
+            q.submit("a", 1, i).unwrap();
+            q.submit("b", 1, i).unwrap();
+        }
+        let order: Vec<String> = (0..8).map(|_| q.pop().unwrap().0).collect();
+        let a_first: Vec<&str> = order.iter().map(String::as_str).collect();
+        assert_eq!(a_first, ["a", "b", "a", "b", "a", "b", "a", "b"]);
+    }
+
+    #[test]
+    fn inflight_cap_skips_saturated_tenant() {
+        let q = JobQueue::new(cfg(64, 1));
+        q.submit("a", 1, 1).unwrap();
+        q.submit("a", 1, 2).unwrap();
+        q.submit("b", 1, 3).unwrap();
+        let (t1, _) = q.pop().unwrap();
+        assert_eq!(t1, "a");
+        // `a` is at its cap: the next pop must take `b` even though `a`
+        // has the lower pass.
+        let (t2, _) = q.pop().unwrap();
+        assert_eq!(t2, "b");
+        // Freeing `a`'s slot makes its second job runnable again.
+        q.finish("a");
+        let (t3, _) = q.pop().unwrap();
+        assert_eq!(t3, "a");
+    }
+
+    #[test]
+    fn rejoining_tenant_does_not_monopolize() {
+        let q = JobQueue::new(cfg(64, 64));
+        for i in 0..4 {
+            q.submit("old", 1, i).unwrap();
+        }
+        // Advance `old`'s pass by draining two jobs.
+        for _ in 0..2 {
+            let _ = q.pop().unwrap();
+            q.finish("old");
+        }
+        // A newcomer joins at the virtual floor: it gets the next slot
+        // but cannot claim *all* subsequent slots.
+        q.submit("new", 1, 100).unwrap();
+        q.submit("new", 1, 101).unwrap();
+        let order: Vec<String> = (0..4).map(|_| q.pop().unwrap().0).collect();
+        assert_eq!(order.iter().filter(|t| *t == "new").count(), 2);
+        assert_ne!(order[..2].iter().filter(|t| *t == "new").count(), 2, "{order:?}");
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q = JobQueue::new(cfg(8, 8));
+        q.submit("a", 1, 1).unwrap();
+        q.close();
+        assert_eq!(q.submit("a", 1, 2).unwrap_err().0, SubmitError::Closed);
+        assert!(q.pop().is_some(), "closed queue still drains admitted work");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_blocks_until_submit() {
+        let q = std::sync::Arc::new(JobQueue::new(cfg(8, 8)));
+        let q2 = std::sync::Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.pop().map(|(t, j)| (t, j.item)));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.submit("a", 1, 42).unwrap();
+        assert_eq!(waiter.join().unwrap(), Some(("a".to_owned(), 42)));
+    }
+}

@@ -1,0 +1,562 @@
+//! The long-lived mapping service: a worker pool over the tenant-fair
+//! queue, sharing one network per fabric size and one prediction cache,
+//! wrapped in the supervision layer that makes one request unable to
+//! hurt another:
+//!
+//! - **Admission**: [`MapService::submit`] load-sheds with a `Rejected`
+//!   response (carrying the observed queue depth) instead of queueing
+//!   without bound.
+//! - **Deadlines**: a request's wall-clock allowance is charged from
+//!   *enqueue* time ([`Budget::from_deadline_at`]), so queue wait counts
+//!   and an expired request is answered `deadline` without burning a
+//!   worker on it.
+//! - **Retries**: a contained internal fault ([`MapError::Internal`],
+//!   e.g. a panic inside the compiler's isolation boundary) is retried
+//!   with exponential backoff up to `max_retries`, never past the
+//!   deadline.
+//! - **Worker death**: a panic that escapes the compiler's own
+//!   isolation (e.g. the `serve.worker.pre_map` failpoint) kills only
+//!   that worker; the thread is respawned, and the in-flight request is
+//!   either requeued (front of its tenant's lane — admission already
+//!   happened) or answered `internal`. Exactly one response per
+//!   admitted request, always.
+//! - **Hedging**: with [`ServeConfig::hedge`], each worker's compiler
+//!   carries the SA baseline as a fallback lane — the primary gets ~70%
+//!   of the remaining deadline (the compiler's `PRIMARY_SHARE`), the
+//!   annealer the rest.
+//!
+//! Shared state is confined to things a dying worker cannot poison: the
+//! queue (mutex with explicit poison recovery), `Arc`'d read-only
+//! networks, and the prediction cache (drained by value per episode — a
+//! panic loses borrowed entries, never corrupts the slot).
+
+use crate::queue::{Job, JobQueue, QueueConfig, SubmitError};
+use crate::wire::{MapRequest, MapResponse, Outcome};
+use mapzero_baselines::{SaConfig, SaMapper};
+use mapzero_core::failpoint::{self, FailScope};
+use mapzero_core::mapping::MapError;
+use mapzero_core::mcts::PredictCache;
+use mapzero_core::network::MapZeroNet;
+use mapzero_core::supervise::Budget;
+use mapzero_core::{Compiler, IiBounds, MapZeroConfig};
+use mapzero_obs::metrics::registry;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Queue capacity and per-tenant in-flight caps.
+    pub queue: QueueConfig,
+    /// Compiler configuration shared by every worker.
+    pub compiler: MapZeroConfig,
+    /// Retries for contained internal faults (and worker deaths) per
+    /// request.
+    pub max_retries: u32,
+    /// Base backoff before an internal-fault retry; doubles per retry,
+    /// always capped by the request's remaining deadline.
+    pub retry_backoff: Duration,
+    /// Install the SA baseline as each worker's hedged fallback lane.
+    pub hedge: bool,
+    /// Deadline applied to requests that carry none (`None` = such
+    /// requests run unbounded).
+    pub default_deadline: Option<Duration>,
+    /// Per-request cap on MCTS tree expansions (deterministic work
+    /// bound composing with the wall-clock deadline).
+    pub expansion_budget: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue: QueueConfig::default(),
+            compiler: MapZeroConfig::fast_test(),
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(25),
+            hedge: true,
+            default_deadline: Some(Duration::from_secs(300)),
+            expansion_budget: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Seconds-scale deterministic configuration for tests: small pool,
+    /// no hedging (one engine = bit-reproducible outputs), tiny
+    /// backoff.
+    #[must_use]
+    pub fn fast_test() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue: QueueConfig { capacity: 32, tenant_inflight_cap: 2 },
+            compiler: MapZeroConfig::fast_test(),
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            hedge: false,
+            default_deadline: None,
+            expansion_budget: None,
+        }
+    }
+}
+
+/// Monotonic service-level counters (also mirrored into the global
+/// metrics registry as `serve.*`).
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Requests shed at admission.
+    pub shed: AtomicU64,
+    /// Contained internal-fault retries.
+    pub retries: AtomicU64,
+    /// Worker threads killed by an escaping panic.
+    pub worker_deaths: AtomicU64,
+    /// Worker threads respawned after a death.
+    pub respawns: AtomicU64,
+    /// Responses delivered (every admitted request produces exactly
+    /// one).
+    pub responses: AtomicU64,
+}
+
+struct QueuedRequest {
+    request: MapRequest,
+    respond: Sender<MapResponse>,
+    /// Worker deaths this request has survived so far.
+    worker_deaths: u32,
+}
+
+struct Shared {
+    config: ServeConfig,
+    queue: JobQueue<QueuedRequest>,
+    /// One network per fabric size, shared by every worker's compiler.
+    nets: Mutex<HashMap<usize, Arc<MapZeroNet>>>,
+    /// One prediction cache shared by every worker.
+    cache: Arc<Mutex<PredictCache>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    stats: ServiceStats,
+    /// Interned `serve.inflight.<tenant>` gauge names (the registry
+    /// wants `&'static str`; one leak per distinct tenant).
+    tenant_gauges: Mutex<HashMap<String, &'static str>>,
+}
+
+/// The running service. Cloneable handle; [`MapService::shutdown`]
+/// drains and joins the pool.
+#[derive(Clone)]
+pub struct MapService {
+    shared: Arc<Shared>,
+}
+
+impl MapService {
+    /// Start the worker pool.
+    #[must_use]
+    pub fn start(config: ServeConfig) -> Self {
+        let cache_capacity = config.compiler.agent.mcts.cache_capacity.max(2);
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue),
+            nets: Mutex::new(HashMap::new()),
+            cache: Arc::new(Mutex::new(PredictCache::new(cache_capacity))),
+            handles: Mutex::new(Vec::new()),
+            stats: ServiceStats::default(),
+            tenant_gauges: Mutex::new(HashMap::new()),
+            config,
+        });
+        for _ in 0..workers {
+            spawn_worker(Arc::clone(&shared));
+        }
+        MapService { shared }
+    }
+
+    /// Submit one request. Exactly one response — including a
+    /// `Rejected` one when the queue sheds it, or an `Internal` one
+    /// after shutdown — arrives on `respond`. Returns whether the
+    /// request was admitted into the queue.
+    pub fn submit(&self, request: MapRequest, respond: &Sender<MapResponse>) -> bool {
+        mapzero_core::failpoint!("serve.enqueue");
+        let tenant = request.tenant.clone();
+        let weight = request.weight;
+        let queued = QueuedRequest { request, respond: respond.clone(), worker_deaths: 0 };
+        match self.shared.queue.submit(&tenant, weight, queued) {
+            Ok(()) => {
+                mapzero_obs::gauge!("serve.queue.depth", self.shared.queue.depth() as u64);
+                true
+            }
+            Err((SubmitError::Shed { queue_depth }, refused)) => {
+                self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                mapzero_obs::counter!("serve.shed");
+                let response =
+                    rejected_response(&refused.request.id, &refused.request.tenant, queue_depth);
+                self.shared.stats.responses.fetch_add(1, Ordering::Relaxed);
+                let _ = refused.respond.send(response);
+                false
+            }
+            Err((SubmitError::Closed, refused)) => {
+                let mut response = rejected_response(&refused.request.id, &refused.request.tenant, 0);
+                response.outcome = Outcome::Internal;
+                response.queue_depth = None;
+                response.error = Some("service is shut down".to_owned());
+                self.shared.stats.responses.fetch_add(1, Ordering::Relaxed);
+                let _ = refused.respond.send(response);
+                false
+            }
+        }
+    }
+
+    /// Submit a whole batch and block for every response; returned in
+    /// request order. Shed requests appear as `Rejected` records.
+    pub fn process_batch(&self, requests: Vec<MapRequest>) -> Vec<MapResponse> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let order: Vec<String> = requests.iter().map(|r| r.id.clone()).collect();
+        let mut received = Vec::with_capacity(order.len());
+        for request in requests {
+            // Every submit produces exactly one response on `tx`
+            // (mapped, rejected, or internal) — admitted or not.
+            let _ = self.submit(request, &tx);
+        }
+        for _ in 0..order.len() {
+            match rx.recv() {
+                Ok(resp) => received.push(resp),
+                Err(_) => break,
+            }
+        }
+        // Request order, not completion order.
+        let mut by_id: HashMap<String, Vec<MapResponse>> = HashMap::new();
+        for resp in received {
+            by_id.entry(resp.id.clone()).or_default().push(resp);
+        }
+        order
+            .iter()
+            .filter_map(|id| by_id.get_mut(id).and_then(Vec::pop))
+            .collect()
+    }
+
+    /// Current queue depth (jobs admitted but not yet running).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// In-flight jobs for one tenant.
+    #[must_use]
+    pub fn inflight(&self, tenant: &str) -> usize {
+        self.shared.queue.inflight(tenant)
+    }
+
+    /// Service counters.
+    #[must_use]
+    pub fn stats(&self) -> &ServiceStats {
+        &self.shared.stats
+    }
+
+    /// Stop admissions, drain the queue, and join every worker.
+    pub fn shutdown(self) {
+        self.shared.queue.close();
+        loop {
+            let handle = {
+                let mut handles =
+                    self.shared.handles.lock().unwrap_or_else(PoisonError::into_inner);
+                handles.pop()
+            };
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// A `Rejected` response built at the shed point.
+fn rejected_response(id: &str, tenant: &str, queue_depth: usize) -> MapResponse {
+    MapResponse {
+        id: id.to_owned(),
+        tenant: tenant.to_owned(),
+        outcome: Outcome::Rejected,
+        engine: None,
+        mii: None,
+        achieved_ii: None,
+        mapping: None,
+        queue_wait: Duration::ZERO,
+        service_time: Duration::ZERO,
+        retries: 0,
+        worker_deaths: 0,
+        queue_depth: Some(queue_depth),
+        error: Some("queue full".to_owned()),
+        telemetry: None,
+    }
+}
+
+fn spawn_worker(shared: Arc<Shared>) {
+    let for_thread = Arc::clone(&shared);
+    let handle = std::thread::spawn(move || worker_loop(&for_thread));
+    shared.handles.lock().unwrap_or_else(PoisonError::into_inner).push(handle);
+}
+
+fn build_compiler(shared: &Shared) -> Compiler {
+    let mut compiler = Compiler::new(shared.config.compiler)
+        .with_shared_cache(Arc::clone(&shared.cache));
+    if shared.config.hedge {
+        let sa = SaConfig {
+            max_extra_ii: shared.config.compiler.max_extra_ii,
+            ..SaConfig::default()
+        };
+        compiler = compiler.with_fallback(Box::new(SaMapper::new(sa)));
+    }
+    compiler
+}
+
+/// Look up (or deterministically create) the shared network for this
+/// fabric size and install it into the worker's compiler, so every
+/// worker maps with identical weights.
+fn install_net(shared: &Shared, compiler: &mut Compiler, pe_count: usize) {
+    if compiler.net_for(pe_count).is_some() {
+        return;
+    }
+    let mut nets = shared.nets.lock().unwrap_or_else(PoisonError::into_inner);
+    let net = nets.entry(pe_count).or_insert_with(|| {
+        // MapZeroNet::new is deterministic in (size, config.seed): every
+        // service instance with the same config serves identical nets.
+        Arc::new(MapZeroNet::new(pe_count, shared.config.compiler.net))
+    });
+    compiler.install_shared_net(Arc::clone(net));
+}
+
+fn tenant_inflight_gauge(shared: &Shared, tenant: &str) {
+    let value = shared.queue.inflight(tenant) as u64;
+    let mut names = shared.tenant_gauges.lock().unwrap_or_else(PoisonError::into_inner);
+    let name: &'static str = names
+        .entry(tenant.to_owned())
+        .or_insert_with(|| Box::leak(format!("serve.inflight.{tenant}").into_boxed_str()));
+    registry().gauge(name).set(value);
+}
+
+/// The request's absolute deadline (enqueue instant + allowance); a
+/// duration too large for the clock degrades to unbounded, matching the
+/// `Budget::with_deadline` contract.
+fn effective_deadline(config: &ServeConfig, job: &Job<QueuedRequest>) -> Option<Instant> {
+    let allowance = job.item.request.deadline.or(config.default_deadline)?;
+    job.enqueued_at.checked_add(allowance)
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let mut compiler = build_compiler(shared);
+    while let Some((tenant, job)) = shared.queue.pop() {
+        mapzero_obs::gauge!("serve.queue.depth", shared.queue.depth() as u64);
+        tenant_inflight_gauge(shared, &tenant);
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| process_job(shared, &mut compiler, &job)));
+        shared.queue.finish(&tenant);
+        tenant_inflight_gauge(shared, &tenant);
+        match outcome {
+            Ok(response) => deliver(shared, &job.item.respond, response),
+            Err(_) => {
+                // Worker death: contain, account, hand the request back
+                // (retry) or answer it (structural failure) — never
+                // lose it, never answer twice (nothing was delivered
+                // yet), then respawn a clean worker and die.
+                shared.stats.worker_deaths.fetch_add(1, Ordering::Relaxed);
+                mapzero_obs::counter!("serve.worker.death");
+                // Account the respawn and start the replacement before
+                // handing the request back: the retry's response must
+                // not be able to outrun the death bookkeeping (a caller
+                // reading stats after its last response would see a
+                // death with no matching respawn).
+                shared.stats.respawns.fetch_add(1, Ordering::Relaxed);
+                mapzero_obs::counter!("serve.worker.respawn");
+                spawn_worker(Arc::clone(shared));
+                let mut job = job;
+                job.attempts += 1;
+                job.item.worker_deaths += 1;
+                let expired = effective_deadline(&shared.config, &job)
+                    .is_some_and(|d| Instant::now() >= d);
+                if job.attempts <= shared.config.max_retries && !expired {
+                    shared.queue.requeue_front(&tenant, job);
+                } else {
+                    let response = death_response(&job);
+                    deliver(shared, &job.item.respond, response);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Terminal response for a request whose worker died past its retry or
+/// deadline allowance.
+fn death_response(job: &Job<QueuedRequest>) -> MapResponse {
+    let req = &job.item.request;
+    MapResponse {
+        id: req.id.clone(),
+        tenant: req.tenant.clone(),
+        outcome: Outcome::Internal,
+        engine: None,
+        mii: None,
+        achieved_ii: None,
+        mapping: None,
+        queue_wait: Instant::now().saturating_duration_since(job.enqueued_at),
+        service_time: Duration::ZERO,
+        retries: 0,
+        worker_deaths: job.item.worker_deaths,
+        queue_depth: None,
+        error: Some(format!(
+            "worker died {} time(s) processing this request",
+            job.item.worker_deaths
+        )),
+        telemetry: None,
+    }
+}
+
+/// Deliver exactly one response line. The `serve.respond` failpoint
+/// models a broken transport: a fired fault drops the line (counted)
+/// without killing the worker or affecting any other request.
+fn deliver(shared: &Shared, respond: &Sender<MapResponse>, response: MapResponse) {
+    let transport = catch_unwind(|| failpoint::trigger("serve.respond"));
+    match transport {
+        Ok(Ok(())) => {
+            shared.stats.responses.fetch_add(1, Ordering::Relaxed);
+            // A hung-up receiver (caller stopped listening) is its
+            // problem, not the worker's.
+            let _ = respond.send(response);
+        }
+        _ => {
+            mapzero_obs::counter!("serve.respond.dropped");
+        }
+    }
+}
+
+/// Process one admitted request on this worker: deadline gate, fault
+/// arming, budgeted mapping with bounded internal-fault retries.
+/// Panics escaping this function (e.g. `serve.worker.pre_map`) are the
+/// worker-death path handled by the caller.
+fn process_job(shared: &Shared, compiler: &mut Compiler, job: &Job<QueuedRequest>) -> MapResponse {
+    let req = &job.item.request;
+    let started = Instant::now();
+    let queue_wait = started.saturating_duration_since(job.enqueued_at);
+    mapzero_obs::observe!(
+        "serve.queue_wait_us",
+        u64::try_from(queue_wait.as_micros()).unwrap_or(u64::MAX)
+    );
+    let capture = mapzero_obs::RunCapture::begin();
+    let deadline = effective_deadline(&shared.config, job);
+
+    let mut response = MapResponse {
+        id: req.id.clone(),
+        tenant: req.tenant.clone(),
+        outcome: Outcome::Internal,
+        engine: None,
+        mii: None,
+        achieved_ii: None,
+        mapping: None,
+        queue_wait,
+        service_time: Duration::ZERO,
+        retries: 0,
+        worker_deaths: job.item.worker_deaths,
+        queue_depth: None,
+        error: None,
+        telemetry: None,
+    };
+
+    // Expired while queued: answer structurally, burn no search time.
+    if deadline.is_some_and(|d| started >= d) {
+        mapzero_obs::counter!("serve.deadline.queued");
+        response.outcome = Outcome::Deadline;
+        response.error = Some("deadline expired while queued".to_owned());
+        response.telemetry = capture.map(mapzero_obs::RunCapture::finish);
+        return response;
+    }
+
+    // Per-request chaos faults, armed thread-locally for exactly this
+    // request's processing (scope guards disarm even on unwind).
+    let _fault_scopes: Vec<FailScope> = req
+        .fault
+        .as_deref()
+        .and_then(|spec| failpoint::parse_spec(spec).ok())
+        .unwrap_or_default()
+        .into_iter()
+        .map(|(name, action, after)| failpoint::scoped(&name, after, action))
+        .collect();
+
+    mapzero_core::failpoint!("serve.worker.pre_map");
+
+    install_net(shared, compiler, req.cgra.pe_count());
+    let mut budget = deadline.map_or_else(Budget::unlimited, Budget::from_deadline_at);
+    if let Some(cap) = shared.config.expansion_budget {
+        budget = budget.with_expansion_cap(cap);
+    }
+    let bounds = IiBounds { min: req.ii_min, max: req.ii_max };
+
+    let mut retries: u32 = 0;
+    let result = loop {
+        let attempt = compiler.map_request(&req.dfg, &req.cgra, &budget, bounds);
+        match attempt {
+            Err(MapError::Internal(_))
+                if retries < shared.config.max_retries && !budget.exhausted() =>
+            {
+                retries += 1;
+                shared.stats.retries.fetch_add(1, Ordering::Relaxed);
+                mapzero_obs::counter!("serve.retry");
+                let backoff = shared
+                    .config
+                    .retry_backoff
+                    .saturating_mul(1 << (retries - 1).min(16));
+                let nap = match budget.remaining_time() {
+                    Some(remaining) => backoff.min(remaining),
+                    None => backoff,
+                };
+                if !nap.is_zero() {
+                    std::thread::sleep(nap);
+                }
+            }
+            other => break other,
+        }
+    };
+
+    response.retries = retries;
+    match result {
+        Ok(report) => {
+            response.outcome = Outcome::Mapped;
+            response.engine = Some(report.engine.clone());
+            response.mii = Some(report.mii);
+            response.achieved_ii = report.achieved_ii();
+            response.mapping = report.mapping;
+        }
+        Err(MapError::Unmappable(msg)) => {
+            response.outcome = Outcome::Failed;
+            response.error = Some(format!("unmappable: {msg}"));
+        }
+        Err(MapError::NoSchedule(msg)) => {
+            response.outcome = Outcome::Failed;
+            response.error = Some(format!("no schedule: {msg}"));
+        }
+        Err(MapError::Timeout { best_partial }) => {
+            let expired = deadline.is_some_and(|d| Instant::now() >= d);
+            response.outcome = if expired { Outcome::Deadline } else { Outcome::Timeout };
+            response.error = Some(format!(
+                "budget exhausted: {}/{} nodes placed, best II {:?}",
+                best_partial.nodes_placed, best_partial.total_nodes, best_partial.best_ii
+            ));
+        }
+        Err(MapError::Diverged { epoch }) => {
+            response.outcome = Outcome::Internal;
+            response.error = Some(format!("training diverged at epoch {epoch}"));
+        }
+        Err(MapError::Internal(msg)) => {
+            response.outcome = Outcome::Internal;
+            response.error = Some(msg);
+        }
+    }
+    response.service_time = started.elapsed();
+    mapzero_obs::observe!(
+        "serve.service_us",
+        u64::try_from(response.service_time.as_micros()).unwrap_or(u64::MAX)
+    );
+    response.telemetry = capture.map(mapzero_obs::RunCapture::finish);
+    response
+}

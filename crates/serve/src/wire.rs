@@ -1,0 +1,563 @@
+//! The service wire format: line-oriented requests in, JSONL out.
+//!
+//! A batch is a sequence of request blocks, each embedding the existing
+//! `textfmt` codecs for the kernel and the fabric:
+//!
+//! ```text
+//! request r1
+//! tenant acme 3            # name [weight], weight defaults to 1
+//! deadline_ms 2000         # charged from enqueue time
+//! ii_min 2                 # optional II window
+//! ii_max 6
+//! begin dfg
+//! dfg dot
+//! node 0 load
+//! node 1 load
+//! node 2 mul
+//! edge 0 2
+//! edge 1 2
+//! end dfg
+//! begin cgra
+//! cgra mesh4 4 4
+//! interconnect mesh
+//! end cgra
+//! end request
+//! ```
+//!
+//! `#` starts a comment anywhere outside the embedded blocks (the
+//! embedded codecs handle their own comments). A `fault <spec>` line
+//! arms a thread-local failpoint (see `mapzero_core::failpoint`) on the
+//! worker processing that request — the per-request chaos knob the
+//! isolation suite uses to hurt one tenant without touching another.
+//!
+//! Responses are JSONL: exactly one object per request, in completion
+//! order, keyed by the request `id` (see [`MapResponse::to_json`]).
+
+use mapzero_arch::Cgra;
+use mapzero_core::mapping::Mapping;
+use mapzero_dfg::Dfg;
+use mapzero_obs::json::Json;
+use mapzero_obs::RunTelemetry;
+use std::fmt;
+use std::io::BufRead;
+use std::time::Duration;
+
+/// One mapping request as it arrives off the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapRequest {
+    /// Caller-chosen request id, echoed in the response.
+    pub id: String,
+    /// Tenant the request is billed to (fairness + in-flight caps).
+    pub tenant: String,
+    /// Fairness weight of this tenant (>= 1; higher = larger share).
+    pub weight: u32,
+    /// Wall-clock allowance, charged from *enqueue* time.
+    pub deadline: Option<Duration>,
+    /// Lowest II to accept.
+    pub ii_min: Option<u32>,
+    /// Highest II to accept.
+    pub ii_max: Option<u32>,
+    /// Failpoint spec armed on the worker thread while this request is
+    /// processed (chaos testing; see `mapzero_core::failpoint::parse_spec`).
+    pub fault: Option<String>,
+    /// The kernel to map.
+    pub dfg: Dfg,
+    /// The fabric to map onto.
+    pub cgra: Cgra,
+}
+
+impl MapRequest {
+    /// A request with service defaults: weight 1, no deadline, no II
+    /// window, no fault.
+    #[must_use]
+    pub fn new(id: &str, tenant: &str, dfg: Dfg, cgra: Cgra) -> Self {
+        MapRequest {
+            id: id.to_owned(),
+            tenant: tenant.to_owned(),
+            weight: 1,
+            deadline: None,
+            ii_min: None,
+            ii_max: None,
+            fault: None,
+            dfg,
+            cgra,
+        }
+    }
+
+    /// Serialize to the wire format (the inverse of [`parse_batch`]).
+    #[must_use]
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("request {}\n", self.id));
+        out.push_str(&format!("tenant {} {}\n", self.tenant, self.weight));
+        if let Some(d) = self.deadline {
+            out.push_str(&format!("deadline_ms {}\n", d.as_millis()));
+        }
+        if let Some(ii) = self.ii_min {
+            out.push_str(&format!("ii_min {ii}\n"));
+        }
+        if let Some(ii) = self.ii_max {
+            out.push_str(&format!("ii_max {ii}\n"));
+        }
+        if let Some(spec) = &self.fault {
+            out.push_str(&format!("fault {spec}\n"));
+        }
+        out.push_str("begin dfg\n");
+        out.push_str(&mapzero_dfg::textfmt::emit(&self.dfg));
+        out.push_str("end dfg\n");
+        out.push_str("begin cgra\n");
+        out.push_str(&mapzero_arch::textfmt::emit(&self.cgra));
+        out.push_str("end cgra\n");
+        out.push_str("end request\n");
+        out
+    }
+}
+
+/// Terminal state of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// A valid mapping was produced.
+    Mapped,
+    /// Structurally unmappable or no feasible II in the window.
+    Failed,
+    /// The budget ran out mid-search (partial progress only).
+    Timeout,
+    /// The deadline had already passed when a worker picked it up, or
+    /// expired before any engine produced a mapping.
+    Deadline,
+    /// Load-shed at admission: the queue was full.
+    Rejected,
+    /// An internal fault (contained panic) survived all retries.
+    Internal,
+}
+
+impl Outcome {
+    /// Stable lowercase wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Mapped => "mapped",
+            Outcome::Failed => "failed",
+            Outcome::Timeout => "timeout",
+            Outcome::Deadline => "deadline",
+            Outcome::Rejected => "rejected",
+            Outcome::Internal => "internal",
+        }
+    }
+}
+
+/// One response record, emitted as a single JSONL line.
+#[derive(Debug, Clone)]
+pub struct MapResponse {
+    /// The request id this answers.
+    pub id: String,
+    /// The tenant billed.
+    pub tenant: String,
+    /// Terminal state.
+    pub outcome: Outcome,
+    /// Which engine produced the mapping (`MapZero` or the fallback's
+    /// name), when one was produced.
+    pub engine: Option<String>,
+    /// The kernel's minimum II, when computed.
+    pub mii: Option<u32>,
+    /// Achieved II, when mapped.
+    pub achieved_ii: Option<u32>,
+    /// The mapping itself, when produced.
+    pub mapping: Option<Mapping>,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait: Duration,
+    /// Time spent in the worker (all attempts).
+    pub service_time: Duration,
+    /// Retries consumed by contained internal faults.
+    pub retries: u32,
+    /// Worker deaths this request survived (its worker panicked and
+    /// was respawned; the request was retried or failed structurally).
+    pub worker_deaths: u32,
+    /// Queue depth observed at shedding time (only on `Rejected`).
+    pub queue_depth: Option<usize>,
+    /// Human-readable error detail for non-`Mapped` outcomes.
+    pub error: Option<String>,
+    /// Per-request telemetry delta (phase attribution, counters) when
+    /// telemetry is enabled process-wide.
+    pub telemetry: Option<RunTelemetry>,
+}
+
+impl MapResponse {
+    /// The JSON object for this response.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(&str, Json)> = vec![
+            ("id", Json::from(self.id.as_str())),
+            ("tenant", Json::from(self.tenant.as_str())),
+            ("outcome", Json::from(self.outcome.as_str())),
+            ("queue_wait_us", us(self.queue_wait)),
+            ("service_us", us(self.service_time)),
+            ("retries", Json::from(u64::from(self.retries))),
+            ("worker_deaths", Json::from(u64::from(self.worker_deaths))),
+        ];
+        if let Some(engine) = &self.engine {
+            fields.push(("engine", Json::from(engine.as_str())));
+        }
+        if let Some(mii) = self.mii {
+            fields.push(("mii", Json::from(u64::from(mii))));
+        }
+        if let Some(ii) = self.achieved_ii {
+            fields.push(("ii", Json::from(u64::from(ii))));
+        }
+        if let Some(m) = &self.mapping {
+            let placements = m
+                .placements
+                .iter()
+                .map(|p| {
+                    Json::Arr(vec![
+                        Json::from(u64::from(p.pe.0)),
+                        Json::from(u64::from(p.time)),
+                    ])
+                })
+                .collect();
+            fields.push((
+                "mapping",
+                Json::obj(vec![
+                    ("ii", Json::from(u64::from(m.ii))),
+                    ("placements", Json::Arr(placements)),
+                ]),
+            ));
+        }
+        if let Some(depth) = self.queue_depth {
+            fields.push(("queue_depth", Json::from(depth as u64)));
+        }
+        if let Some(error) = &self.error {
+            fields.push(("error", Json::from(error.as_str())));
+        }
+        if let Some(t) = &self.telemetry {
+            fields.push(("telemetry", t.to_json()));
+        }
+        Json::obj(fields)
+    }
+
+    /// The single JSONL line for this response (no trailing newline).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        self.to_json().to_string_compact()
+    }
+}
+
+fn us(d: Duration) -> Json {
+    Json::from(u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+}
+
+/// A malformed request batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// 1-based line number in the batch.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Parse a whole batch (the stdin mode of the server binary).
+///
+/// # Errors
+/// Returns [`WireError`] with the offending line on malformed input;
+/// requests before the error are not returned (a batch is all-or-nothing
+/// so a caller never half-submits).
+pub fn parse_batch(text: &str) -> Result<Vec<MapRequest>, WireError> {
+    let mut reader = RequestReader::new(text.as_bytes());
+    let mut out = Vec::new();
+    while let Some(req) = reader.next_request()? {
+        out.push(req);
+    }
+    Ok(out)
+}
+
+/// Streaming request parser over any buffered reader (stdin, a Unix
+/// socket connection). Yields one [`MapRequest`] per `request ... end
+/// request` block.
+#[derive(Debug)]
+pub struct RequestReader<R> {
+    input: R,
+    line: usize,
+}
+
+impl<R: BufRead> RequestReader<R> {
+    /// Wrap a buffered reader.
+    pub fn new(input: R) -> Self {
+        RequestReader { input, line: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> WireError {
+        WireError { line: self.line, message: message.into() }
+    }
+
+    fn read_line(&mut self) -> Result<Option<String>, WireError> {
+        let mut buf = String::new();
+        let n = self
+            .input
+            .read_line(&mut buf)
+            .map_err(|e| WireError { line: self.line + 1, message: format!("i/o: {e}") })?;
+        if n == 0 {
+            return Ok(None);
+        }
+        self.line += 1;
+        Ok(Some(buf))
+    }
+
+    /// The next request block, or `None` at end of input.
+    ///
+    /// # Errors
+    /// Returns [`WireError`] on malformed input or a read failure.
+    pub fn next_request(&mut self) -> Result<Option<MapRequest>, WireError> {
+        // Seek the `request` header, skipping blanks and comments.
+        let id = loop {
+            let Some(raw) = self.read_line()? else {
+                return Ok(None);
+            };
+            let line = raw.split('#').next().unwrap_or("").trim().to_owned();
+            if line.is_empty() {
+                continue;
+            }
+            let Some(rest) = line.strip_prefix("request") else {
+                return Err(self.err(format!("expected `request <id>`, got `{line}`")));
+            };
+            let id = rest.trim();
+            if id.is_empty() || id.contains(char::is_whitespace) {
+                return Err(self.err("request id must be one non-empty token"));
+            }
+            break id.to_owned();
+        };
+
+        let mut tenant: Option<(String, u32)> = None;
+        let mut deadline = None;
+        let mut ii_min = None;
+        let mut ii_max = None;
+        let mut fault = None;
+        let mut dfg: Option<Dfg> = None;
+        let mut cgra: Option<Cgra> = None;
+
+        loop {
+            let Some(raw) = self.read_line()? else {
+                return Err(self.err(format!("request `{id}`: missing `end request`")));
+            };
+            let line = raw.split('#').next().unwrap_or("").trim().to_owned();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let keyword = parts.next().expect("non-empty line");
+            match keyword {
+                "end" if parts.next() == Some("request") => break,
+                "tenant" => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| self.err("tenant: missing name"))?
+                        .to_owned();
+                    let weight = match parts.next() {
+                        Some(tok) => tok
+                            .parse::<u32>()
+                            .ok()
+                            .filter(|w| *w >= 1)
+                            .ok_or_else(|| self.err("tenant: weight must be >= 1"))?,
+                        None => 1,
+                    };
+                    tenant = Some((name, weight));
+                }
+                "deadline_ms" => {
+                    let ms: u64 = self.num(parts.next(), "deadline_ms")?;
+                    deadline = Some(Duration::from_millis(ms));
+                }
+                "ii_min" => ii_min = Some(self.num(parts.next(), "ii_min")?),
+                "ii_max" => ii_max = Some(self.num(parts.next(), "ii_max")?),
+                "fault" => {
+                    // The rest of the line verbatim (specs contain `=`
+                    // and `@`, whitespace-insensitive per parse_spec).
+                    let spec = line["fault".len()..].trim().to_owned();
+                    if spec.is_empty() {
+                        return Err(self.err("fault: missing spec"));
+                    }
+                    mapzero_core::failpoint::parse_spec(&spec)
+                        .map_err(|e| self.err(format!("fault: {e}")))?;
+                    fault = Some(spec);
+                    continue; // line consumed wholesale; skip token check
+                }
+                "begin" => match parts.next() {
+                    Some("dfg") => {
+                        let body = self.embedded_block("dfg")?;
+                        dfg = Some(
+                            mapzero_dfg::textfmt::parse(&body)
+                                .map_err(|e| self.err(format!("dfg: {e}")))?,
+                        );
+                    }
+                    Some("cgra") => {
+                        let body = self.embedded_block("cgra")?;
+                        cgra = Some(
+                            mapzero_arch::textfmt::parse(&body)
+                                .map_err(|e| self.err(format!("cgra: {e}")))?,
+                        );
+                    }
+                    other => {
+                        return Err(self.err(format!("begin: expected dfg|cgra, got {other:?}")))
+                    }
+                },
+                other => return Err(self.err(format!("unknown keyword `{other}`"))),
+            }
+            if keyword != "fault" && parts.next().is_some() {
+                return Err(self.err("trailing tokens"));
+            }
+        }
+
+        let (tenant, weight) =
+            tenant.ok_or_else(|| self.err(format!("request `{id}`: missing `tenant`")))?;
+        let dfg = dfg.ok_or_else(|| self.err(format!("request `{id}`: missing dfg block")))?;
+        let cgra =
+            cgra.ok_or_else(|| self.err(format!("request `{id}`: missing cgra block")))?;
+        if let (Some(lo), Some(hi)) = (ii_min, ii_max) {
+            if lo > hi {
+                return Err(self.err(format!("request `{id}`: ii_min {lo} > ii_max {hi}")));
+            }
+        }
+        Ok(Some(MapRequest { id, tenant, weight, deadline, ii_min, ii_max, fault, dfg, cgra }))
+    }
+
+    /// Collect raw lines until `end <what>`, handing the body to the
+    /// embedded codec untouched (it does its own comment handling).
+    fn embedded_block(&mut self, what: &str) -> Result<String, WireError> {
+        let mut body = String::new();
+        loop {
+            let Some(raw) = self.read_line()? else {
+                return Err(self.err(format!("unterminated `begin {what}` block")));
+            };
+            if raw.split('#').next().unwrap_or("").trim() == format!("end {what}") {
+                return Ok(body);
+            }
+            body.push_str(&raw);
+            if !raw.ends_with('\n') {
+                body.push('\n');
+            }
+        }
+    }
+
+    fn num<T: std::str::FromStr>(
+        &self,
+        tok: Option<&str>,
+        what: &str,
+    ) -> Result<T, WireError> {
+        tok.ok_or_else(|| self.err(format!("{what}: missing value")))?
+            .parse()
+            .map_err(|_| self.err(format!("{what}: not a number")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapzero_arch::presets;
+    use mapzero_dfg::suite;
+
+    fn sample() -> MapRequest {
+        let mut req =
+            MapRequest::new("r-1", "acme", suite::by_name("mac").unwrap(), presets::hrea());
+        req.weight = 3;
+        req.deadline = Some(Duration::from_millis(1500));
+        req.ii_min = Some(2);
+        req.ii_max = Some(6);
+        req.fault = Some("compile.attempt=panic@2".to_owned());
+        req
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let req = sample();
+        let batch = parse_batch(&req.emit()).unwrap();
+        assert_eq!(batch, vec![req]);
+    }
+
+    #[test]
+    fn parses_multi_request_batch_with_comments() {
+        let mut text = String::from("# batch header\n\n");
+        text.push_str(&sample().emit());
+        let mut second = MapRequest::new(
+            "r-2",
+            "other",
+            suite::by_name("sum").unwrap(),
+            presets::hycube(),
+        );
+        second.deadline = None;
+        text.push_str(&second.emit());
+        let batch = parse_batch(&text).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].id, "r-1");
+        assert_eq!(batch[1], second);
+    }
+
+    #[test]
+    fn missing_tenant_is_an_error() {
+        let text = "request x\nbegin dfg\ndfg t\nnode 0 add\nend dfg\nbegin cgra\ncgra f 2 2\ninterconnect mesh\nend cgra\nend request\n";
+        let err = parse_batch(text).unwrap_err();
+        assert!(err.message.contains("tenant"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_request_is_an_error() {
+        let err = parse_batch("request x\ntenant t\n").unwrap_err();
+        assert!(err.message.contains("end request"), "{err}");
+    }
+
+    #[test]
+    fn bad_fault_spec_rejected_at_parse_time() {
+        let text = "request x\ntenant t\nfault compile.attempt=explode\nend request\n";
+        let err = parse_batch(text).unwrap_err();
+        assert!(err.message.contains("fault"), "{err}");
+    }
+
+    #[test]
+    fn inverted_ii_window_rejected() {
+        let mut req = sample();
+        req.ii_min = Some(9);
+        req.ii_max = Some(3);
+        let err = parse_batch(&req.emit()).unwrap_err();
+        assert!(err.message.contains("ii_min"), "{err}");
+    }
+
+    #[test]
+    fn embedded_parse_errors_carry_outer_line_numbers() {
+        let text = "request x\ntenant t\nbegin dfg\ndfg t\nnode 0 warp\nend dfg\nend request\n";
+        let err = parse_batch(text).unwrap_err();
+        assert!(err.message.contains("dfg"), "{err}");
+        assert!(err.line >= 5, "points at or after the bad line, got {}", err.line);
+    }
+
+    #[test]
+    fn response_jsonl_is_one_parseable_object() {
+        let resp = MapResponse {
+            id: "r-1".into(),
+            tenant: "acme".into(),
+            outcome: Outcome::Rejected,
+            engine: None,
+            mii: None,
+            achieved_ii: None,
+            mapping: None,
+            queue_wait: Duration::from_micros(250),
+            service_time: Duration::ZERO,
+            retries: 0,
+            worker_deaths: 0,
+            queue_depth: Some(64),
+            error: Some("queue full".into()),
+            telemetry: None,
+        };
+        let line = resp.to_jsonl();
+        assert!(!line.contains('\n'));
+        let obj = mapzero_obs::json::parse(&line).unwrap();
+        assert_eq!(obj.get("id").and_then(Json::as_str), Some("r-1"));
+        assert_eq!(obj.get("outcome").and_then(Json::as_str), Some("rejected"));
+        assert_eq!(obj.get("queue_depth").and_then(Json::as_u64), Some(64));
+        assert_eq!(obj.get("queue_wait_us").and_then(Json::as_u64), Some(250));
+    }
+}

@@ -1,0 +1,113 @@
+//! The wire format's correctness oracle: any generated request — random
+//! DFG, random fabric, random II window and deadline — serializes and
+//! reparses identically, alone and in batches.
+
+use mapzero_arch::{presets, Capability, Cgra, CgraBuilder, Interconnect};
+use mapzero_dfg::random::{random_dfg, RandomDfgConfig};
+use mapzero_dfg::Dfg;
+use mapzero_serve::wire::{parse_batch, MapRequest};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn dfg_strategy() -> impl Strategy<Value = Dfg> {
+    (2usize..20, 0usize..10, 0usize..2, any::<u64>()).prop_map(
+        |(nodes, extra, cycles, seed)| {
+            random_dfg(
+                "wireprop",
+                &RandomDfgConfig {
+                    nodes,
+                    edges: nodes - 1 + extra,
+                    self_cycles: cycles,
+                    max_fanin: 3,
+                    seed,
+                },
+            )
+        },
+    )
+}
+
+/// Random fabrics expressed purely in constructs the text format emits
+/// (presets plus builder combinations; `link` lines are parse-only, so
+/// extra links would not round-trip and are excluded by construction).
+fn cgra_strategy() -> impl Strategy<Value = Cgra> {
+    (1usize..5, 1usize..5, 0usize..5, any::<bool>(), any::<bool>(), 0usize..4).prop_map(
+        |(rows, cols, style, rowbus, heterogeneous, preset)| {
+            if preset == 0 {
+                return presets::hrea();
+            }
+            let style = match style {
+                0 => Interconnect::Mesh,
+                1 => Interconnect::OneHop,
+                2 => Interconnect::Diagonal,
+                3 => Interconnect::Toroidal,
+                _ => Interconnect::Crossbar,
+            };
+            let mut b = CgraBuilder::new("wirefab", rows, cols).interconnect(style);
+            if rowbus {
+                b = b.row_shared_mem_bus();
+            }
+            if heterogeneous {
+                // A capability pattern exercising every emitted form.
+                b = b.capability(0, 0, Capability::ARITH);
+                if rows > 1 && cols > 1 {
+                    b = b.capability(1, 1, Capability::COMPUTE);
+                }
+                b = b.capability(rows - 1, cols - 1, Capability::NONE);
+            }
+            b.finish()
+        },
+    )
+}
+
+fn request_strategy() -> impl Strategy<Value = MapRequest> {
+    // The vendored proptest has no `option::of`; optional fields are a
+    // (present, value) pair each. Packing the flags into one tuple
+    // keeps the strategy within the 6-tuple impl limit.
+    (
+        dfg_strategy(),
+        cgra_strategy(),
+        1u32..9,
+        (any::<bool>(), 1u64..100_000),
+        (any::<bool>(), 1u32..8, any::<bool>(), 0u32..8),
+        0usize..1000,
+    )
+        .prop_map(|(dfg, cgra, weight, deadline, ii, id)| {
+            let mut req = MapRequest::new(&format!("req-{id}"), "prop-tenant", dfg, cgra);
+            req.weight = weight;
+            req.deadline = deadline.0.then(|| Duration::from_millis(deadline.1));
+            let (has_min, min, has_max, extra) = ii;
+            req.ii_min = has_min.then_some(min);
+            // Keep the window non-inverted by construction: max is
+            // min + extra when both are present.
+            req.ii_max = has_max.then_some(min + extra);
+            req
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn requests_round_trip_through_the_wire_format(req in request_strategy()) {
+        let text = req.emit();
+        let batch = parse_batch(&text).unwrap();
+        prop_assert_eq!(batch, vec![req]);
+    }
+
+    #[test]
+    fn batches_round_trip_in_order(
+        reqs in proptest::collection::vec(request_strategy(), 1..5)
+    ) {
+        let text: String = reqs.iter().map(MapRequest::emit).collect();
+        let batch = parse_batch(&text).unwrap();
+        prop_assert_eq!(batch, reqs);
+    }
+
+    #[test]
+    fn faulted_requests_round_trip(req in request_strategy(), after in 1u64..5) {
+        let mut req = req;
+        req.fault = Some(format!("compile.attempt=panic@{after}"));
+        let batch = parse_batch(&req.emit()).unwrap();
+        prop_assert_eq!(batch, vec![req]);
+    }
+}

@@ -19,6 +19,16 @@ clippy:
 chaos:
     PROPTEST_SEED=20260807 cargo test -q --test chaos
 
+# Compile-service smoke: fixture batch through the serve binary with a
+# worker-death failpoint armed; all responses must still arrive.
+serve-smoke:
+    scripts/serve_smoke.sh
+
+# Compile-service load bench: throughput/latency/shed rate at 1x/4x/16x
+# offered load, written to results/BENCH_serve.json.
+bench-serve:
+    cargo run --release -p mapzero-bench --bin serve_load
+
 # Criterion microbenchmarks.
 bench:
     cargo bench --workspace

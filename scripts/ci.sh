@@ -25,6 +25,9 @@ echo "==> chaos smoke (failpoint injection + kill/resume + torn-write proptest)"
 # every CI run; local `just chaos` uses the same seed.
 PROPTEST_SEED=20260807 cargo test --release -q --test chaos
 
+echo "==> serve smoke (service batch with an armed worker-death failpoint)"
+scripts/serve_smoke.sh
+
 echo "==> perf smoke (hotpath bench on a tiny kernel + schema check)"
 perf_dir="$(mktemp -d -t mapzero-ci-perf.XXXXXX)"
 trap 'rm -f "$trace"; rm -rf "$perf_dir"' EXIT

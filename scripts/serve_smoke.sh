@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Compile-service smoke: run the serve binary on a mixed two-tenant
+# batch with a worker-death failpoint armed (`global:` = fires exactly
+# once process-wide). The gate: every request still gets exactly one
+# response, every kernel still maps, the summary records the death and
+# the respawn, and the process exits 0.
+# Usage: scripts/serve_smoke.sh (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fixture="crates/serve/tests/fixtures/smoke_batch.txt"
+out="$(mktemp -t mapzero-serve-smoke.XXXXXX.jsonl)"
+trap 'rm -f "$out"' EXIT
+
+MAPZERO_FAILPOINTS="global:serve.worker.pre_map=panic" \
+  cargo run --release -q -p mapzero-serve --bin mapzero_serve -- \
+  --workers 2 --summary < "$fixture" > "$out"
+
+python3 - "$out" <<'PY'
+import json, sys
+
+expected = {"acme-dot", "acme-acc", "beta-saxpy", "beta-chain"}
+responses, summary = {}, None
+with open(sys.argv[1]) as f:
+    for line in f:
+        record = json.loads(line)
+        if "summary" in record:
+            summary = record["summary"]
+        else:
+            rid = record["id"]
+            if rid in responses:
+                sys.exit(f"serve smoke: duplicate response for {rid!r}")
+            responses[rid] = record
+
+if set(responses) != expected:
+    sys.exit(f"serve smoke: got responses for {sorted(responses)}, "
+             f"expected {sorted(expected)}")
+unmapped = {rid: r["outcome"] for rid, r in responses.items()
+            if r["outcome"] != "mapped"}
+if unmapped:
+    sys.exit(f"serve smoke: requests not mapped: {unmapped}")
+if summary is None:
+    sys.exit("serve smoke: no summary line")
+if summary["responses"] != len(expected):
+    sys.exit(f"serve smoke: summary counted {summary['responses']} responses")
+if summary["worker_deaths"] < 1:
+    sys.exit("serve smoke: armed failpoint never killed a worker")
+if summary["respawns"] != summary["worker_deaths"]:
+    sys.exit(f"serve smoke: {summary['worker_deaths']} death(s) but "
+             f"{summary['respawns']} respawn(s)")
+survivors = sum(1 for r in responses.values() if r["worker_deaths"] > 0)
+print(f"serve smoke: OK ({len(responses)} mapped, "
+      f"{summary['worker_deaths']} worker death(s) contained, "
+      f"{survivors} request(s) survived a death)")
+PY
