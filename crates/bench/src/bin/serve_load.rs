@@ -11,6 +11,7 @@
 
 use mapzero_bench::{print_table, Harness};
 use mapzero_obs::json::Json;
+use mapzero_obs::QuantileSketch;
 use mapzero_serve::queue::QueueConfig;
 use mapzero_serve::service::{MapService, ServeConfig};
 use mapzero_serve::wire::{MapRequest, Outcome};
@@ -40,42 +41,47 @@ fn burst(n: usize) -> Vec<MapRequest> {
 struct TierResult {
     load: usize,
     offered: usize,
-    completed: usize,
     shed: usize,
+    deadline_miss: usize,
     elapsed: Duration,
-    p50: Duration,
-    p99: Duration,
+    /// Mapped-request end-to-end latency (queue wait + service), µs.
+    latency: QuantileSketch,
 }
 
 impl TierResult {
+    fn completed(&self) -> usize {
+        usize::try_from(self.latency.count()).unwrap_or(usize::MAX)
+    }
+
     fn throughput(&self) -> f64 {
-        self.completed as f64 / self.elapsed.as_secs_f64().max(1e-9)
+        self.completed() as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 
     fn shed_rate(&self) -> f64 {
         self.shed as f64 / self.offered as f64
     }
 
+    fn p50_ms(&self) -> f64 {
+        self.latency.p50() as f64 / 1e3
+    }
+
+    fn p99_ms(&self) -> f64 {
+        self.latency.p99() as f64 / 1e3
+    }
+
     fn to_json(&self) -> Json {
         Json::obj(vec![
             ("load", Json::Num(self.load as f64)),
             ("offered", Json::Num(self.offered as f64)),
-            ("completed", Json::Num(self.completed as f64)),
+            ("completed", Json::Num(self.completed() as f64)),
             ("shed", Json::Num(self.shed as f64)),
+            ("deadline_miss", Json::Num(self.deadline_miss as f64)),
             ("shed_rate", Json::Num(self.shed_rate())),
             ("throughput_rps", Json::Num(self.throughput())),
-            ("p50_ms", Json::Num(self.p50.as_secs_f64() * 1e3)),
-            ("p99_ms", Json::Num(self.p99.as_secs_f64() * 1e3)),
+            ("p50_ms", Json::Num(self.p50_ms())),
+            ("p99_ms", Json::Num(self.p99_ms())),
         ])
     }
-}
-
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 fn run_tier(load: usize, base: usize) -> TierResult {
@@ -92,24 +98,17 @@ fn run_tier(load: usize, base: usize) -> TierResult {
     let elapsed = started.elapsed();
     service.shutdown();
 
-    let mut latencies: Vec<Duration> = responses
-        .iter()
-        .filter(|r| r.outcome == Outcome::Mapped)
-        .map(|r| r.queue_wait + r.service_time)
-        .collect();
-    latencies.sort_unstable();
-    let shed = responses.iter().filter(|r| r.outcome == Outcome::Rejected).count();
-    let completed = latencies.len();
-    assert_eq!(responses.len(), offered, "every offered request is answered");
-    TierResult {
-        load,
-        offered,
-        completed,
-        shed,
-        elapsed,
-        p50: percentile(&latencies, 0.5),
-        p99: percentile(&latencies, 0.99),
+    // Streaming sketch instead of a sorted raw-sample vector: same
+    // mergeable estimator the service itself exports.
+    let mut latency = QuantileSketch::new();
+    for r in responses.iter().filter(|r| r.outcome == Outcome::Mapped) {
+        latency.record_duration_us(r.queue_wait + r.service_time);
     }
+    let shed = responses.iter().filter(|r| r.outcome == Outcome::Rejected).count();
+    let deadline_miss =
+        responses.iter().filter(|r| r.outcome == Outcome::Deadline).count();
+    assert_eq!(responses.len(), offered, "every offered request is answered");
+    TierResult { load, offered, shed, deadline_miss, elapsed, latency }
 }
 
 fn main() {
@@ -135,16 +134,17 @@ fn main() {
             vec![
                 format!("{}x", t.load),
                 t.offered.to_string(),
-                t.completed.to_string(),
+                t.completed().to_string(),
                 format!("{:.1}%", t.shed_rate() * 100.0),
+                t.deadline_miss.to_string(),
                 format!("{:.1}", t.throughput()),
-                format!("{:.1}", t.p50.as_secs_f64() * 1e3),
-                format!("{:.1}", t.p99.as_secs_f64() * 1e3),
+                format!("{:.1}", t.p50_ms()),
+                format!("{:.1}", t.p99_ms()),
             ]
         })
         .collect();
     print_table(
-        &["load", "offered", "completed", "shed", "rps", "p50 ms", "p99 ms"],
+        &["load", "offered", "completed", "shed", "miss", "rps", "p50 ms", "p99 ms"],
         &rows,
     );
     harness.note(

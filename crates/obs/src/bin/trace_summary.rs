@@ -1,16 +1,18 @@
 //! Fold a JSONL trace (`MAPZERO_TRACE` output) into a per-span-name
-//! time table for quick diffing between runs.
+//! time table for quick diffing between runs, or group spans by their
+//! request id into per-request trees (the serve plane's view).
 //!
 //! ```text
-//! trace_summary out.jsonl            # aggregate table
-//! trace_summary --check out.jsonl    # schema validation only (CI gate)
+//! trace_summary out.jsonl             # aggregate table
+//! trace_summary --requests out.jsonl  # one tree per request id
+//! trace_summary --check out.jsonl     # schema validation only (CI gate)
 //! ```
 //!
 //! Exit status is non-zero when the file is missing or any line fails
 //! schema validation.
 
 use mapzero_obs::summary::format_duration;
-use mapzero_obs::trace::TraceLine;
+use mapzero_obs::trace::{TraceEvent, TraceLine};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -22,13 +24,42 @@ struct SpanStats {
     max_us: u64,
 }
 
+enum Mode {
+    Aggregate,
+    Requests,
+    Check,
+}
+
+/// Render one request's spans as an indented tree. Spans are emitted
+/// at scope *exit*, so sorting by start time (shallower first on ties,
+/// then emit order) reconstructs entry order: parents precede the
+/// children they enclose.
+fn render_request_tree(spans: &mut [TraceEvent]) -> String {
+    spans.sort_by(|a, b| {
+        a.ts_us.cmp(&b.ts_us).then(a.depth.cmp(&b.depth)).then(a.seq.cmp(&b.seq))
+    });
+    let base_depth = spans.iter().map(|s| s.depth).min().unwrap_or(0);
+    let mut out = String::new();
+    for span in spans.iter() {
+        let indent = "  ".repeat((span.depth.saturating_sub(base_depth)) as usize);
+        out.push_str(&format!(
+            "  {indent}{} {}\n",
+            span.name,
+            format_duration(Duration::from_micros(span.dur_us)),
+        ));
+    }
+    out
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (check_only, path) = match args.as_slice() {
-        [flag, path] if flag == "--check" => (true, path.clone()),
-        [path] => (false, path.clone()),
+    let (mode, path) = match args.as_slice() {
+        [flag, path] if flag == "--check" => (Mode::Check, path.clone()),
+        [flag, path] if flag == "--requests" => (Mode::Requests, path.clone()),
+        [path] if !path.starts_with('-') => (Mode::Aggregate, path.clone()),
         _ => {
-            eprintln!("usage: trace_summary [--check] <trace.jsonl>");
+            eprintln!("usage: trace_summary [--check | --requests] <trace.jsonl>");
             return ExitCode::from(2);
         }
     };
@@ -43,6 +74,8 @@ fn main() -> ExitCode {
 
     let mut stats: BTreeMap<String, SpanStats> = BTreeMap::new();
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut by_request: BTreeMap<String, Vec<TraceEvent>> = BTreeMap::new();
+    let mut unscoped = 0u64;
     let mut events = 0u64;
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -58,10 +91,14 @@ fn main() -> ExitCode {
         events += 1;
         match event {
             TraceLine::Span(span) => {
-                let entry = stats.entry(span.name).or_default();
+                let entry = stats.entry(span.name.clone()).or_default();
                 entry.count += 1;
                 entry.total_us += span.dur_us;
                 entry.max_us = entry.max_us.max(span.dur_us);
+                match &span.req {
+                    Some(req) => by_request.entry(req.clone()).or_default().push(span),
+                    None => unscoped += 1,
+                }
             }
             // Later snapshots win: counters are monotone, so the last
             // dump is the run's final value.
@@ -71,30 +108,59 @@ fn main() -> ExitCode {
         }
     }
 
-    if check_only {
-        println!("{path}: {events} events, schema OK");
-        return ExitCode::SUCCESS;
-    }
-
-    let mut rows: Vec<(String, SpanStats)> = stats.into_iter().collect();
-    rows.sort_by_key(|row| std::cmp::Reverse(row.1.total_us));
-    println!("{:<28} {:>8} {:>12} {:>12} {:>12}", "span", "count", "total", "mean", "max");
-    for (name, s) in &rows {
-        let mean_us = s.total_us.checked_div(s.count).unwrap_or(0);
-        println!(
-            "{name:<28} {:>8} {:>12} {:>12} {:>12}",
-            s.count,
-            format_duration(Duration::from_micros(s.total_us)),
-            format_duration(Duration::from_micros(mean_us)),
-            format_duration(Duration::from_micros(s.max_us)),
-        );
-    }
-    if !counters.is_empty() {
-        println!("\n{:<40} {:>12}", "counter", "value");
-        for (name, value) in &counters {
-            println!("{name:<40} {value:>12}");
+    match mode {
+        Mode::Check => {
+            println!(
+                "{path}: {events} events, {} request ids, schema OK",
+                by_request.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Mode::Requests => {
+            for (req, spans) in &mut by_request {
+                let total_us: u64 = spans
+                    .iter()
+                    .filter(|s| s.depth == spans.iter().map(|t| t.depth).min().unwrap_or(0))
+                    .map(|s| s.dur_us)
+                    .sum();
+                println!(
+                    "request {req}: {} spans, {}",
+                    spans.len(),
+                    format_duration(Duration::from_micros(total_us)),
+                );
+                print!("{}", render_request_tree(spans));
+            }
+            if unscoped > 0 {
+                println!("({unscoped} spans carry no request id)");
+            }
+            println!("{} requests, {events} events total", by_request.len());
+            ExitCode::SUCCESS
+        }
+        Mode::Aggregate => {
+            let mut rows: Vec<(String, SpanStats)> = stats.into_iter().collect();
+            rows.sort_by_key(|row| std::cmp::Reverse(row.1.total_us));
+            println!(
+                "{:<28} {:>8} {:>12} {:>12} {:>12}",
+                "span", "count", "total", "mean", "max"
+            );
+            for (name, s) in &rows {
+                let mean_us = s.total_us.checked_div(s.count).unwrap_or(0);
+                println!(
+                    "{name:<28} {:>8} {:>12} {:>12} {:>12}",
+                    s.count,
+                    format_duration(Duration::from_micros(s.total_us)),
+                    format_duration(Duration::from_micros(mean_us)),
+                    format_duration(Duration::from_micros(s.max_us)),
+                );
+            }
+            if !counters.is_empty() {
+                println!("\n{:<40} {:>12}", "counter", "value");
+                for (name, value) in &counters {
+                    println!("{name:<40} {value:>12}");
+                }
+            }
+            println!("{events} events total");
+            ExitCode::SUCCESS
         }
     }
-    println!("{events} events total");
-    ExitCode::SUCCESS
 }

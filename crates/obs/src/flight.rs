@@ -1,0 +1,109 @@
+//! Flight recorder: a bounded ring of the last N records.
+//!
+//! The serve plane pushes one record per terminal request outcome; on
+//! an anomaly (shed burst, worker death, deadline-miss streak) the ring
+//! is dumped, giving a post-hoc record of exactly what led up to the
+//! event without logging every request all the time.
+//!
+//! Concurrency: slot claim is a single atomic `fetch_add` (wait-free);
+//! each slot is guarded by its own mutex, so two writers only contend
+//! when they wrap onto the *same* slot — capacity apart — and readers
+//! never block writers for more than one slot at a time. Records carry
+//! their claim sequence, so [`FlightRecorder::snapshot`] returns them
+//! in admission order even when writes raced.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// A bounded ring of the last `capacity` records (see module docs).
+#[derive(Debug)]
+pub struct FlightRecorder<T> {
+    slots: Vec<Mutex<Option<(u64, T)>>>,
+    cursor: AtomicU64,
+}
+
+impl<T: Clone> FlightRecorder<T> {
+    /// A recorder keeping the last `capacity` (>= 1) records.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// Slots in the ring.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever pushed (not the current occupancy).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Append one record, overwriting the oldest when full.
+    pub fn push(&self, record: T) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = usize::try_from(seq % self.slots.len() as u64).unwrap_or(0);
+        *self.slots[slot].lock().unwrap_or_else(PoisonError::into_inner) = Some((seq, record));
+    }
+
+    /// Copy of the retained records, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<T> {
+        let mut entries: Vec<(u64, T)> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().unwrap_or_else(PoisonError::into_inner).clone())
+            .collect();
+        entries.sort_by_key(|(seq, _)| *seq);
+        entries.into_iter().map(|(_, record)| record).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_last_n_in_order() {
+        let ring = FlightRecorder::new(4);
+        for i in 0..10u32 {
+            ring.push(i);
+        }
+        assert_eq!(ring.snapshot(), vec![6, 7, 8, 9]);
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(ring.capacity(), 4);
+    }
+
+    #[test]
+    fn partial_fill_returns_what_exists() {
+        let ring = FlightRecorder::new(8);
+        ring.push("a");
+        ring.push("b");
+        assert_eq!(ring.snapshot(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn concurrent_pushes_lose_nothing_within_capacity() {
+        let ring = std::sync::Arc::new(FlightRecorder::new(1024));
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let ring = std::sync::Arc::clone(&ring);
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        ring.push(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let got = ring.snapshot();
+        assert_eq!(got.len(), 800);
+        let unique: std::collections::HashSet<u64> = got.iter().copied().collect();
+        assert_eq!(unique.len(), 800, "no record lost or duplicated");
+    }
+}

@@ -38,14 +38,18 @@
 //! assert_eq!(sink.take().len(), 1);
 //! ```
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod phase;
+pub mod quantile;
 pub mod sink;
 pub mod summary;
 pub mod trace;
 
+pub use flight::FlightRecorder;
 pub use phase::{Phase, PhaseLedger, RunCapture, RunTelemetry, PHASES};
+pub use quantile::QuantileSketch;
 pub use trace::{CounterEvent, TraceEvent, TraceLine};
 
 use std::sync::atomic::{AtomicBool, Ordering};

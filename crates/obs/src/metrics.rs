@@ -6,11 +6,19 @@
 //! atomic RMW, so hot paths never contend on a lock. The update path is
 //! exact under concurrency: `fetch_add` never loses increments, which
 //! the crate's proptest asserts across thread counts.
+//!
+//! Two labeled extensions serve the ops plane (DESIGN.md §11):
+//! [`Family`] adds one bounded-cardinality label dimension (tenant,
+//! engine, outcome) to any instrument, and [`Sketch`] wraps the
+//! mergeable [`QuantileSketch`](crate::quantile::QuantileSketch) as a
+//! registry instrument so `/metrics` can expose true p50/p99 instead of
+//! power-of-two bucket shapes.
 
 use crate::json::Json;
+use crate::quantile::QuantileSketch;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Duration;
 
 /// A monotonically increasing counter.
@@ -146,6 +154,124 @@ impl HistogramSnapshot {
     }
 }
 
+/// A shareable quantile-sketch instrument: a mutex around the
+/// mergeable [`QuantileSketch`]. The lock is uncontended in practice —
+/// one record per *request*, not per search step — and keeps the sketch
+/// itself allocation-light.
+#[derive(Debug, Default)]
+pub struct Sketch(Mutex<QuantileSketch>);
+
+impl Sketch {
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).record(value);
+    }
+
+    /// Record a duration in microseconds.
+    pub fn record_duration_us(&self, d: Duration) {
+        self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Clone of the current sketch state (itself mergeable).
+    #[must_use]
+    pub fn snapshot(&self) -> QuantileSketch {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+}
+
+/// Hard cap on distinct label values per [`Family`]. The first
+/// `MAX_LABEL_CARDINALITY` distinct (sanitized) labels get their own
+/// instrument; every later label shares the [`OVERFLOW_LABEL`] slot, so
+/// an adversarial tenant spraying unique names cannot grow the registry
+/// without bound.
+pub const MAX_LABEL_CARDINALITY: usize = 64;
+
+/// The shared slot labels collapse into past the cardinality cap.
+pub const OVERFLOW_LABEL: &str = "__other__";
+
+/// Longest sanitized label kept verbatim; longer ones are truncated.
+pub const MAX_LABEL_LEN: usize = 48;
+
+/// Sanitize one label value for use in metric keys and text
+/// exposition: printable ASCII from a conservative set, bounded length,
+/// never empty. Quotes, braces, newlines and other exposition-breaking
+/// characters become `_`.
+#[must_use]
+pub fn sanitize_label(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len().min(MAX_LABEL_LEN));
+    for ch in raw.chars().take(MAX_LABEL_LEN) {
+        if ch.is_ascii_alphanumeric() || matches!(ch, '.' | '_' | '-' | ':' | '/') {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push_str("unknown");
+    }
+    out
+}
+
+/// One instrument per label value, under one metric name, with bounded
+/// cardinality (see [`MAX_LABEL_CARDINALITY`]). `T` is any default-
+/// constructible instrument ([`Counter`], [`Histogram`], [`Sketch`]).
+#[derive(Debug)]
+pub struct Family<T> {
+    name: &'static str,
+    slots: Mutex<BTreeMap<String, Arc<T>>>,
+}
+
+impl<T: Default> Family<T> {
+    fn new(name: &'static str) -> Self {
+        Family { name, slots: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// The metric name this family was registered under.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The instrument for `label` (sanitized), creating it on first
+    /// use. Past the cardinality cap, returns the shared
+    /// [`OVERFLOW_LABEL`] instrument instead of growing.
+    #[must_use]
+    pub fn with(&self, label: &str) -> Arc<T> {
+        let label = sanitize_label(label);
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        if !slots.contains_key(&label) && slots.len() >= MAX_LABEL_CARDINALITY {
+            return Arc::clone(slots.entry(OVERFLOW_LABEL.to_owned()).or_default());
+        }
+        Arc::clone(slots.entry(label).or_default())
+    }
+
+    /// Distinct label values currently registered (sanitized form).
+    #[must_use]
+    pub fn labels(&self) -> Vec<String> {
+        self.slots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Snapshot every `(label, instrument)` pair.
+    fn entries(&self) -> Vec<(String, Arc<T>)> {
+        self.slots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+}
+
+/// Flattened snapshot key for one family member: `name{label}`.
+fn labeled_key(name: &str, label: &str) -> String {
+    format!("{name}{{{label}}}")
+}
+
 /// The global name → instrument map.
 ///
 /// The cold path (name lookup) locks; hot paths keep the returned
@@ -155,6 +281,10 @@ pub struct Registry {
     counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+    sketches: Mutex<BTreeMap<&'static str, Arc<Sketch>>>,
+    counter_families: Mutex<BTreeMap<&'static str, Arc<Family<Counter>>>>,
+    histogram_families: Mutex<BTreeMap<&'static str, Arc<Family<Histogram>>>>,
+    sketch_families: Mutex<BTreeMap<&'static str, Arc<Family<Sketch>>>>,
 }
 
 impl Registry {
@@ -186,20 +316,106 @@ impl Registry {
         Arc::clone(self.histograms.lock().expect("registry poisoned").entry(name).or_default())
     }
 
-    /// Point-in-time copy of every registered instrument.
+    /// The quantile sketch registered under `name`, creating it on
+    /// first use.
+    #[must_use]
+    pub fn sketch(&self, name: &'static str) -> Arc<Sketch> {
+        Arc::clone(
+            self.sketches
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    /// The labeled counter family under `name`.
+    #[must_use]
+    pub fn counter_family(&self, name: &'static str) -> Arc<Family<Counter>> {
+        Arc::clone(
+            self.counter_families
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .entry(name)
+                .or_insert_with(|| Arc::new(Family::new(name))),
+        )
+    }
+
+    /// The labeled histogram family under `name`.
+    #[must_use]
+    pub fn histogram_family(&self, name: &'static str) -> Arc<Family<Histogram>> {
+        Arc::clone(
+            self.histogram_families
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .entry(name)
+                .or_insert_with(|| Arc::new(Family::new(name))),
+        )
+    }
+
+    /// The labeled quantile-sketch family under `name`.
+    #[must_use]
+    pub fn sketch_family(&self, name: &'static str) -> Arc<Family<Sketch>> {
+        Arc::clone(
+            self.sketch_families
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .entry(name)
+                .or_insert_with(|| Arc::new(Family::new(name))),
+        )
+    }
+
+    /// Point-in-time copy of every registered instrument. Labeled
+    /// family members are flattened in under `name{label}` keys, so
+    /// snapshot deltas and text exposition treat them like any other
+    /// instrument.
     ///
     /// # Panics
     /// Panics if a registry mutex was poisoned.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: BTreeMap<String, u64> = self
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(&k, v)| (k.to_owned(), v.get()))
+            .collect();
+        for family in self.counter_families.lock().unwrap_or_else(PoisonError::into_inner).values()
+        {
+            for (label, counter) in family.entries() {
+                counters.insert(labeled_key(family.name(), &label), counter.get());
+            }
+        }
+        let mut histograms: BTreeMap<String, HistogramSnapshot> = self
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(&k, v)| (k.to_owned(), v.snapshot()))
+            .collect();
+        for family in
+            self.histogram_families.lock().unwrap_or_else(PoisonError::into_inner).values()
+        {
+            for (label, histogram) in family.entries() {
+                histograms.insert(labeled_key(family.name(), &label), histogram.snapshot());
+            }
+        }
+        let mut sketches: BTreeMap<String, QuantileSketch> = self
+            .sketches
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&k, v)| (k.to_owned(), v.snapshot()))
+            .collect();
+        for family in self.sketch_families.lock().unwrap_or_else(PoisonError::into_inner).values()
+        {
+            for (label, sketch) in family.entries() {
+                sketches.insert(labeled_key(family.name(), &label), sketch.snapshot());
+            }
+        }
         MetricsSnapshot {
-            counters: self
-                .counters
-                .lock()
-                .expect("registry poisoned")
-                .iter()
-                .map(|(&k, v)| (k.to_owned(), v.get()))
-                .collect(),
+            counters,
             gauges: self
                 .gauges
                 .lock()
@@ -207,13 +423,8 @@ impl Registry {
                 .iter()
                 .map(|(&k, v)| (k.to_owned(), v.get()))
                 .collect(),
-            histograms: self
-                .histograms
-                .lock()
-                .expect("registry poisoned")
-                .iter()
-                .map(|(&k, v)| (k.to_owned(), v.snapshot()))
-                .collect(),
+            histograms,
+            sketches,
         }
     }
 }
@@ -225,7 +436,8 @@ pub fn registry() -> &'static Registry {
     REGISTRY.get_or_init(Registry::default)
 }
 
-/// Point-in-time copy of the registry contents.
+/// Point-in-time copy of the registry contents. Labeled family members
+/// appear under flattened `name{label}` keys.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct MetricsSnapshot {
     /// Counter values by name.
@@ -234,6 +446,10 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, u64>,
     /// Histogram states by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Quantile-sketch states by name. Like gauges, sketches are not
+    /// subtracted by [`MetricsSnapshot::delta`] (they merge, they do
+    /// not subtract) — a delta carries the latest state.
+    pub sketches: BTreeMap<String, QuantileSketch>,
 }
 
 impl MetricsSnapshot {
@@ -259,6 +475,7 @@ impl MetricsSnapshot {
                     (k.clone(), v.delta(&base))
                 })
                 .collect(),
+            sketches: self.sketches.clone(),
         }
     }
 
@@ -284,10 +501,27 @@ impl MetricsSnapshot {
                 )
             })
             .collect::<Vec<_>>();
+        let sketches = self
+            .sketches
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.clone(),
+                    Json::obj(vec![
+                        ("count", Json::from(s.count())),
+                        ("mean", Json::from(s.mean())),
+                        ("p50", Json::from(s.p50())),
+                        ("p99", Json::from(s.p99())),
+                        ("max", Json::from(s.max())),
+                    ]),
+                )
+            })
+            .collect::<Vec<_>>();
         Json::Obj(vec![
             ("counters".to_owned(), Json::Obj(counters)),
             ("gauges".to_owned(), Json::Obj(gauges)),
             ("histograms".to_owned(), Json::Obj(histograms)),
+            ("sketches".to_owned(), Json::Obj(sketches)),
         ])
     }
 }
@@ -376,6 +610,47 @@ mod tests {
         assert_eq!(d.counters["d.count"], 2);
         assert_eq!(d.histograms["d.hist"].count, 1);
         assert_eq!(d.histograms["d.hist"].sum, 20);
+    }
+
+    #[test]
+    fn labeled_families_flatten_into_snapshots() {
+        let r = Registry::default();
+        let family = r.counter_family("f.outcome");
+        family.with("acme").add(2);
+        family.with("beta").inc();
+        family.with("acme").inc();
+        r.sketch_family("f.lat").with("acme").record(150);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["f.outcome{acme}"], 3);
+        assert_eq!(snap.counters["f.outcome{beta}"], 1);
+        assert_eq!(snap.sketches["f.lat{acme}"].count(), 1);
+    }
+
+    #[test]
+    fn label_cardinality_is_bounded() {
+        let r = Registry::default();
+        let family = r.counter_family("b.outcome");
+        for i in 0..(MAX_LABEL_CARDINALITY + 40) {
+            family.with(&format!("tenant-{i}")).inc();
+        }
+        let labels = family.labels();
+        assert!(labels.len() <= MAX_LABEL_CARDINALITY + 1, "{}", labels.len());
+        assert!(labels.iter().any(|l| l == OVERFLOW_LABEL));
+        // Nothing lost: overflow absorbed the excess increments.
+        let total: u64 = family.labels().iter().map(|l| family.with(l).get()).sum();
+        assert_eq!(total, (MAX_LABEL_CARDINALITY + 40) as u64);
+    }
+
+    #[test]
+    fn labels_are_sanitized() {
+        assert_eq!(sanitize_label("acme"), "acme");
+        assert_eq!(sanitize_label("a b\"c{d}e\n"), "a_b_c_d_e_");
+        assert_eq!(sanitize_label(""), "unknown");
+        let long = "x".repeat(300);
+        assert_eq!(sanitize_label(&long).len(), MAX_LABEL_LEN);
+        let family = Registry::default().counter_family("s.c");
+        family.with("we\"ird{}").inc();
+        assert_eq!(family.labels(), vec!["we_ird__".to_owned()]);
     }
 
     #[test]

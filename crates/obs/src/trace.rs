@@ -5,11 +5,19 @@
 //! [`TelemetrySink`](crate::sink::TelemetrySink). Timestamps are
 //! microseconds since a process-wide monotonic epoch, so events from
 //! different threads order correctly without a wall clock.
+//!
+//! **Request scoping.** A server thread can mark itself as processing
+//! one request with [`request_scope`]; every span closed inside the
+//! scope carries that request id in its `req` field, so a JSONL trace
+//! of a multi-tenant run can be regrouped into one causal tree per
+//! request (`trace_summary --requests`). Scopes nest and restore the
+//! previous id on drop, and [`emit_span`] lets the server synthesize
+//! spans for intervals it did not run code in (queue wait).
 
 use crate::json::Json;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Microseconds since the process trace epoch (first use).
@@ -26,12 +34,42 @@ static NEXT_TID: AtomicU64 = AtomicU64::new(0);
 thread_local! {
     static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
     static DEPTH: Cell<u32> = const { Cell::new(0) };
+    static CURRENT_REQ: RefCell<Option<Arc<str>>> = const { RefCell::new(None) };
 }
 
 /// Small dense id of the calling thread (assigned on first trace use).
 #[must_use]
 pub fn thread_id() -> u64 {
     TID.with(|t| *t)
+}
+
+/// The request id the current thread is processing, if any (set by
+/// [`request_scope`]).
+#[must_use]
+pub fn current_request() -> Option<Arc<str>> {
+    CURRENT_REQ.with(|r| r.borrow().clone())
+}
+
+/// RAII guard marking this thread as processing request `id`; spans
+/// closed while the guard lives carry the id. Restores the previous
+/// request id (scopes nest) on drop — including during unwinding, so a
+/// worker death cannot leak one request's id onto the next.
+#[derive(Debug)]
+pub struct RequestScope {
+    prev: Option<Arc<str>>,
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        CURRENT_REQ.with(|r| *r.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Enter a request scope for `id` until the returned guard drops.
+#[must_use]
+pub fn request_scope(id: &str) -> RequestScope {
+    let prev = CURRENT_REQ.with(|r| r.borrow_mut().replace(Arc::from(id)));
+    RequestScope { prev }
 }
 
 /// One completed span, as written to / read from a JSONL trace.
@@ -49,13 +87,16 @@ pub struct TraceEvent {
     pub depth: u32,
     /// Global emission sequence number (total order across threads).
     pub seq: u64,
+    /// Request id the emitting thread was processing ([`request_scope`]),
+    /// when any — the key `trace_summary --requests` groups by.
+    pub req: Option<String>,
 }
 
 impl TraceEvent {
     /// Encode as one compact JSON object (one JSONL line, sans newline).
     #[must_use]
     pub fn to_json_line(&self) -> String {
-        Json::obj(vec![
+        let mut fields = vec![
             ("type", Json::from("span")),
             ("name", Json::from(self.name.as_str())),
             ("ts_us", Json::from(self.ts_us)),
@@ -63,8 +104,11 @@ impl TraceEvent {
             ("tid", Json::from(self.tid)),
             ("depth", Json::from(u64::from(self.depth))),
             ("seq", Json::from(self.seq)),
-        ])
-        .to_string_compact()
+        ];
+        if let Some(req) = &self.req {
+            fields.push(("req", Json::from(req.as_str())));
+        }
+        Json::obj(fields).to_string_compact()
     }
 
     /// Decode one JSONL line.
@@ -83,6 +127,12 @@ impl TraceEvent {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("missing or non-integer field: {name}"))
         };
+        let req = match v.get("req") {
+            None => None,
+            Some(j) => {
+                Some(j.as_str().ok_or("field req must be a string")?.to_owned())
+            }
+        };
         Ok(TraceEvent {
             name: v
                 .get("name")
@@ -94,6 +144,7 @@ impl TraceEvent {
             tid: field_u64("tid")?,
             depth: u32::try_from(field_u64("depth")?).map_err(|_| "depth out of range")?,
             seq: field_u64("seq")?,
+            req,
         })
     }
 }
@@ -214,9 +265,29 @@ impl Drop for SpanGuard {
             tid: thread_id(),
             depth: self.depth,
             seq: NEXT_SEQ.fetch_add(1, Ordering::Relaxed),
+            req: current_request().map(|r| r.to_string()),
         };
         crate::sink::record(&event);
     }
+}
+
+/// Emit one synthetic span with explicit timing — for intervals the
+/// caller measured but did not execute inside (e.g. queue wait between
+/// admission and worker pickup). No-op when tracing is inactive.
+pub fn emit_span(name: &str, ts_us: u64, dur_us: u64, req: Option<&str>) {
+    if !crate::sink::tracing_active() {
+        return;
+    }
+    let event = TraceEvent {
+        name: name.to_owned(),
+        ts_us,
+        dur_us,
+        tid: thread_id(),
+        depth: DEPTH.with(Cell::get),
+        seq: NEXT_SEQ.fetch_add(1, Ordering::Relaxed),
+        req: req.map(str::to_owned).or_else(|| current_request().map(|r| r.to_string())),
+    };
+    crate::sink::record(&event);
 }
 
 /// Open a named span until the end of the enclosing scope:
@@ -241,9 +312,35 @@ mod tests {
             tid: 2,
             depth: 3,
             seq: 99,
+            req: None,
         };
         let line = e.to_json_line();
+        assert!(!line.contains("req"), "absent request id stays absent: {line}");
         assert_eq!(TraceEvent::from_json_line(&line).unwrap(), e);
+        let tagged = TraceEvent { req: Some("r-1".to_owned()), ..e };
+        let line = tagged.to_json_line();
+        assert_eq!(TraceEvent::from_json_line(&line).unwrap(), tagged);
+    }
+
+    #[test]
+    fn non_string_req_field_is_rejected() {
+        let bad = "{\"type\":\"span\",\"name\":\"a\",\"ts_us\":0,\"dur_us\":0,\"tid\":0,\"depth\":0,\"seq\":0,\"req\":7}";
+        assert!(TraceEvent::from_json_line(bad).unwrap_err().contains("req"));
+    }
+
+    #[test]
+    fn request_scopes_nest_and_restore() {
+        assert_eq!(current_request(), None);
+        {
+            let _outer = request_scope("r-outer");
+            assert_eq!(current_request().as_deref(), Some("r-outer"));
+            {
+                let _inner = request_scope("r-inner");
+                assert_eq!(current_request().as_deref(), Some("r-inner"));
+            }
+            assert_eq!(current_request().as_deref(), Some("r-outer"));
+        }
+        assert_eq!(current_request(), None);
     }
 
     #[test]
@@ -264,6 +361,7 @@ mod tests {
             tid: 0,
             depth: 0,
             seq: 3,
+            req: None,
         };
         assert_eq!(
             TraceLine::from_json_line(&span.to_json_line()).unwrap(),

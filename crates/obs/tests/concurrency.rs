@@ -59,6 +59,7 @@ proptest! {
         let event = TraceEvent {
             name: names[name_idx].to_owned(),
             ts_us, dur_us, tid, depth, seq,
+            req: None,
         };
         let line = event.to_json_line();
         prop_assert_eq!(TraceEvent::from_json_line(&line).unwrap(), event);

@@ -1,0 +1,121 @@
+//! Property coverage for the observability plane's two bounded
+//! structures: the mergeable quantile sketch (merged estimates stay
+//! within the error bound of the exact quantile over the concatenated
+//! samples) and label families (adversarial label strings can never
+//! grow a family past its cardinality cap).
+
+use mapzero_obs::metrics::{sanitize_label, Registry, MAX_LABEL_CARDINALITY, OVERFLOW_LABEL};
+use mapzero_obs::quantile::RELATIVE_ERROR;
+use mapzero_obs::QuantileSketch;
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile — the oracle the sketch approximates.
+fn exact_quantile(samples: &mut [u64], q: f64) -> u64 {
+    samples.sort_unstable();
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation, clippy::cast_precision_loss)]
+    let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1]
+}
+
+/// The sketch guarantees `RELATIVE_ERROR` per bucket boundary; nearest
+/// -rank vs midpoint estimation can add up to one more bucket width, so
+/// the acceptance bound is a conservative 2.5x the configured error
+/// (plus 1 for integer truncation at tiny values).
+fn within_bound(estimate: u64, exact: u64) -> bool {
+    let tolerance = 2.5 * RELATIVE_ERROR * exact as f64 + 1.0;
+    (estimate as f64 - exact as f64).abs() <= tolerance
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging two independently-built sketches answers quantiles as if
+    /// one sketch had seen the concatenation of both sample streams.
+    #[test]
+    fn merged_sketch_matches_exact_concatenation(
+        a in proptest::collection::vec(0u64..2_000_000, 0..400),
+        b in proptest::collection::vec(0u64..2_000_000, 0..400),
+    ) {
+        let mut left = QuantileSketch::new();
+        for &v in &a {
+            left.record(v);
+        }
+        let mut right = QuantileSketch::new();
+        for &v in &b {
+            right.record(v);
+        }
+        left.merge(&right);
+
+        let mut all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(left.count(), all.len() as u64);
+        if all.is_empty() {
+            prop_assert_eq!(left.quantile(0.5), 0);
+            return Ok(());
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&mut all, q);
+            let est = left.quantile(q);
+            prop_assert!(
+                within_bound(est, exact),
+                "q={} est={} exact={} (n={})", q, est, exact, all.len()
+            );
+        }
+        // Extremes are clamped to observed min/max, so they are exact.
+        prop_assert_eq!(left.min(), *all.first().unwrap());
+        prop_assert_eq!(left.max(), *all.last().unwrap());
+    }
+
+    /// A sketch still in exact mode reproduces the oracle bit-for-bit.
+    #[test]
+    fn small_sketches_are_exact(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let mut sketch = QuantileSketch::new();
+        for &v in &samples {
+            sketch.record(v);
+        }
+        prop_assert!(sketch.is_exact());
+        let mut sorted = samples.clone();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            prop_assert_eq!(sketch.quantile(q), exact_quantile(&mut sorted, q));
+        }
+    }
+
+    /// No sequence of adversarial tenant names — control characters,
+    /// injection attempts, unbounded uniqueness — can grow a label
+    /// family past its cap: excess labels collapse into the shared
+    /// overflow slot and no count is lost.
+    #[test]
+    fn label_cardinality_is_bounded_under_adversarial_names(
+        raw_names in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..24),
+            1..300,
+        ),
+    ) {
+        let registry = Registry::default();
+        let family = registry.counter_family("prop.tenant.requests");
+        for bytes in &raw_names {
+            let name = String::from_utf8_lossy(bytes).into_owned();
+            family.with(&name).inc();
+        }
+        let labels = family.labels();
+        // The shared overflow slot may sit alongside the cap's worth of
+        // distinct labels, so the hard ceiling is cap + 1.
+        prop_assert!(
+            labels.len() <= MAX_LABEL_CARDINALITY + 1,
+            "cardinality {} exceeds cap", labels.len()
+        );
+        // Every label stored is in sanitized form (idempotent under
+        // sanitize_label), so exposition output stays parseable.
+        for label in &labels {
+            prop_assert_eq!(&sanitize_label(label), label);
+        }
+        // Conservation: every inc landed somewhere.
+        let total: u64 = labels.iter().map(|l| family.with(l).get()).sum();
+        prop_assert_eq!(total, raw_names.len() as u64);
+        // Past the cap, the overflow slot exists and absorbs new names.
+        if labels.len() > MAX_LABEL_CARDINALITY {
+            prop_assert!(labels.iter().any(|l| l == OVERFLOW_LABEL));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The admin plane: a line-command Unix socket and a SIGUSR1 dump.
+//!
+//! The admin socket is deliberately not the service socket — operators
+//! introspect a live service without competing with request traffic,
+//! and the protocol is one text command per connection:
+//!
+//! - `status`  — the `/status` JSON document (one line); feed it to
+//!   `mapzero_top` for the rendered view.
+//! - `metrics` — the full registry as Prometheus-style text exposition.
+//! - `flight`  — the flight recorder as JSONL, oldest record first.
+//!
+//! `SIGUSR1` triggers the same dump (status + exposition) to stderr,
+//! for when the service was started without an admin socket. Signal
+//! handlers may only do async-signal-safe work, so the handler just
+//! sets a flag; a watcher thread polls it and does the actual dump.
+
+use crate::service::MapService;
+use mapzero_obs::metrics::registry;
+use mapzero_obs::summary::{render_exposition, render_status};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// `SIGUSR1` on Linux.
+const SIGUSR1: i32 = 10;
+
+static SIGUSR1_PENDING: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigusr1(_signum: i32) {
+    // Async-signal-safe: one relaxed store, nothing else.
+    SIGUSR1_PENDING.store(true, Ordering::Relaxed);
+}
+
+extern "C" {
+    // From the platform C library (no libc crate): install a handler.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+}
+
+/// Install the `SIGUSR1` dump: on signal, write the rendered status
+/// and the metrics exposition to stderr. Spawns the watcher thread
+/// (detached; it holds a service handle for the process lifetime).
+pub fn install_sigusr1_dump(service: &MapService) {
+    unsafe {
+        signal(SIGUSR1, on_sigusr1);
+    }
+    let service = service.clone();
+    std::thread::spawn(move || loop {
+        std::thread::sleep(Duration::from_millis(50));
+        if SIGUSR1_PENDING.swap(false, Ordering::Relaxed) {
+            eprintln!("--- mapzero_serve status (SIGUSR1) ---");
+            eprint!("{}", render_status(&service.status_json()));
+            eprint!("{}", render_exposition(&registry().snapshot()));
+            eprintln!("--- end status ---");
+        }
+    });
+}
+
+/// The response payload for one admin command line.
+#[must_use]
+pub fn handle_command(service: &MapService, command: &str) -> String {
+    match command.trim() {
+        "status" => {
+            let mut line = service.status_json().to_string_compact();
+            line.push('\n');
+            line
+        }
+        "metrics" => render_exposition(&registry().snapshot()),
+        "flight" => {
+            let mut out = String::new();
+            for record in service.flight_snapshot() {
+                out.push_str(&record.to_json().to_string_compact());
+                out.push('\n');
+            }
+            out
+        }
+        other => format!("error: unknown command `{other}` (status | metrics | flight)\n"),
+    }
+}
+
+/// Bind the admin socket and serve it from a detached thread: one
+/// command line per connection, payload out, close. Errors only on
+/// bind failure; a failed accept or write affects that connection
+/// alone.
+///
+/// # Errors
+/// Returns the bind error when the socket path cannot be bound.
+pub fn spawn_admin_socket(service: &MapService, path: &str) -> std::io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    let service = service.clone();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(stream) = conn else { continue };
+            let service = service.clone();
+            std::thread::spawn(move || {
+                let mut reader = BufReader::new(match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => return,
+                });
+                let mut command = String::new();
+                if reader.read_line(&mut command).is_err() {
+                    return;
+                }
+                let payload = handle_command(&service, &command);
+                let mut stream = stream;
+                let _ = stream.write_all(payload.as_bytes());
+            });
+        }
+    });
+    Ok(())
+}

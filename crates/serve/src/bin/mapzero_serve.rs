@@ -20,6 +20,12 @@
 //! - `--no-hedge`         disable the SA fallback lane
 //! - `--summary`          append one `{"summary":...}` JSONL line
 //! - `--socket PATH`      serve a Unix socket instead of stdin
+//! - `--admin-socket P`   introspection socket (status | metrics | flight)
+//! - `--hold`             stdin mode: stay alive after the batch for
+//!   scraping the admin socket; stop with SIGTERM
+//!
+//! `SIGUSR1` dumps the rendered status and the metrics exposition to
+//! stderr at any time, admin socket or not.
 
 use mapzero_serve::service::{MapService, ServeConfig};
 use mapzero_serve::wire::RequestReader;
@@ -36,7 +42,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = ServeConfig::default();
     let mut socket: Option<String> = None;
+    let mut admin_socket: Option<String> = None;
     let mut summary = false;
+    let mut hold = false;
 
     fn num<'a>(it: &mut impl Iterator<Item = &'a String>, what: &str) -> Option<usize> {
         match it.next().map(|v| v.parse::<usize>()) {
@@ -69,10 +77,18 @@ fn main() -> ExitCode {
             },
             "--no-hedge" => config.hedge = false,
             "--summary" => summary = true,
+            "--hold" => hold = true,
             "--socket" => match it.next() {
                 Some(path) => socket = Some(path.clone()),
                 None => {
                     eprintln!("--socket: expected a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--admin-socket" => match it.next() {
+                Some(path) => admin_socket = Some(path.clone()),
+                None => {
+                    eprintln!("--admin-socket: expected a path");
                     return ExitCode::FAILURE;
                 }
             },
@@ -84,16 +100,27 @@ fn main() -> ExitCode {
     }
 
     let service = MapService::start(config);
+    mapzero_serve::admin::install_sigusr1_dump(&service);
+    if let Some(path) = &admin_socket {
+        if let Err(e) = mapzero_serve::admin::spawn_admin_socket(&service, path) {
+            eprintln!("cannot bind admin socket {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("admin socket on {path}");
+    }
     let code = match socket {
         Some(path) => serve_socket(&service, &path),
-        None => serve_stdin(&service, summary),
+        None => serve_stdin(&service, summary, hold),
     };
     service.shutdown();
+    if let Some(path) = &admin_socket {
+        let _ = std::fs::remove_file(path);
+    }
     code
 }
 
-/// One batch from stdin, JSONL to stdout, exit.
-fn serve_stdin(service: &MapService, summary: bool) -> ExitCode {
+/// One batch from stdin, JSONL to stdout, exit (or park with `--hold`).
+fn serve_stdin(service: &MapService, summary: bool, hold: bool) -> ExitCode {
     let stdin = std::io::stdin();
     let mut reader = RequestReader::new(stdin.lock());
     let (tx, rx) = mpsc::channel();
@@ -126,6 +153,19 @@ fn serve_stdin(service: &MapService, summary: bool) -> ExitCode {
     }
     if summary {
         let _ = writeln!(out, "{}", summary_line(service));
+    }
+    // The MAPZERO_TRACE sink buffers; push the batch's spans to disk
+    // before exiting (or parking) so readers see a complete trace.
+    mapzero_obs::sink::flush();
+    if hold {
+        // Keep the service (and its admin socket) alive for scraping;
+        // flush first so pipelines reading stdout see the batch.
+        let _ = out.flush();
+        drop(out);
+        eprintln!("batch done; holding (stop with SIGTERM)");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
     }
     ExitCode::SUCCESS
 }
@@ -183,6 +223,7 @@ fn serve_connection<R: BufRead, W: Write>(service: &MapService, input: R, mut ou
             Err(_) => return,
         }
     }
+    mapzero_obs::sink::flush();
 }
 
 /// Service-level counters as one JSONL record.

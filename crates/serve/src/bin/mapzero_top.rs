@@ -1,0 +1,60 @@
+//! `mapzero_top`: one-shot console view of a live compile service.
+//!
+//! Connects to the service's admin socket, runs one command, renders:
+//!
+//! ```text
+//! mapzero_top /run/mapzero-admin.sock            # rendered status table
+//! mapzero_top /run/mapzero-admin.sock status     # same
+//! mapzero_top /run/mapzero-admin.sock metrics    # raw text exposition
+//! mapzero_top /run/mapzero-admin.sock flight     # flight-record JSONL
+//! mapzero_top --json /run/mapzero-admin.sock     # raw status JSON
+//! ```
+
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let raw_json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let (path, command) = match args.as_slice() {
+        [path] => (path.clone(), "status".to_owned()),
+        [path, command] => (path.clone(), command.clone()),
+        _ => {
+            eprintln!("usage: mapzero_top [--json] <admin-socket> [status|metrics|flight]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut stream = match UnixStream::connect(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mapzero_top: cannot connect to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if writeln!(stream, "{command}").is_err() {
+        eprintln!("mapzero_top: write to {path} failed");
+        return ExitCode::FAILURE;
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut payload = String::new();
+    if stream.read_to_string(&mut payload).is_err() {
+        eprintln!("mapzero_top: read from {path} failed");
+        return ExitCode::FAILURE;
+    }
+
+    if command == "status" && !raw_json {
+        match mapzero_obs::json::parse(payload.trim()) {
+            Ok(status) => print!("{}", mapzero_obs::summary::render_status(&status)),
+            Err(e) => {
+                eprintln!("mapzero_top: bad status payload: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        print!("{payload}");
+    }
+    ExitCode::SUCCESS
+}

@@ -41,10 +41,13 @@
 //! service.shutdown();
 //! ```
 
+pub mod admin;
 pub mod queue;
 pub mod service;
+pub mod slo;
 pub mod wire;
 
 pub use queue::{JobQueue, QueueConfig, SubmitError};
 pub use service::{MapService, ServeConfig, ServiceStats};
+pub use slo::{Anomaly, RequestRecord, SloConfig, SloTable};
 pub use wire::{parse_batch, MapRequest, MapResponse, Outcome, RequestReader, WireError};

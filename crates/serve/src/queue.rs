@@ -220,6 +220,20 @@ impl<T> JobQueue<T> {
         self.lock().lanes.get(tenant).map_or(0, |l| l.inflight)
     }
 
+    /// Per-tenant `(queued, inflight)` occupancy, sorted by tenant name
+    /// (the `/status` endpoint's queue view).
+    #[must_use]
+    pub fn tenant_depths(&self) -> Vec<(String, usize, usize)> {
+        let s = self.lock();
+        let mut rows: Vec<(String, usize, usize)> = s
+            .lanes
+            .iter()
+            .map(|(name, lane)| (name.clone(), lane.jobs.len(), lane.inflight))
+            .collect();
+        rows.sort();
+        rows
+    }
+
     /// Stop admissions; blocked `pop`s return `None` once drained.
     pub fn close(&self) {
         self.lock().closed = true;

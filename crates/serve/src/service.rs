@@ -31,6 +31,7 @@
 //! panic loses borrowed entries, never corrupts the slot).
 
 use crate::queue::{Job, JobQueue, QueueConfig, SubmitError};
+use crate::slo::{Anomaly, RequestRecord, SloConfig, SloTable};
 use crate::wire::{MapRequest, MapResponse, Outcome};
 use mapzero_baselines::{SaConfig, SaMapper};
 use mapzero_core::failpoint::{self, FailScope};
@@ -39,7 +40,9 @@ use mapzero_core::mcts::PredictCache;
 use mapzero_core::network::MapZeroNet;
 use mapzero_core::supervise::Budget;
 use mapzero_core::{Compiler, IiBounds, MapZeroConfig};
+use mapzero_obs::json::Json;
 use mapzero_obs::metrics::registry;
+use mapzero_obs::FlightRecorder;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -71,6 +74,10 @@ pub struct ServeConfig {
     /// Per-request cap on MCTS tree expansions (deterministic work
     /// bound composing with the wall-clock deadline).
     pub expansion_budget: Option<u64>,
+    /// SLO windows and anomaly-detection thresholds.
+    pub slo: SloConfig,
+    /// Flight-recorder capacity (last N terminal request records).
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +91,8 @@ impl Default for ServeConfig {
             hedge: true,
             default_deadline: Some(Duration::from_secs(300)),
             expansion_budget: None,
+            slo: SloConfig::default(),
+            flight_capacity: 256,
         }
     }
 }
@@ -103,6 +112,8 @@ impl ServeConfig {
             hedge: false,
             default_deadline: None,
             expansion_budget: None,
+            slo: SloConfig::default(),
+            flight_capacity: 64,
         }
     }
 }
@@ -111,6 +122,8 @@ impl ServeConfig {
 /// metrics registry as `serve.*`).
 #[derive(Debug, Default)]
 pub struct ServiceStats {
+    /// Requests admitted into the queue.
+    pub admitted: AtomicU64,
     /// Requests shed at admission.
     pub shed: AtomicU64,
     /// Contained internal-fault retries.
@@ -122,6 +135,9 @@ pub struct ServiceStats {
     /// Responses delivered (every admitted request produces exactly
     /// one).
     pub responses: AtomicU64,
+    /// Anomalies detected (shed bursts, worker deaths, deadline-miss
+    /// streaks), each of which dumped the flight recorder.
+    pub anomalies: AtomicU64,
 }
 
 struct QueuedRequest {
@@ -143,6 +159,13 @@ struct Shared {
     /// Interned `serve.inflight.<tenant>` gauge names (the registry
     /// wants `&'static str`; one leak per distinct tenant).
     tenant_gauges: Mutex<HashMap<String, &'static str>>,
+    /// Per-tenant SLO windows and anomaly detectors.
+    slo: SloTable,
+    /// Last N terminal request records, dumped on demand and on
+    /// anomalies.
+    flight: FlightRecorder<RequestRecord>,
+    /// Service start instant (`/status` uptime).
+    started_at: Instant,
 }
 
 /// The running service. Cloneable handle; [`MapService::shutdown`]
@@ -165,6 +188,9 @@ impl MapService {
             handles: Mutex::new(Vec::new()),
             stats: ServiceStats::default(),
             tenant_gauges: Mutex::new(HashMap::new()),
+            slo: SloTable::new(config.slo),
+            flight: FlightRecorder::new(config.flight_capacity),
+            started_at: Instant::now(),
             config,
         });
         for _ in 0..workers {
@@ -184,16 +210,22 @@ impl MapService {
         let queued = QueuedRequest { request, respond: respond.clone(), worker_deaths: 0 };
         match self.shared.queue.submit(&tenant, weight, queued) {
             Ok(()) => {
+                self.shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                self.shared.slo.record_admitted(&tenant);
+                registry().counter_family("serve.admitted").with(&tenant).inc();
                 mapzero_obs::gauge!("serve.queue.depth", self.shared.queue.depth() as u64);
                 true
             }
             Err((SubmitError::Shed { queue_depth }, refused)) => {
                 self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
                 mapzero_obs::counter!("serve.shed");
+                registry().counter_family("serve.shed.tenant").with(&tenant).inc();
+                if let Some(anomaly) = self.shared.slo.record_shed(&tenant, Instant::now()) {
+                    note_anomaly(&self.shared, &anomaly);
+                }
                 let response =
                     rejected_response(&refused.request.id, &refused.request.tenant, queue_depth);
-                self.shared.stats.responses.fetch_add(1, Ordering::Relaxed);
-                let _ = refused.respond.send(response);
+                account_and_send(&self.shared, &refused.respond, response, None);
                 false
             }
             Err((SubmitError::Closed, refused)) => {
@@ -201,8 +233,7 @@ impl MapService {
                 response.outcome = Outcome::Internal;
                 response.queue_depth = None;
                 response.error = Some("service is shut down".to_owned());
-                self.shared.stats.responses.fetch_add(1, Ordering::Relaxed);
-                let _ = refused.respond.send(response);
+                account_and_send(&self.shared, &refused.respond, response, None);
                 false
             }
         }
@@ -252,6 +283,98 @@ impl MapService {
     #[must_use]
     pub fn stats(&self) -> &ServiceStats {
         &self.shared.stats
+    }
+
+    /// The retained flight records (last N terminal requests, oldest
+    /// first).
+    #[must_use]
+    pub fn flight_snapshot(&self) -> Vec<RequestRecord> {
+        self.shared.flight.snapshot()
+    }
+
+    /// The `/status` document: uptime, queue depth, worker liveness,
+    /// service counters, cache hit rates, flight-recorder occupancy,
+    /// and a per-tenant object merging queue occupancy with the SLO
+    /// table. The per-tenant invariant (once the queue is idle):
+    /// `admitted == mapped + failed + timeout + deadline + internal`,
+    /// with `shed` counted separately.
+    #[must_use]
+    pub fn status_json(&self) -> Json {
+        let shared = &self.shared;
+        let stats = &shared.stats;
+        let load = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed));
+        let depths: HashMap<String, (usize, usize)> = shared
+            .queue
+            .tenant_depths()
+            .into_iter()
+            .map(|(name, queued, inflight)| (name, (queued, inflight)))
+            .collect();
+        let tenants: Vec<(String, Json)> = shared
+            .slo
+            .snapshot()
+            .into_iter()
+            .map(|(name, t)| {
+                let (queued, inflight) = depths.get(&name).copied().unwrap_or((0, 0));
+                let mut fields = vec![
+                    ("queued", Json::from(queued as u64)),
+                    ("inflight", Json::from(inflight as u64)),
+                    ("admitted", Json::from(t.admitted)),
+                    ("shed", Json::from(t.shed)),
+                    ("mapped", Json::from(t.mapped)),
+                    ("failed", Json::from(t.failed)),
+                    ("timeout", Json::from(t.timeout)),
+                    ("deadline", Json::from(t.deadline)),
+                    ("internal", Json::from(t.internal)),
+                ];
+                if let Some(rate) = t.deadline_hit_rate {
+                    fields.push(("deadline_hit_rate", Json::from(rate)));
+                }
+                (name, Json::obj(fields))
+            })
+            .collect();
+        let reg = registry();
+        Json::obj(vec![
+            (
+                "uptime_us",
+                Json::from(
+                    u64::try_from(shared.started_at.elapsed().as_micros()).unwrap_or(u64::MAX),
+                ),
+            ),
+            ("queue_depth", Json::from(shared.queue.depth() as u64)),
+            (
+                "workers",
+                Json::obj(vec![
+                    ("configured", Json::from(shared.config.workers.max(1) as u64)),
+                    ("deaths", load(&stats.worker_deaths)),
+                    ("respawns", load(&stats.respawns)),
+                ]),
+            ),
+            (
+                "stats",
+                Json::obj(vec![
+                    ("admitted", load(&stats.admitted)),
+                    ("responses", load(&stats.responses)),
+                    ("shed", load(&stats.shed)),
+                    ("retries", load(&stats.retries)),
+                    ("anomalies", load(&stats.anomalies)),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("predict_hit", Json::from(reg.counter("search.predict_cache.hit").get())),
+                    ("predict_miss", Json::from(reg.counter("search.predict_cache.miss").get())),
+                ]),
+            ),
+            (
+                "flight",
+                Json::obj(vec![
+                    ("capacity", Json::from(shared.flight.capacity() as u64)),
+                    ("recorded", Json::from(shared.flight.recorded())),
+                ]),
+            ),
+            ("tenants", Json::Obj(tenants)),
+        ])
     }
 
     /// Stop admissions, drain the queue, and join every worker.
@@ -354,8 +477,9 @@ fn worker_loop(shared: &Arc<Shared>) {
             catch_unwind(AssertUnwindSafe(|| process_job(shared, &mut compiler, &job)));
         shared.queue.finish(&tenant);
         tenant_inflight_gauge(shared, &tenant);
+        let deadline_applied = effective_deadline(&shared.config, &job).is_some();
         match outcome {
-            Ok(response) => deliver(shared, &job.item.respond, response),
+            Ok(response) => deliver(shared, &job.item.respond, response, deadline_applied),
             Err(_) => {
                 // Worker death: contain, account, hand the request back
                 // (retry) or answer it (structural failure) — never
@@ -363,6 +487,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 // yet), then respawn a clean worker and die.
                 shared.stats.worker_deaths.fetch_add(1, Ordering::Relaxed);
                 mapzero_obs::counter!("serve.worker.death");
+                note_anomaly(shared, &Anomaly::WorkerDeath);
                 // Account the respawn and start the replacement before
                 // handing the request back: the retry's response must
                 // not be able to outrun the death bookkeeping (a caller
@@ -380,7 +505,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                     shared.queue.requeue_front(&tenant, job);
                 } else {
                     let response = death_response(&job);
-                    deliver(shared, &job.item.respond, response);
+                    deliver(shared, &job.item.respond, response, deadline_applied);
                 }
                 return;
             }
@@ -416,18 +541,66 @@ fn death_response(job: &Job<QueuedRequest>) -> MapResponse {
 /// Deliver exactly one response line. The `serve.respond` failpoint
 /// models a broken transport: a fired fault drops the line (counted)
 /// without killing the worker or affecting any other request.
-fn deliver(shared: &Shared, respond: &Sender<MapResponse>, response: MapResponse) {
+fn deliver(
+    shared: &Shared,
+    respond: &Sender<MapResponse>,
+    response: MapResponse,
+    deadline_applied: bool,
+) {
     let transport = catch_unwind(|| failpoint::trigger("serve.respond"));
     match transport {
-        Ok(Ok(())) => {
-            shared.stats.responses.fetch_add(1, Ordering::Relaxed);
-            // A hung-up receiver (caller stopped listening) is its
-            // problem, not the worker's.
-            let _ = respond.send(response);
-        }
+        Ok(Ok(())) => account_and_send(shared, respond, response, Some(deadline_applied)),
         _ => {
             mapzero_obs::counter!("serve.respond.dropped");
         }
+    }
+}
+
+/// Terminal accounting for one response — the single place a request
+/// becomes observable: the response counter, the flight record, the
+/// labeled outcome/engine counters, the latency sketches, and (for
+/// admitted requests, `slo = Some(deadline_applied)`) the tenant's SLO
+/// window — then the send itself. A hung-up receiver (caller stopped
+/// listening) is its problem, not the worker's.
+fn account_and_send(
+    shared: &Shared,
+    respond: &Sender<MapResponse>,
+    response: MapResponse,
+    slo: Option<bool>,
+) {
+    shared.stats.responses.fetch_add(1, Ordering::Relaxed);
+    shared.flight.push(RequestRecord::from_response(&response));
+    let reg = registry();
+    reg.counter_family("serve.outcome").with(response.outcome.as_str()).inc();
+    if let Some(engine) = &response.engine {
+        reg.counter_family("serve.engine").with(engine).inc();
+    }
+    if response.outcome != Outcome::Rejected {
+        let wait_us = u64::try_from(response.queue_wait.as_micros()).unwrap_or(u64::MAX);
+        let service_us = u64::try_from(response.service_time.as_micros()).unwrap_or(u64::MAX);
+        reg.sketch("serve.latency.queue_wait_us").record(wait_us);
+        reg.sketch("serve.latency.service_us").record(service_us);
+        reg.sketch_family("serve.tenant.service_us").with(&response.tenant).record(service_us);
+    }
+    if let Some(deadline_applied) = slo {
+        if let Some(anomaly) =
+            shared.slo.record_outcome(&response.tenant, response.outcome, deadline_applied)
+        {
+            note_anomaly(shared, &anomaly);
+        }
+    }
+    let _ = respond.send(response);
+}
+
+/// Count an anomaly and dump the flight recorder to stderr: the last N
+/// terminal requests, oldest first, as JSONL under a one-line header.
+fn note_anomaly(shared: &Shared, anomaly: &Anomaly) {
+    shared.stats.anomalies.fetch_add(1, Ordering::Relaxed);
+    mapzero_obs::counter!("serve.anomaly");
+    let dump = shared.flight.snapshot();
+    eprintln!("serve: anomaly: {} — flight recorder ({} records):", anomaly.describe(), dump.len());
+    for record in dump {
+        eprintln!("{}", record.to_json().to_string_compact());
     }
 }
 
@@ -439,10 +612,22 @@ fn process_job(shared: &Shared, compiler: &mut Compiler, job: &Job<QueuedRequest
     let req = &job.item.request;
     let started = Instant::now();
     let queue_wait = started.saturating_duration_since(job.enqueued_at);
-    mapzero_obs::observe!(
-        "serve.queue_wait_us",
-        u64::try_from(queue_wait.as_micros()).unwrap_or(u64::MAX)
+    let wait_us = u64::try_from(queue_wait.as_micros()).unwrap_or(u64::MAX);
+    mapzero_obs::observe!("serve.queue_wait_us", wait_us);
+    // Scope every span emitted while this request is on the worker —
+    // including the compiler's own tree, and including spans emitted
+    // during a worker-death unwind — to the request id. Declared before
+    // the `serve.request` guard so the guard's drop still sees the id.
+    let _req_scope = mapzero_obs::trace::request_scope(&req.id);
+    // No code runs while a request waits in the queue, so its wait is
+    // reconstructed as a synthetic span at pickup time.
+    mapzero_obs::trace::emit_span(
+        "serve.queue.wait",
+        mapzero_obs::trace::now_us().saturating_sub(wait_us),
+        wait_us,
+        Some(&req.id),
     );
+    let _request_span = mapzero_obs::span!("serve.request");
     let capture = mapzero_obs::RunCapture::begin();
     let deadline = effective_deadline(&shared.config, job);
 

@@ -1,0 +1,368 @@
+//! Per-tenant SLO accounting, anomaly detection, and the flight-record
+//! payload.
+//!
+//! The service keeps one [`SloTable`] with, per tenant, monotone
+//! outcome counters (the reconciliation invariant: once the queue is
+//! idle, `admitted == mapped + failed + timeout + deadline + internal`,
+//! shed counted separately) and a bounded sliding window of
+//! deadline-carrying outcomes from which the deadline-hit rate — the
+//! tenant's SLO — is computed. Requests with no effective deadline are
+//! excluded from the window: they cannot miss.
+//!
+//! Three [`Anomaly`] conditions trigger a flight-recorder dump:
+//! a shed burst (too many sheds inside a short wall-clock window), any
+//! worker death, and a per-tenant streak of consecutive deadline
+//! misses.
+
+use crate::wire::{MapResponse, Outcome};
+use mapzero_obs::json::Json;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Thresholds for SLO windows and anomaly detection.
+#[derive(Debug, Clone, Copy)]
+pub struct SloConfig {
+    /// Deadline-carrying outcomes retained per tenant for the hit-rate
+    /// window.
+    pub window: usize,
+    /// Sheds within [`SloConfig::shed_burst_window`] that constitute a
+    /// burst anomaly.
+    pub shed_burst: usize,
+    /// Wall-clock width of the shed-burst detector.
+    pub shed_burst_window: Duration,
+    /// Consecutive deadline misses (per tenant) that constitute a
+    /// streak anomaly.
+    pub miss_streak: u32,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            window: 256,
+            shed_burst: 8,
+            shed_burst_window: Duration::from_secs(1),
+            miss_streak: 3,
+        }
+    }
+}
+
+/// An operational condition worth dumping the flight recorder for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Anomaly {
+    /// Too many requests shed in a short window.
+    ShedBurst {
+        /// Sheds observed inside the window.
+        sheds: usize,
+    },
+    /// A worker thread was killed by an escaping panic.
+    WorkerDeath,
+    /// One tenant missed its deadline several times in a row.
+    DeadlineMissStreak {
+        /// The tenant on the streak.
+        tenant: String,
+        /// Consecutive misses.
+        misses: u32,
+    },
+}
+
+impl Anomaly {
+    /// One-line human description (the flight-dump header).
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Anomaly::ShedBurst { sheds } => format!("shed burst: {sheds} sheds in window"),
+            Anomaly::WorkerDeath => "worker death".to_owned(),
+            Anomaly::DeadlineMissStreak { tenant, misses } => {
+                format!("deadline-miss streak: tenant {tenant} missed {misses} in a row")
+            }
+        }
+    }
+}
+
+/// One terminal request record — the flight recorder's payload.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// Request id.
+    pub id: String,
+    /// Tenant billed.
+    pub tenant: String,
+    /// Terminal outcome.
+    pub outcome: Outcome,
+    /// Queue wait in microseconds.
+    pub queue_wait_us: u64,
+    /// Worker service time in microseconds.
+    pub service_us: u64,
+    /// Contained-fault retries consumed.
+    pub retries: u32,
+    /// Worker deaths survived.
+    pub worker_deaths: u32,
+}
+
+impl RequestRecord {
+    /// The record for one delivered response.
+    #[must_use]
+    pub fn from_response(response: &MapResponse) -> Self {
+        RequestRecord {
+            id: response.id.clone(),
+            tenant: response.tenant.clone(),
+            outcome: response.outcome,
+            queue_wait_us: u64::try_from(response.queue_wait.as_micros()).unwrap_or(u64::MAX),
+            service_us: u64::try_from(response.service_time.as_micros()).unwrap_or(u64::MAX),
+            retries: response.retries,
+            worker_deaths: response.worker_deaths,
+        }
+    }
+
+    /// JSON object (one flight-dump JSONL line).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::from(self.id.as_str())),
+            ("tenant", Json::from(self.tenant.as_str())),
+            ("outcome", Json::from(self.outcome.as_str())),
+            ("queue_wait_us", Json::from(self.queue_wait_us)),
+            ("service_us", Json::from(self.service_us)),
+            ("retries", Json::from(u64::from(self.retries))),
+            ("worker_deaths", Json::from(u64::from(self.worker_deaths))),
+        ])
+    }
+}
+
+#[derive(Debug, Default)]
+struct TenantWindow {
+    admitted: u64,
+    shed: u64,
+    mapped: u64,
+    failed: u64,
+    timeout: u64,
+    deadline: u64,
+    internal: u64,
+    /// Sliding window: `true` per deadline-carrying request that met
+    /// its deadline, bounded at `SloConfig::window`.
+    hits: VecDeque<bool>,
+    miss_streak: u32,
+}
+
+/// Aggregated view of one tenant (see [`SloTable::snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSnapshot {
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Terminal outcome counts.
+    pub mapped: u64,
+    /// See [`Outcome::Failed`].
+    pub failed: u64,
+    /// See [`Outcome::Timeout`].
+    pub timeout: u64,
+    /// See [`Outcome::Deadline`].
+    pub deadline: u64,
+    /// See [`Outcome::Internal`].
+    pub internal: u64,
+    /// Deadline-hit rate over the sliding window; `None` when no
+    /// deadline-carrying request completed yet.
+    pub deadline_hit_rate: Option<f64>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    tenants: BTreeMap<String, TenantWindow>,
+    /// Recent shed instants (bounded by the burst window).
+    sheds: VecDeque<Instant>,
+}
+
+/// The service-wide SLO table. All methods take `&self`; one mutex.
+#[derive(Debug)]
+pub struct SloTable {
+    config: SloConfig,
+    inner: Mutex<Inner>,
+}
+
+impl SloTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new(config: SloConfig) -> Self {
+        SloTable { config, inner: Mutex::new(Inner::default()) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Count one admission.
+    pub fn record_admitted(&self, tenant: &str) {
+        self.lock().tenants.entry(tenant.to_owned()).or_default().admitted += 1;
+    }
+
+    /// Count one shed; returns the burst anomaly when the detector
+    /// trips (exactly at the threshold, so one sustained burst dumps
+    /// once, not per shed).
+    pub fn record_shed(&self, tenant: &str, now: Instant) -> Option<Anomaly> {
+        let mut inner = self.lock();
+        inner.tenants.entry(tenant.to_owned()).or_default().shed += 1;
+        let horizon = now.checked_sub(self.config.shed_burst_window);
+        while inner.sheds.front().is_some_and(|&t| horizon.is_some_and(|h| t < h)) {
+            inner.sheds.pop_front();
+        }
+        inner.sheds.push_back(now);
+        if inner.sheds.len() >= self.config.shed_burst {
+            // One dump per burst of N: restart the count so a sustained
+            // flood produces a dump every N sheds, not every shed (and
+            // the deque stays bounded by the threshold).
+            let sheds = inner.sheds.len();
+            inner.sheds.clear();
+            Some(Anomaly::ShedBurst { sheds })
+        } else {
+            None
+        }
+    }
+
+    /// Count one terminal outcome. `deadline_applied` marks requests
+    /// that carried an effective deadline — only those enter the SLO
+    /// window (a request with no deadline cannot miss one). Returns the
+    /// streak anomaly when the tenant just reached the threshold.
+    pub fn record_outcome(
+        &self,
+        tenant: &str,
+        outcome: Outcome,
+        deadline_applied: bool,
+    ) -> Option<Anomaly> {
+        let mut inner = self.lock();
+        let t = inner.tenants.entry(tenant.to_owned()).or_default();
+        match outcome {
+            Outcome::Mapped => t.mapped += 1,
+            Outcome::Failed => t.failed += 1,
+            Outcome::Timeout => t.timeout += 1,
+            Outcome::Deadline => t.deadline += 1,
+            Outcome::Internal => t.internal += 1,
+            // Sheds are counted at admission time, not here.
+            Outcome::Rejected => {}
+        }
+        if !deadline_applied || outcome == Outcome::Rejected {
+            return None;
+        }
+        let hit = outcome != Outcome::Deadline;
+        t.hits.push_back(hit);
+        while t.hits.len() > self.config.window {
+            t.hits.pop_front();
+        }
+        if hit {
+            t.miss_streak = 0;
+            None
+        } else {
+            t.miss_streak += 1;
+            (t.miss_streak == self.config.miss_streak).then(|| Anomaly::DeadlineMissStreak {
+                tenant: tenant.to_owned(),
+                misses: t.miss_streak,
+            })
+        }
+    }
+
+    /// Per-tenant aggregates, sorted by tenant name.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(String, TenantSnapshot)> {
+        let inner = self.lock();
+        inner
+            .tenants
+            .iter()
+            .map(|(name, t)| {
+                let rate = if t.hits.is_empty() {
+                    None
+                } else {
+                    #[allow(clippy::cast_precision_loss)]
+                    Some(t.hits.iter().filter(|&&h| h).count() as f64 / t.hits.len() as f64)
+                };
+                (
+                    name.clone(),
+                    TenantSnapshot {
+                        admitted: t.admitted,
+                        shed: t.shed,
+                        mapped: t.mapped,
+                        failed: t.failed,
+                        timeout: t.timeout,
+                        deadline: t.deadline,
+                        internal: t.internal,
+                        deadline_hit_rate: rate,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_reconcile_with_admissions() {
+        let slo = SloTable::new(SloConfig::default());
+        for _ in 0..5 {
+            slo.record_admitted("acme");
+        }
+        slo.record_outcome("acme", Outcome::Mapped, true);
+        slo.record_outcome("acme", Outcome::Mapped, true);
+        slo.record_outcome("acme", Outcome::Failed, true);
+        slo.record_outcome("acme", Outcome::Timeout, true);
+        slo.record_outcome("acme", Outcome::Internal, true);
+        let snap = &slo.snapshot()[0].1;
+        assert_eq!(
+            snap.admitted,
+            snap.mapped + snap.failed + snap.timeout + snap.deadline + snap.internal
+        );
+        assert_eq!(snap.deadline_hit_rate, Some(1.0));
+    }
+
+    #[test]
+    fn miss_streak_fires_once_at_threshold() {
+        let slo = SloTable::new(SloConfig { miss_streak: 3, ..SloConfig::default() });
+        assert_eq!(slo.record_outcome("t", Outcome::Deadline, true), None);
+        assert_eq!(slo.record_outcome("t", Outcome::Deadline, true), None);
+        assert_eq!(
+            slo.record_outcome("t", Outcome::Deadline, true),
+            Some(Anomaly::DeadlineMissStreak { tenant: "t".to_owned(), misses: 3 })
+        );
+        // A fourth miss extends the streak silently; a hit resets it.
+        assert_eq!(slo.record_outcome("t", Outcome::Deadline, true), None);
+        assert_eq!(slo.record_outcome("t", Outcome::Mapped, true), None);
+        let snap = &slo.snapshot()[0].1;
+        assert_eq!(snap.deadline, 4);
+        assert_eq!(snap.deadline_hit_rate, Some(0.2));
+    }
+
+    #[test]
+    fn no_deadline_requests_stay_out_of_the_window() {
+        let slo = SloTable::new(SloConfig::default());
+        slo.record_outcome("t", Outcome::Mapped, false);
+        assert_eq!(slo.snapshot()[0].1.deadline_hit_rate, None);
+    }
+
+    #[test]
+    fn shed_burst_fires_at_threshold_within_window() {
+        let slo = SloTable::new(SloConfig {
+            shed_burst: 3,
+            shed_burst_window: Duration::from_secs(60),
+            ..SloConfig::default()
+        });
+        let now = Instant::now();
+        assert_eq!(slo.record_shed("t", now), None);
+        assert_eq!(slo.record_shed("t", now), None);
+        assert_eq!(slo.record_shed("t", now), Some(Anomaly::ShedBurst { sheds: 3 }));
+        assert_eq!(slo.snapshot()[0].1.shed, 3);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let slo = SloTable::new(SloConfig { window: 4, ..SloConfig::default() });
+        for _ in 0..10 {
+            slo.record_outcome("t", Outcome::Deadline, true);
+        }
+        for _ in 0..4 {
+            slo.record_outcome("t", Outcome::Mapped, true);
+        }
+        // Only the last 4 outcomes remain: all hits.
+        assert_eq!(slo.snapshot()[0].1.deadline_hit_rate, Some(1.0));
+    }
+}

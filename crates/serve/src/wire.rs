@@ -285,12 +285,15 @@ pub fn parse_batch(text: &str) -> Result<Vec<MapRequest>, WireError> {
 pub struct RequestReader<R> {
     input: R,
     line: usize,
+    /// Ids minted for bare `request` headers so far (see
+    /// [`RequestReader::next_request`]).
+    minted: u64,
 }
 
 impl<R: BufRead> RequestReader<R> {
     /// Wrap a buffered reader.
     pub fn new(input: R) -> Self {
-        RequestReader { input, line: 0 }
+        RequestReader { input, line: 0, minted: 0 }
     }
 
     fn err(&self, message: impl Into<String>) -> WireError {
@@ -328,8 +331,15 @@ impl<R: BufRead> RequestReader<R> {
                 return Err(self.err(format!("expected `request <id>`, got `{line}`")));
             };
             let id = rest.trim();
-            if id.is_empty() || id.contains(char::is_whitespace) {
-                return Err(self.err("request id must be one non-empty token"));
+            if id.contains(char::is_whitespace) {
+                return Err(self.err("request id must be one token"));
+            }
+            if id.is_empty() {
+                // Bare `request` header: mint a stable per-stream id so
+                // every request is traceable even when the caller
+                // didn't name it.
+                self.minted += 1;
+                break format!("req-{}", self.minted);
             }
             break id.to_owned();
         };

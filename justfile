@@ -29,6 +29,11 @@ serve-smoke:
 bench-serve:
     cargo run --release -p mapzero-bench --bin serve_load
 
+# Launch the service on the fixture batch with an admin socket, scrape
+# /status with mapzero_top, and print the per-tenant table.
+serve-status:
+    scripts/serve_status.sh
+
 # Criterion microbenchmarks.
 bench:
     cargo bench --workspace

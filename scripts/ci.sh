@@ -73,6 +73,57 @@ print(f"perf smoke: OK (predict {fresh['predict_speedup']:.1f}x, "
       f"compile {fresh['compile_speedup']:.2f}x)")
 PY
 
+echo "==> serve bench smoke (tiny load run + schema + regression check)"
+serve_dir="$(mktemp -d -t mapzero-ci-serve.XXXXXX)"
+trap 'rm -f "$trace"; rm -rf "$perf_dir" "$serve_dir"' EXIT
+MAPZERO_RESULTS_DIR="$serve_dir" MAPZERO_SERVE_LOAD_BASE=2 \
+    cargo run --release -q -p mapzero-bench --bin serve_load
+python3 - "$serve_dir/BENCH_serve.json" results/BENCH_serve.json <<'PY'
+import json, sys
+
+fresh_path, baseline_path = sys.argv[1], sys.argv[2]
+with open(fresh_path) as f:
+    fresh = json.load(f)
+
+tiers = fresh.get("tiers", [])
+if not tiers:
+    sys.exit("serve bench smoke: no tiers in BENCH_serve.json")
+required = ["load", "offered", "completed", "shed", "deadline_miss",
+            "shed_rate", "throughput_rps", "p50_ms", "p99_ms"]
+for tier in tiers:
+    missing = [k for k in required if k not in tier]
+    if missing:
+        sys.exit(f"serve bench smoke: tier {tier.get('load')} missing {missing}")
+
+# Regression check vs the committed baseline: warn (non-fatal) when the
+# fresh run is >2x slower on latency or throughput — the CI run uses a
+# smaller burst, so per-tier comparison keyed by load multiplier.
+try:
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+except OSError:
+    print("serve bench smoke: no committed baseline, skipping regression check")
+    sys.exit(0)
+base_by_load = {t["load"]: t for t in baseline.get("tiers", [])}
+for tier in tiers:
+    base = base_by_load.get(tier["load"])
+    if not base:
+        continue
+    load = tier["load"]
+    if base.get("p99_ms", 0) > 0 and tier["p99_ms"] > 2 * base["p99_ms"]:
+        print(f"WARNING: serve bench: {load}x p99 regressed >2x "
+              f"({tier['p99_ms']:.1f}ms vs committed {base['p99_ms']:.1f}ms)")
+    # Throughput is only comparable at equal burst size: the CI run
+    # uses a shrunken burst where startup cost dominates rps.
+    if tier.get("offered") == base.get("offered") and \
+            base.get("throughput_rps", 0) > 0 and \
+            tier["throughput_rps"] < base["throughput_rps"] / 2:
+        print(f"WARNING: serve bench: {load}x throughput regressed >2x "
+              f"({tier['throughput_rps']:.0f} vs committed "
+              f"{base['throughput_rps']:.0f} rps)")
+print(f"serve bench smoke: OK ({len(tiers)} tiers)")
+PY
+
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 

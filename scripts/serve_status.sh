@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Launch the compile service on the fixture batch with an admin socket,
+# scrape `/status` with mapzero_top, pretty-print the per-tenant table,
+# and shut the service down. A quick end-to-end check of the
+# observability plane — and a copy-paste example of operating it.
+# Usage: scripts/serve_status.sh (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fixture="crates/serve/tests/fixtures/smoke_batch.txt"
+sock="$(mktemp -u -t mapzero-admin.XXXXXX.sock)"
+out="$(mktemp -t mapzero-serve-status.XXXXXX.jsonl)"
+
+cargo build --release -q -p mapzero-serve --bin mapzero_serve --bin mapzero_top
+
+target/release/mapzero_serve --workers 2 \
+    --admin-socket "$sock" --hold < "$fixture" > "$out" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$sock" "$out"' EXIT
+
+# The service holds after the batch; wait for the batch to finish (all
+# responses written) and the admin socket to exist.
+for _ in $(seq 1 100); do
+    if [ -S "$sock" ] && [ "$(wc -l < "$out")" -ge 4 ]; then
+        break
+    fi
+    sleep 0.2
+done
+if ! [ -S "$sock" ]; then
+    echo "serve-status: admin socket never appeared at $sock" >&2
+    exit 1
+fi
+
+echo "--- mapzero_top status ---"
+target/release/mapzero_top "$sock"
+echo "--- flight recorder (last records) ---"
+target/release/mapzero_top "$sock" flight
