@@ -43,6 +43,9 @@ struct TierResult {
     offered: usize,
     shed: usize,
     deadline_miss: usize,
+    /// Mapped responses the independent validator rejected (must stay 0
+    /// on a healthy service — the load test doubles as a legality gate).
+    validate_fail: u64,
     elapsed: Duration,
     /// Mapped-request end-to-end latency (queue wait + service), µs.
     latency: QuantileSketch,
@@ -76,6 +79,7 @@ impl TierResult {
             ("completed", Json::Num(self.completed() as f64)),
             ("shed", Json::Num(self.shed as f64)),
             ("deadline_miss", Json::Num(self.deadline_miss as f64)),
+            ("validate_fail", Json::Num(self.validate_fail as f64)),
             ("shed_rate", Json::Num(self.shed_rate())),
             ("throughput_rps", Json::Num(self.throughput())),
             ("p50_ms", Json::Num(self.p50_ms())),
@@ -96,7 +100,10 @@ fn run_tier(load: usize, base: usize) -> TierResult {
     let started = Instant::now();
     let responses = service.process_batch(burst(offered));
     let elapsed = started.elapsed();
+    let validate_fail =
+        service.stats().validate_fail.load(std::sync::atomic::Ordering::Relaxed);
     service.shutdown();
+    assert_eq!(validate_fail, 0, "healthy service never emits an invalid mapping");
 
     // Streaming sketch instead of a sorted raw-sample vector: same
     // mergeable estimator the service itself exports.
@@ -108,7 +115,7 @@ fn run_tier(load: usize, base: usize) -> TierResult {
     let deadline_miss =
         responses.iter().filter(|r| r.outcome == Outcome::Deadline).count();
     assert_eq!(responses.len(), offered, "every offered request is answered");
-    TierResult { load, offered, shed, deadline_miss, elapsed, latency }
+    TierResult { load, offered, shed, deadline_miss, validate_fail, elapsed, latency }
 }
 
 fn main() {

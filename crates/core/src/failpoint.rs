@@ -22,7 +22,11 @@
 //! | `checkpoint.pre_manifest` | before the MANIFEST commit point | io, panic |
 //! | `serve.enqueue` | `mapzero-serve` request admission | panic, delay |
 //! | `serve.worker.pre_map` | `mapzero-serve` worker, before mapping | panic, delay |
+//! | `serve.worker.attempt` | `mapzero-serve` worker, before each mapping attempt | panic |
 //! | `serve.respond` | `mapzero-serve` response delivery | panic, io |
+//! | `serve.journal.append` | `mapzero-serve` journal, before an admit record | io |
+//! | `serve.journal.post_admit` | `mapzero-serve` journal, after an admit fsync | abort |
+//! | `validate.corrupt` | `mapzero-serve` worker, before response validation | io (fires the corruptor) |
 //!
 //! Arming is **per-thread** (tests run concurrently in one binary; a
 //! fault armed by one test must not leak into another), except for
@@ -57,6 +61,10 @@ pub enum FailAction {
     /// Sleep for the given duration, then continue normally (latency
     /// injection for deadline tests).
     Delay(Duration),
+    /// Abort the whole process immediately (`std::process::abort`) —
+    /// the kill -9 primitive for crash-recovery chaos tests: no
+    /// destructors, no unwinding, no flushes.
+    Abort,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -162,8 +170,8 @@ fn fire_global(name: &str) -> Option<FailAction> {
 }
 
 /// Parse a failpoint spec: comma-separated `name=action[@after]` terms
-/// with `action` one of `panic`, `io`, `delay:<ms>`; `after` defaults
-/// to 1 (fire on the next visit).
+/// with `action` one of `panic`, `io`, `abort`, `delay:<ms>`; `after`
+/// defaults to 1 (fire on the next visit).
 ///
 /// # Errors
 /// Returns a description of the first malformed term.
@@ -179,6 +187,7 @@ pub fn parse_spec(raw: &str) -> Result<Vec<(String, FailAction, u64)>, String> {
         let action = match action_raw.split_once(':') {
             None if action_raw == "panic" => FailAction::Panic,
             None if action_raw == "io" => FailAction::IoError,
+            None if action_raw == "abort" => FailAction::Abort,
             Some(("delay", ms)) => {
                 let ms: u64 =
                     ms.parse().map_err(|_| format!("`{term}`: bad delay millis `{ms}`"))?;
@@ -291,6 +300,11 @@ pub fn trigger(name: &str) -> io::Result<()> {
         Some(FailAction::Panic) => {
             mapzero_obs::counter!("failpoint.fired");
             panic!("failpoint `{name}` injected panic");
+        }
+        Some(FailAction::Abort) => {
+            mapzero_obs::counter!("failpoint.fired");
+            eprintln!("failpoint `{name}` aborting the process");
+            std::process::abort();
         }
     }
 }
@@ -419,13 +433,14 @@ mod tests {
 
     #[test]
     fn spec_parses_all_action_forms() {
-        let spec = parse_spec("a=panic, b=io@4 ,c=delay:250@2").unwrap();
+        let spec = parse_spec("a=panic, b=io@4 ,c=delay:250@2,d=abort@3").unwrap();
         assert_eq!(
             spec,
             vec![
                 ("a".to_owned(), FailAction::Panic, 1),
                 ("b".to_owned(), FailAction::IoError, 4),
                 ("c".to_owned(), FailAction::Delay(Duration::from_millis(250)), 2),
+                ("d".to_owned(), FailAction::Abort, 3),
             ]
         );
         assert!(parse_spec("").unwrap().is_empty());

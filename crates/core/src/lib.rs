@@ -59,6 +59,7 @@ pub mod router;
 pub mod search_space;
 pub mod supervise;
 pub mod train;
+pub mod validate;
 pub mod viz;
 
 pub use agent::{AgentConfig, MapZeroAgent};

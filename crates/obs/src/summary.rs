@@ -156,6 +156,12 @@ pub fn render_status(status: &Json) -> String {
     let mut out = String::new();
     let uptime = Duration::from_micros(field_u64(status, "uptime_us"));
     let _ = write!(out, "uptime {:<10}", format_duration(uptime));
+    // Only surface the lifecycle state when it is unusual.
+    if let Some(state) = status.get("state").and_then(Json::as_str) {
+        if state != "running" {
+            let _ = write!(out, " [{state}]");
+        }
+    }
     let _ = write!(out, " queue {:<5}", field_u64(status, "queue_depth"));
     if let Some(workers) = status.get("workers") {
         let _ = write!(
@@ -195,6 +201,30 @@ pub fn render_status(status: &Json) -> String {
             field_u64(flight, "recorded"),
             field_u64(flight, "capacity").min(field_u64(flight, "recorded")),
         );
+    }
+    if let Some(journal) = status.get("journal") {
+        if journal.get("generation").is_some() {
+            let _ = writeln!(
+                out,
+                "journal gen {} — {} appended, {} terminal, {} replayed",
+                field_u64(journal, "generation"),
+                field_u64(journal, "appended"),
+                field_u64(journal, "terminal"),
+                field_u64(journal, "replayed"),
+            );
+        }
+    }
+    if let Some(Json::Obj(breakers)) = status.get("breakers") {
+        for (tenant, b) in breakers {
+            let state = b.get("state").and_then(Json::as_str).unwrap_or("?");
+            if state != "closed" {
+                let _ = writeln!(
+                    out,
+                    "breaker {tenant}: {state} ({} trips)",
+                    field_u64(b, "trips"),
+                );
+            }
+        }
     }
     if let Some(Json::Obj(tenants)) = status.get("tenants") {
         let _ = writeln!(out);

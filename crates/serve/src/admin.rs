@@ -8,11 +8,15 @@
 //!   `mapzero_top` for the rendered view.
 //! - `metrics` — the full registry as Prometheus-style text exposition.
 //! - `flight`  — the flight recorder as JSONL, oldest record first.
+//! - `shutdown` — begin a graceful drain (same effect as `SIGTERM`):
+//!   admission stops, in-flight work finishes, the binary flushes its
+//!   journal and trace sink and exits 0.
 //!
 //! `SIGUSR1` triggers the same dump (status + exposition) to stderr,
 //! for when the service was started without an admin socket. Signal
 //! handlers may only do async-signal-safe work, so the handler just
 //! sets a flag; a watcher thread polls it and does the actual dump.
+//! `SIGTERM` follows the identical flag-and-watch pattern for drains.
 
 use crate::service::MapService;
 use mapzero_obs::metrics::registry;
@@ -24,12 +28,19 @@ use std::time::Duration;
 
 /// `SIGUSR1` on Linux.
 const SIGUSR1: i32 = 10;
+/// `SIGTERM` on Linux.
+const SIGTERM: i32 = 15;
 
 static SIGUSR1_PENDING: AtomicBool = AtomicBool::new(false);
+static DRAIN_PENDING: AtomicBool = AtomicBool::new(false);
 
 extern "C" fn on_sigusr1(_signum: i32) {
     // Async-signal-safe: one relaxed store, nothing else.
     SIGUSR1_PENDING.store(true, Ordering::Relaxed);
+}
+
+extern "C" fn on_sigterm(_signum: i32) {
+    DRAIN_PENDING.store(true, Ordering::Relaxed);
 }
 
 extern "C" {
@@ -56,6 +67,28 @@ pub fn install_sigusr1_dump(service: &MapService) {
     });
 }
 
+/// Install the `SIGTERM` handler: the signal requests a graceful drain,
+/// observable via [`drain_requested`]. The binary's drain watcher (not
+/// a thread here) owns the actual drain-and-exit sequence, because only
+/// it can flush its transports before exiting.
+pub fn install_sigterm_drain() {
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+}
+
+/// Whether a drain was requested via `SIGTERM` or the admin `shutdown`
+/// command. Sticky until the process exits.
+#[must_use]
+pub fn drain_requested() -> bool {
+    DRAIN_PENDING.load(Ordering::Relaxed)
+}
+
+/// Request a drain programmatically (the admin `shutdown` path).
+pub fn request_drain() {
+    DRAIN_PENDING.store(true, Ordering::Relaxed);
+}
+
 /// The response payload for one admin command line.
 #[must_use]
 pub fn handle_command(service: &MapService, command: &str) -> String {
@@ -74,7 +107,17 @@ pub fn handle_command(service: &MapService, command: &str) -> String {
             }
             out
         }
-        other => format!("error: unknown command `{other}` (status | metrics | flight)\n"),
+        "shutdown" => {
+            // Stop admission immediately so the acknowledgement below
+            // is already true; the binary's drain watcher finishes the
+            // flush-and-exit half.
+            service.begin_drain();
+            request_drain();
+            "draining\n".to_owned()
+        }
+        other => {
+            format!("error: unknown command `{other}` (status | metrics | flight | shutdown)\n")
+        }
     }
 }
 

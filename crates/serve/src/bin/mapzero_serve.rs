@@ -20,20 +20,31 @@
 //! - `--no-hedge`         disable the SA fallback lane
 //! - `--summary`          append one `{"summary":...}` JSONL line
 //! - `--socket PATH`      serve a Unix socket instead of stdin
-//! - `--admin-socket P`   introspection socket (status | metrics | flight)
+//! - `--admin-socket P`   introspection socket
+//!   (status | metrics | flight | shutdown)
+//! - `--journal DIR`      write-ahead request journal: admitted requests
+//!   whose responses were never delivered replay at the next start
+//! - `--drain-deadline-ms N`  grace period for in-flight work on a
+//!   `SIGTERM`/`shutdown` drain (default 5000)
 //! - `--hold`             stdin mode: stay alive after the batch for
-//!   scraping the admin socket; stop with SIGTERM
+//!   scraping the admin socket; stop with SIGTERM (drains, exits 0)
 //!
 //! `SIGUSR1` dumps the rendered status and the metrics exposition to
-//! stderr at any time, admin socket or not.
+//! stderr at any time, admin socket or not. `SIGTERM` (or the admin
+//! `shutdown` command) begins a graceful drain: admission stops,
+//! in-flight work finishes under the drain deadline, the journal and
+//! trace sink are flushed, and the process exits 0.
 
+use mapzero_serve::journal::Journal;
 use mapzero_serve::service::{MapService, ServeConfig};
-use mapzero_serve::wire::RequestReader;
+use mapzero_serve::wire::{MapRequest, RequestReader};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixListener;
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     if let Some(path) = mapzero_obs::init_from_env() {
@@ -43,6 +54,8 @@ fn main() -> ExitCode {
     let mut config = ServeConfig::default();
     let mut socket: Option<String> = None;
     let mut admin_socket: Option<String> = None;
+    let mut journal_dir: Option<String> = None;
+    let mut drain_deadline = Duration::from_millis(5000);
     let mut summary = false;
     let mut hold = false;
 
@@ -92,6 +105,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--journal" => match it.next() {
+                Some(dir) => journal_dir = Some(dir.clone()),
+                None => {
+                    eprintln!("--journal: expected a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--drain-deadline-ms" => match num(&mut it, "--drain-deadline-ms") {
+                Some(n) => drain_deadline = Duration::from_millis(n as u64),
+                None => return ExitCode::FAILURE,
+            },
             other => {
                 eprintln!("unknown flag `{other}`");
                 return ExitCode::FAILURE;
@@ -99,8 +123,32 @@ fn main() -> ExitCode {
         }
     }
 
-    let service = MapService::start(config);
+    // Open (or create) the journal before the pool exists: recovery —
+    // parse, compact, and the pending-request list — happens on a quiet
+    // process. The pending requests are re-admitted below, after the
+    // transports are up to receive their responses.
+    let (journal, pending) = match &journal_dir {
+        Some(dir) => match Journal::open(Path::new(dir)) {
+            Ok((journal, pending)) => {
+                if !pending.is_empty() {
+                    eprintln!(
+                        "journal: replaying {} unanswered request(s) from {dir}",
+                        pending.len()
+                    );
+                }
+                (Some(journal), pending)
+            }
+            Err(e) => {
+                eprintln!("cannot open journal {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => (None, Vec::new()),
+    };
+    let service = MapService::start_with_journal(config, journal);
     mapzero_serve::admin::install_sigusr1_dump(&service);
+    mapzero_serve::admin::install_sigterm_drain();
+    spawn_drain_watcher(&service, drain_deadline);
     if let Some(path) = &admin_socket {
         if let Err(e) = mapzero_serve::admin::spawn_admin_socket(&service, path) {
             eprintln!("cannot bind admin socket {path}: {e}");
@@ -109,9 +157,13 @@ fn main() -> ExitCode {
         eprintln!("admin socket on {path}");
     }
     let code = match socket {
-        Some(path) => serve_socket(&service, &path),
-        None => serve_stdin(&service, summary, hold),
+        Some(path) => {
+            replay_to_stdout(&service, pending);
+            serve_socket(&service, &path)
+        }
+        None => serve_stdin(&service, pending, summary, hold),
     };
+    service.flush_journal();
     service.shutdown();
     if let Some(path) = &admin_socket {
         let _ = std::fs::remove_file(path);
@@ -119,12 +171,76 @@ fn main() -> ExitCode {
     code
 }
 
+/// Watch for a drain request (`SIGTERM` or admin `shutdown`): stop
+/// admission, let in-flight work finish under the deadline, flush the
+/// journal and the trace sink, exit 0.
+fn spawn_drain_watcher(service: &MapService, deadline: Duration) {
+    let service = service.clone();
+    std::thread::spawn(move || loop {
+        std::thread::sleep(Duration::from_millis(25));
+        if mapzero_serve::admin::drain_requested() {
+            service.begin_drain();
+            if !service.await_drained(deadline) {
+                eprintln!("serve: drain deadline passed with work still in flight");
+            }
+            // Give the transports a beat to write (and journal-mark)
+            // the final responses the workers just produced.
+            std::thread::sleep(Duration::from_millis(100));
+            service.flush_journal();
+            mapzero_obs::sink::flush();
+            eprintln!("serve: drained; exiting");
+            std::process::exit(0);
+        }
+    });
+}
+
+/// Socket mode has no client to answer recovered requests to; their
+/// responses go to the server's own stdout (JSONL, same shape), which
+/// keeps the exactly-once ledger intact across restarts.
+fn replay_to_stdout(service: &MapService, pending: Vec<MapRequest>) {
+    if pending.is_empty() {
+        return;
+    }
+    let (tx, rx) = mpsc::channel();
+    let mut submitted = 0usize;
+    for request in pending {
+        let _ = service.submit_replayed(request, &tx);
+        submitted += 1;
+    }
+    drop(tx);
+    let service = service.clone();
+    std::thread::spawn(move || {
+        let stdout = std::io::stdout();
+        for _ in 0..submitted {
+            let Ok(resp) = rx.recv() else { break };
+            let mut out = stdout.lock();
+            if writeln!(out, "{}", resp.to_jsonl()).is_err() || out.flush().is_err() {
+                break;
+            }
+            drop(out);
+            service.mark_delivered(&resp);
+        }
+    });
+}
+
 /// One batch from stdin, JSONL to stdout, exit (or park with `--hold`).
-fn serve_stdin(service: &MapService, summary: bool, hold: bool) -> ExitCode {
+/// Journal-recovered requests are re-admitted ahead of the batch and
+/// answered on the same stdout stream.
+fn serve_stdin(
+    service: &MapService,
+    pending: Vec<MapRequest>,
+    summary: bool,
+    hold: bool,
+) -> ExitCode {
     let stdin = std::io::stdin();
     let mut reader = RequestReader::new(stdin.lock());
     let (tx, rx) = mpsc::channel();
     let mut submitted = 0usize;
+    for request in pending {
+        let _ = service.submit_replayed(request, &tx);
+        submitted += 1;
+    }
+    let mut parse_failed = false;
     loop {
         match reader.next_request() {
             Ok(Some(request)) => {
@@ -133,8 +249,14 @@ fn serve_stdin(service: &MapService, summary: bool, hold: bool) -> ExitCode {
             }
             Ok(None) => break,
             Err(e) => {
+                // Structured parse error (with the offending request id
+                // when the header was readable) on the response stream;
+                // requests already admitted still get their answers.
                 eprintln!("bad request batch: {e}");
-                return ExitCode::FAILURE;
+                let stdout = std::io::stdout();
+                let _ = writeln!(stdout.lock(), "{}", e.to_json().to_string_compact());
+                parse_failed = true;
+                break;
             }
         }
     }
@@ -144,12 +266,20 @@ fn serve_stdin(service: &MapService, summary: bool, hold: bool) -> ExitCode {
     for _ in 0..submitted {
         match rx.recv() {
             Ok(resp) => {
-                if writeln!(out, "{}", resp.to_jsonl()).is_err() {
+                // Write + flush before the journal's terminal mark: a
+                // crash in between replays the request (the client
+                // may see a duplicate response line, never a missing
+                // one).
+                if writeln!(out, "{}", resp.to_jsonl()).is_err() || out.flush().is_err() {
                     return ExitCode::FAILURE;
                 }
+                service.mark_delivered(&resp);
             }
             Err(_) => break,
         }
+    }
+    if parse_failed {
+        return ExitCode::FAILURE;
     }
     if summary {
         let _ = writeln!(out, "{}", summary_line(service));
@@ -207,8 +337,8 @@ fn serve_connection<R: BufRead, W: Write>(service: &MapService, input: R, mut ou
             }
             Ok(None) => break,
             Err(e) => {
-                let _ = writeln!(output, "{{\"error\":\"{e}\"}}");
-                return;
+                let _ = writeln!(output, "{}", e.to_json().to_string_compact());
+                break;
             }
         }
     }
@@ -216,9 +346,10 @@ fn serve_connection<R: BufRead, W: Write>(service: &MapService, input: R, mut ou
     for _ in 0..submitted {
         match rx.recv() {
             Ok(resp) => {
-                if writeln!(output, "{}", resp.to_jsonl()).is_err() {
+                if writeln!(output, "{}", resp.to_jsonl()).is_err() || output.flush().is_err() {
                     return;
                 }
+                service.mark_delivered(&resp);
             }
             Err(_) => return,
         }
@@ -238,6 +369,8 @@ fn summary_line(service: &MapService) -> String {
             ("worker_deaths", Json::from(stats.worker_deaths.load(Ordering::Relaxed))),
             ("respawns", Json::from(stats.respawns.load(Ordering::Relaxed))),
             ("responses", Json::from(stats.responses.load(Ordering::Relaxed))),
+            ("validate_fail", Json::from(stats.validate_fail.load(Ordering::Relaxed))),
+            ("replayed", Json::from(stats.replayed.load(Ordering::Relaxed))),
             ("queue_depth", Json::from(service.queue_depth() as u64)),
         ]),
     )])

@@ -1,0 +1,306 @@
+//! Per-tenant circuit breakers: one poisonous tenant cannot serially
+//! kill the shared worker pool.
+//!
+//! Each tenant gets a classic three-state breaker. **Closed** admits
+//! normally while counting worker deaths and terminal internal errors
+//! in a sliding window; reaching the threshold trips it **Open**, and
+//! every admission is answered `rejected` with a `breaker_open` reason
+//! — instantly, without touching the queue or a worker. After the
+//! cooldown the next admission becomes a **half-open probe**: exactly
+//! one request is let through; its success closes the breaker, another
+//! failure re-opens it for a fresh cooldown.
+//!
+//! Failures are events the tenant *caused in the service* — a worker
+//! death while processing its request, or a terminal `internal`
+//! response — not mere unsuccessful mappings: `failed`, `timeout` and
+//! `deadline` are honest answers, and counting them would punish hard
+//! kernels instead of harmful ones.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Breaker tuning, part of `ServeConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Failures within `window` that trip the breaker.
+    pub threshold: u32,
+    /// Sliding window over which failures are counted.
+    pub window: Duration,
+    /// How long an open breaker rejects before allowing a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 5,
+            window: Duration::from_secs(30),
+            cooldown: Duration::from_secs(2),
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Effectively-disabled breakers for tests that hammer failpoints:
+    /// the accounting still runs (the code path is exercised) but no
+    /// realistic fault burst trips it.
+    #[must_use]
+    pub fn fast_test() -> Self {
+        BreakerConfig {
+            threshold: 1000,
+            window: Duration::from_secs(10),
+            cooldown: Duration::from_millis(50),
+        }
+    }
+}
+
+/// What the breaker says about one admission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed: admit normally.
+    Allow,
+    /// Breaker was open and the cooldown elapsed: admit this single
+    /// request as the half-open probe.
+    Probe,
+    /// Breaker open (or a probe is already in flight): reject fast.
+    Reject,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed,
+    Open { until: Instant },
+    /// A probe has been admitted and has not yet reached a verdict.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct TenantBreaker {
+    state: State,
+    failures: VecDeque<Instant>,
+    /// Times this breaker transitioned to Open (monotone, for status).
+    trips: u64,
+}
+
+impl TenantBreaker {
+    fn new() -> Self {
+        TenantBreaker { state: State::Closed, failures: VecDeque::new(), trips: 0 }
+    }
+}
+
+/// One tenant's externally visible breaker state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerStatus {
+    /// Tenant name.
+    pub tenant: String,
+    /// `closed`, `open` or `half_open`.
+    pub state: &'static str,
+    /// Failures currently inside the sliding window.
+    pub failures: u32,
+    /// Times the breaker has tripped open.
+    pub trips: u64,
+}
+
+/// The per-tenant breaker table (one per service).
+#[derive(Debug)]
+pub struct CircuitBreakers {
+    config: BreakerConfig,
+    tenants: Mutex<HashMap<String, TenantBreaker>>,
+}
+
+impl CircuitBreakers {
+    /// An empty table with the given tuning.
+    #[must_use]
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreakers { config, tenants: Mutex::new(HashMap::new()) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, TenantBreaker>> {
+        self.tenants.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consult the breaker at admission time.
+    pub fn admit(&self, tenant: &str, now: Instant) -> Admission {
+        let mut tenants = self.lock();
+        let Some(b) = tenants.get_mut(tenant) else {
+            return Admission::Allow; // no history at all
+        };
+        match b.state {
+            State::Closed => Admission::Allow,
+            State::Open { until } if now >= until => {
+                b.state = State::HalfOpen;
+                Admission::Probe
+            }
+            State::Open { .. } | State::HalfOpen => Admission::Reject,
+        }
+    }
+
+    /// Record a tenant-caused failure (worker death or terminal
+    /// internal error). Returns `Some(failure_count)` exactly when this
+    /// failure tripped the breaker open — the caller's anomaly hook.
+    pub fn record_failure(&self, tenant: &str, now: Instant) -> Option<u32> {
+        let mut tenants = self.lock();
+        let b = tenants.entry(tenant.to_owned()).or_insert_with(TenantBreaker::new);
+        match b.state {
+            State::HalfOpen => {
+                // The probe failed: straight back to open.
+                b.state = State::Open { until: now + self.config.cooldown };
+                b.failures.clear();
+                b.trips += 1;
+                Some(1)
+            }
+            State::Open { .. } => None, // already open; in-flight stragglers
+            State::Closed => {
+                b.failures.push_back(now);
+                let horizon = now.checked_sub(self.config.window);
+                while b
+                    .failures
+                    .front()
+                    .is_some_and(|t| horizon.is_some_and(|h| *t < h))
+                {
+                    b.failures.pop_front();
+                }
+                let count = u32::try_from(b.failures.len()).unwrap_or(u32::MAX);
+                if count >= self.config.threshold {
+                    b.state = State::Open { until: now + self.config.cooldown };
+                    b.failures.clear();
+                    b.trips += 1;
+                    Some(count)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Record a clean terminal outcome for the tenant: closes a
+    /// half-open breaker (the probe succeeded).
+    pub fn record_success(&self, tenant: &str) {
+        let mut tenants = self.lock();
+        if let Some(b) = tenants.get_mut(tenant) {
+            if b.state == State::HalfOpen {
+                b.state = State::Closed;
+                b.failures.clear();
+            }
+        }
+    }
+
+    /// Per-tenant breaker states, sorted by tenant (for `status`).
+    #[must_use]
+    pub fn status(&self) -> Vec<BreakerStatus> {
+        let tenants = self.lock();
+        let mut out: Vec<BreakerStatus> = tenants
+            .iter()
+            .map(|(name, b)| BreakerStatus {
+                tenant: name.clone(),
+                state: match b.state {
+                    State::Closed => "closed",
+                    State::Open { .. } => "open",
+                    State::HalfOpen => "half_open",
+                },
+                failures: u32::try_from(b.failures.len()).unwrap_or(u32::MAX),
+                trips: b.trips,
+            })
+            .collect();
+        out.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakers(threshold: u32, window_ms: u64, cooldown_ms: u64) -> CircuitBreakers {
+        CircuitBreakers::new(BreakerConfig {
+            threshold,
+            window: Duration::from_millis(window_ms),
+            cooldown: Duration::from_millis(cooldown_ms),
+        })
+    }
+
+    #[test]
+    fn trips_at_threshold_within_window() {
+        let b = breakers(3, 10_000, 1_000);
+        let t0 = Instant::now();
+        assert_eq!(b.record_failure("a", t0), None);
+        assert_eq!(b.record_failure("a", t0), None);
+        assert_eq!(b.record_failure("a", t0), Some(3), "third failure trips");
+        assert_eq!(b.admit("a", t0), Admission::Reject);
+    }
+
+    #[test]
+    fn old_failures_age_out_of_the_window() {
+        let b = breakers(3, 100, 1_000);
+        let t0 = Instant::now();
+        assert_eq!(b.record_failure("a", t0), None);
+        assert_eq!(b.record_failure("a", t0), None);
+        // Third failure arrives after the first two left the window.
+        let later = t0 + Duration::from_millis(500);
+        assert_eq!(b.record_failure("a", later), None, "window slid; no trip");
+        assert_eq!(b.admit("a", later), Admission::Allow);
+    }
+
+    #[test]
+    fn cooldown_yields_one_probe_then_rejects() {
+        let b = breakers(1, 10_000, 100);
+        let t0 = Instant::now();
+        assert_eq!(b.record_failure("a", t0), Some(1));
+        assert_eq!(b.admit("a", t0), Admission::Reject);
+        let after = t0 + Duration::from_millis(150);
+        assert_eq!(b.admit("a", after), Admission::Probe, "cooldown elapsed");
+        assert_eq!(b.admit("a", after), Admission::Reject, "one probe at a time");
+    }
+
+    #[test]
+    fn probe_success_closes_probe_failure_reopens() {
+        let b = breakers(1, 10_000, 50);
+        let t0 = Instant::now();
+        b.record_failure("a", t0);
+        let after = t0 + Duration::from_millis(60);
+        assert_eq!(b.admit("a", after), Admission::Probe);
+        b.record_success("a");
+        assert_eq!(b.admit("a", after), Admission::Allow, "probe success closes");
+
+        b.record_failure("a", after);
+        let again = after + Duration::from_millis(60);
+        assert_eq!(b.admit("a", again), Admission::Probe);
+        assert_eq!(b.record_failure("a", again), Some(1), "probe failure reopens");
+        assert_eq!(b.admit("a", again), Admission::Reject);
+    }
+
+    #[test]
+    fn tenants_are_independent() {
+        let b = breakers(1, 10_000, 10_000);
+        let t0 = Instant::now();
+        b.record_failure("bad", t0);
+        assert_eq!(b.admit("bad", t0), Admission::Reject);
+        assert_eq!(b.admit("good", t0), Admission::Allow);
+        assert_eq!(b.record_failure("good", t0), Some(1), "own threshold applies");
+    }
+
+    #[test]
+    fn success_while_closed_is_a_noop() {
+        let b = breakers(2, 10_000, 1_000);
+        let t0 = Instant::now();
+        b.record_success("a");
+        assert_eq!(b.record_failure("a", t0), None);
+        b.record_success("a"); // does not reset the window count
+        assert_eq!(b.record_failure("a", t0), Some(2));
+    }
+
+    #[test]
+    fn status_reports_states_sorted() {
+        let b = breakers(1, 10_000, 10_000);
+        let t0 = Instant::now();
+        b.record_failure("zeta", t0);
+        b.record_failure("alpha", t0);
+        let status = b.status();
+        assert_eq!(status.len(), 2);
+        assert_eq!(status[0].tenant, "alpha");
+        assert_eq!(status[0].state, "open");
+        assert_eq!(status[0].trips, 1);
+        assert_eq!(status[1].tenant, "zeta");
+    }
+}

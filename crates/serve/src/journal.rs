@@ -1,0 +1,482 @@
+//! The write-ahead request journal: crash durability for admitted
+//! requests.
+//!
+//! Every admitted request is appended as a checksummed, fsync'd record
+//! *before* the admission result is returned, and every terminal
+//! response appends a matching `done` record after it has been
+//! delivered to the transport. On restart with the same directory,
+//! [`Journal::open`] replays the requests that were admitted but never
+//! answered — so across a `kill -9` every admitted request is answered
+//! exactly once: either its response reached the client before the
+//! crash (a `done` record exists) or it is re-run.
+//!
+//! On-disk format: numbered generation files `journal_NNNNNN.log`, each
+//! starting with a `mapzero-journal v1` header line followed by
+//! records. A record is one header line
+//!
+//! ```text
+//! admit <payload-bytes> <fnv1a64-hex>
+//! done <payload-bytes> <fnv1a64-hex>
+//! ```
+//!
+//! followed by exactly `<payload-bytes>` of payload — the `wire.rs`
+//! textfmt encoding of the request for `admit`, `<id> <outcome>\n` for
+//! `done`. The FNV-1a 64 checksum (the same primitive as
+//! `checkpoint.rs`) covers the payload, so a torn tail — a crash mid
+//! `write(2)` — is detected and dropped instead of replayed as garbage.
+//!
+//! Recovery follows the checkpoint store's atomic-rename discipline: the
+//! surviving (unanswered) requests are rewritten into the *next*
+//! generation via temp-file → fsync → rename → directory fsync, and
+//! only then are the old generations deleted. A crash anywhere inside
+//! recovery leaves either the old generations (recovery re-runs) or a
+//! fully-committed new one — never a half-written file under a live
+//! name. This doubles as compaction: fully-terminal generations vanish
+//! instead of growing forever.
+//!
+//! Failpoints: `serve.journal.append` (io) fires before an admit record
+//! is written; `serve.journal.post_admit` (abort) fires *after* the
+//! admit fsync — the kill -9 point where the request is durable but the
+//! caller never learned it was admitted.
+
+use crate::wire::{parse_batch, MapRequest, Outcome};
+use mapzero_core::checkpoint::fnv1a64;
+use mapzero_core::failpoint;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const HEADER: &str = "mapzero-journal v1";
+
+/// Monotone counters describing a journal's life so far (exposed in the
+/// service `status`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalSnapshot {
+    /// Current generation number.
+    pub generation: u64,
+    /// Admit records appended this process (excluding replayed ones).
+    pub appended: u64,
+    /// Terminal (`done`) records appended this process.
+    pub terminal: u64,
+    /// Requests replayed from previous generations at open.
+    pub replayed: u64,
+    /// Old generation files removed by compaction at open.
+    pub compacted: u64,
+    /// Corrupt or torn records dropped at open.
+    pub torn: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    appended: AtomicU64,
+    terminal: AtomicU64,
+    replayed: AtomicU64,
+    compacted: AtomicU64,
+    torn: AtomicU64,
+}
+
+/// An open journal: one append-only generation file plus counters.
+pub struct Journal {
+    dir: PathBuf,
+    file: Mutex<File>,
+    generation: u64,
+    counters: Counters,
+}
+
+impl Journal {
+    /// Open (or create) the journal in `dir`, recovering the requests
+    /// that were admitted but never marked terminal by any previous
+    /// generation — in their original admission order. The survivors
+    /// are re-admitted into a fresh generation and the old files are
+    /// deleted, so the journal never grows across restarts.
+    ///
+    /// # Errors
+    /// I/O errors creating the directory or committing the new
+    /// generation. Corrupt records in old generations are *not* errors:
+    /// they are counted as torn and dropped.
+    pub fn open(dir: &Path) -> io::Result<(Journal, Vec<MapRequest>)> {
+        fs::create_dir_all(dir)?;
+        let counters = Counters::default();
+
+        // Scan existing generations in order.
+        let mut gens: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(".tmp") {
+                // A recovery that died before its rename: never valid.
+                let _ = fs::remove_file(entry.path());
+                continue;
+            }
+            if let Some(n) = name
+                .strip_prefix("journal_")
+                .and_then(|r| r.strip_suffix(".log"))
+                .and_then(|r| r.parse::<u64>().ok())
+            {
+                gens.push((n, entry.path()));
+            }
+        }
+        gens.sort_unstable();
+
+        let mut pending: Vec<MapRequest> = Vec::new();
+        for (_, path) in &gens {
+            match fs::read(path) {
+                Ok(bytes) => parse_generation(&bytes, &mut pending, &counters.torn),
+                Err(_) => {
+                    counters.torn.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        counters.replayed.store(pending.len() as u64, Ordering::Relaxed);
+
+        // Commit the survivors as the next generation: temp-file →
+        // fsync → rename → dir fsync, then drop the old files.
+        let generation = gens.last().map_or(1, |(n, _)| n + 1);
+        let final_path = dir.join(format!("journal_{generation:06}.log"));
+        let tmp_path = dir.join(format!("journal_{generation:06}.log.tmp"));
+        let mut file =
+            OpenOptions::new().create(true).append(true).open(&tmp_path)?;
+        writeln!(file, "{HEADER}")?;
+        for req in &pending {
+            write_record(&mut file, "admit", req.emit().as_bytes())?;
+        }
+        file.sync_data()?;
+        fs::rename(&tmp_path, &final_path)?;
+        sync_dir(dir)?;
+        let compacted = gens.len() as u64;
+        for (_, path) in gens {
+            let _ = fs::remove_file(path);
+        }
+        counters.compacted.store(compacted, Ordering::Relaxed);
+
+        let journal =
+            Journal { dir: dir.to_owned(), file: Mutex::new(file), generation, counters };
+        Ok((journal, pending))
+    }
+
+    /// Append an admit record and make it durable. Returns only after
+    /// the fsync — the admission path calls this before acknowledging,
+    /// so an admitted request is always recoverable.
+    ///
+    /// # Errors
+    /// The underlying write or sync failure (or an armed
+    /// `serve.journal.append` io failpoint).
+    pub fn record_admit(&self, req: &MapRequest) -> io::Result<()> {
+        failpoint::trigger("serve.journal.append")?;
+        {
+            let mut file = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            write_record(&mut file, "admit", req.emit().as_bytes())?;
+            file.sync_data()?;
+        }
+        self.counters.appended.fetch_add(1, Ordering::Relaxed);
+        // The crash-recovery chaos point: the record is durable, the
+        // caller has not yet been told. An abort here must replay.
+        mapzero_core::failpoint!("serve.journal.post_admit");
+        Ok(())
+    }
+
+    /// Append a terminal record for `id` once its response has been
+    /// handed to the transport. A later replay will skip this request.
+    ///
+    /// # Errors
+    /// The underlying write or sync failure.
+    pub fn record_terminal(&self, id: &str, outcome: Outcome) -> io::Result<()> {
+        let payload = format!("{id} {}\n", outcome.as_str());
+        {
+            let mut file = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            write_record(&mut file, "done", payload.as_bytes())?;
+            file.sync_data()?;
+        }
+        self.counters.terminal.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Force everything buffered to disk (drain path; appends already
+    /// sync per record, so this is a belt-and-braces barrier).
+    ///
+    /// # Errors
+    /// The underlying sync failure.
+    pub fn flush(&self) -> io::Result<()> {
+        self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner).sync_all()
+    }
+
+    /// The directory this journal lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Counter snapshot for `status`.
+    #[must_use]
+    pub fn snapshot(&self) -> JournalSnapshot {
+        JournalSnapshot {
+            generation: self.generation,
+            appended: self.counters.appended.load(Ordering::Relaxed),
+            terminal: self.counters.terminal.load(Ordering::Relaxed),
+            replayed: self.counters.replayed.load(Ordering::Relaxed),
+            compacted: self.counters.compacted.load(Ordering::Relaxed),
+            torn: self.counters.torn.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Append one checksummed record: a header line then the raw payload.
+fn write_record(file: &mut File, kind: &str, payload: &[u8]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(payload.len() + 64);
+    writeln!(buf, "{kind} {} {:016x}", payload.len(), fnv1a64(payload))?;
+    buf.extend_from_slice(payload);
+    file.write_all(&buf)
+}
+
+/// Replay one generation file into `pending`. Stops at the first torn
+/// record (a crash truncates only the tail of the newest file);
+/// checksum-valid records that fail to parse are dropped and counted
+/// but do not stop the scan — the record boundary is still sound.
+fn parse_generation(bytes: &[u8], pending: &mut Vec<MapRequest>, torn: &AtomicU64) {
+    let mut rest = bytes;
+    let Some(header) = take_line(&mut rest) else {
+        torn.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    if header.trim_end() != HEADER {
+        torn.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    while !rest.is_empty() {
+        let Some((kind, payload)) = take_record(&mut rest) else {
+            torn.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        match kind.as_str() {
+            "admit" => match parse_batch(&payload) {
+                Ok(mut reqs) if reqs.len() == 1 => {
+                    let req = reqs.remove(0);
+                    // A re-admit of an id already pending (a previous
+                    // recovery's rewrite) replaces it in place, keeping
+                    // the original admission order.
+                    match pending.iter_mut().find(|p| p.id == req.id) {
+                        Some(slot) => *slot = req,
+                        None => pending.push(req),
+                    }
+                }
+                _ => {
+                    torn.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            "done" => {
+                if let Some((id, outcome)) = payload.trim_end().rsplit_once(' ') {
+                    if Outcome::from_wire(outcome).is_some() {
+                        pending.retain(|p| p.id != id);
+                        continue;
+                    }
+                }
+                torn.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                torn.fetch_add(1, Ordering::Relaxed);
+                return; // unknown kind: lost framing, stop the file
+            }
+        }
+    }
+}
+
+/// Split one `\n`-terminated line off the front of `rest`. `None` when
+/// no full line remains (torn tail).
+fn take_line(rest: &mut &[u8]) -> Option<String> {
+    let nl = rest.iter().position(|&b| b == b'\n')?;
+    let line = String::from_utf8_lossy(&rest[..nl]).into_owned();
+    *rest = &rest[nl + 1..];
+    Some(line)
+}
+
+/// Split one full record off the front of `rest`, verifying its length
+/// and checksum. `None` on any framing or checksum violation.
+fn take_record(rest: &mut &[u8]) -> Option<(String, String)> {
+    let header = take_line(rest)?;
+    let mut parts = header.split_whitespace();
+    let kind = parts.next()?.to_owned();
+    let len: usize = parts.next()?.parse().ok()?;
+    let sum = u64::from_str_radix(parts.next()?, 16).ok()?;
+    if parts.next().is_some() || rest.len() < len {
+        return None;
+    }
+    let payload = &rest[..len];
+    if fnv1a64(payload) != sum {
+        return None;
+    }
+    *rest = &rest[len..];
+    Some((kind, String::from_utf8_lossy(payload).into_owned()))
+}
+
+/// Fsync a directory so a rename inside it is durable.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapzero_arch::presets;
+    use mapzero_dfg::suite;
+    use std::time::Duration;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "mapzero-journal-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = fs::remove_dir_all(&path);
+            fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn request(id: &str, tenant: &str) -> MapRequest {
+        let mut req = MapRequest::new(
+            id,
+            tenant,
+            suite::by_name("sum").unwrap(),
+            presets::simple_mesh(4, 4),
+        );
+        req.deadline = Some(Duration::from_secs(30));
+        req
+    }
+
+    #[test]
+    fn fresh_journal_replays_nothing() {
+        let tmp = TempDir::new("fresh");
+        let (journal, pending) = Journal::open(&tmp.0).unwrap();
+        assert!(pending.is_empty());
+        let snap = journal.snapshot();
+        assert_eq!((snap.replayed, snap.torn), (0, 0));
+        assert_eq!(snap.generation, 1);
+    }
+
+    #[test]
+    fn unanswered_requests_replay_in_admission_order() {
+        let tmp = TempDir::new("replay");
+        {
+            let (journal, _) = Journal::open(&tmp.0).unwrap();
+            journal.record_admit(&request("a", "t1")).unwrap();
+            journal.record_admit(&request("b", "t2")).unwrap();
+            journal.record_admit(&request("c", "t1")).unwrap();
+            journal.record_terminal("b", Outcome::Mapped).unwrap();
+        }
+        let (journal, pending) = Journal::open(&tmp.0).unwrap();
+        let ids: Vec<&str> = pending.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["a", "c"]);
+        assert_eq!(pending[0], request("a", "t1"), "replay is byte-faithful");
+        assert_eq!(journal.snapshot().replayed, 2);
+        assert_eq!(journal.snapshot().generation, 2);
+    }
+
+    #[test]
+    fn fully_terminal_generation_compacts_to_nothing() {
+        let tmp = TempDir::new("compact");
+        {
+            let (journal, _) = Journal::open(&tmp.0).unwrap();
+            journal.record_admit(&request("a", "t1")).unwrap();
+            journal.record_terminal("a", Outcome::Failed).unwrap();
+        }
+        let (journal, pending) = Journal::open(&tmp.0).unwrap();
+        assert!(pending.is_empty());
+        assert_eq!(journal.snapshot().compacted, 1);
+        // Exactly one file remains: the fresh (empty) generation.
+        let logs: Vec<_> = fs::read_dir(&tmp.0)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".log"))
+            .collect();
+        assert_eq!(logs.len(), 1, "old generations must be deleted");
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_replayed() {
+        let tmp = TempDir::new("torn");
+        let path;
+        {
+            let (journal, _) = Journal::open(&tmp.0).unwrap();
+            journal.record_admit(&request("whole", "t1")).unwrap();
+            journal.record_admit(&request("torn", "t1")).unwrap();
+            path = tmp.0.join("journal_000001.log");
+        }
+        // Truncate mid-payload of the last record: a crash mid-write.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let (journal, pending) = Journal::open(&tmp.0).unwrap();
+        let ids: Vec<&str> = pending.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["whole"], "only the intact record replays");
+        assert_eq!(journal.snapshot().torn, 1);
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_the_file() {
+        let tmp = TempDir::new("bitflip");
+        let path;
+        {
+            let (journal, _) = Journal::open(&tmp.0).unwrap();
+            journal.record_admit(&request("x", "t1")).unwrap();
+            path = tmp.0.join("journal_000001.log");
+        }
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() - 10;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let (journal, pending) = Journal::open(&tmp.0).unwrap();
+        assert!(pending.is_empty(), "a corrupt record must not replay");
+        assert!(journal.snapshot().torn >= 1);
+    }
+
+    #[test]
+    fn generation_numbers_are_monotone_across_recoveries() {
+        let tmp = TempDir::new("monotone");
+        for expect in 1..=3u64 {
+            let (journal, _) = Journal::open(&tmp.0).unwrap();
+            assert_eq!(journal.snapshot().generation, expect);
+            journal.record_admit(&request("r", "t")).unwrap();
+        }
+        // Three opens, each carrying the still-pending `r` forward.
+        let (_, pending) = Journal::open(&tmp.0).unwrap();
+        assert_eq!(pending.len(), 1, "re-admits replace, never duplicate");
+    }
+
+    #[test]
+    fn append_failpoint_surfaces_as_io_error() {
+        let tmp = TempDir::new("failpoint");
+        let (journal, _) = Journal::open(&tmp.0).unwrap();
+        let _guard = failpoint::scoped(
+            "serve.journal.append",
+            1,
+            mapzero_core::failpoint::FailAction::IoError,
+        );
+        assert!(journal.record_admit(&request("x", "t")).is_err());
+        // The failed admit never reached the file: a replay sees nothing.
+        drop(journal);
+        let (_, pending) = Journal::open(&tmp.0).unwrap();
+        assert!(pending.is_empty());
+    }
+
+    #[test]
+    fn done_without_admit_is_harmless() {
+        let tmp = TempDir::new("orphan-done");
+        {
+            let (journal, _) = Journal::open(&tmp.0).unwrap();
+            journal.record_terminal("ghost", Outcome::Internal).unwrap();
+        }
+        let (_, pending) = Journal::open(&tmp.0).unwrap();
+        assert!(pending.is_empty());
+    }
+}

@@ -16,11 +16,25 @@
 //!   time, retry-with-backoff for contained faults, optional SA
 //!   hedging, and worker-death containment (respawn; retry or fail the
 //!   request structurally, never lose it).
+//! - [`journal`] — the write-ahead request journal (`--journal DIR`):
+//!   admitted requests are durable before they are processable, and
+//!   unanswered ones replay exactly once after a crash (DESIGN.md §12).
+//! - [`breaker`] — per-tenant circuit breakers: a tenant serially
+//!   killing workers is answered `breaker_open` instantly while other
+//!   tenants keep mapping.
+//!
+//! Every would-be `mapped` response is re-checked by the independent
+//! validator ([`mapzero_core::validate`]) before it ships; `SIGTERM`
+//! or the admin `shutdown` command drains gracefully (admission stops,
+//! in-flight work finishes, exit 0).
 //!
 //! The `mapzero_serve` binary wires this to stdin/stdout batches or a
-//! Unix socket. Chaos coverage lives in `tests/chaos_isolation.rs`:
-//! with one tenant's requests armed (via failpoints) to panic or stall,
-//! the other tenant's requests still complete in time with bit-identical
+//! Unix socket. Chaos coverage lives in `tests/chaos_isolation.rs`
+//! (tenant isolation under panics and stalls), `tests/durability.rs`
+//! (journal replay, drain, breakers, validator) and
+//! `tests/chaos_recovery.rs` (binary-level kill -9 + replay): with one
+//! tenant's requests armed (via failpoints) to panic or stall, the
+//! other tenant's requests still complete in time with bit-identical
 //! mappings.
 //!
 //! # Example
@@ -42,11 +56,15 @@
 //! ```
 
 pub mod admin;
+pub mod breaker;
+pub mod journal;
 pub mod queue;
 pub mod service;
 pub mod slo;
 pub mod wire;
 
+pub use breaker::{Admission, BreakerConfig, BreakerStatus, CircuitBreakers};
+pub use journal::{Journal, JournalSnapshot};
 pub use queue::{JobQueue, QueueConfig, SubmitError};
 pub use service::{MapService, ServeConfig, ServiceStats};
 pub use slo::{Anomaly, RequestRecord, SloConfig, SloTable};

@@ -220,6 +220,13 @@ impl<T> JobQueue<T> {
         self.lock().lanes.get(tenant).map_or(0, |l| l.inflight)
     }
 
+    /// In-flight jobs across all tenants (the drain path polls this
+    /// together with [`JobQueue::depth`] to know when the pool is idle).
+    #[must_use]
+    pub fn inflight_total(&self) -> usize {
+        self.lock().lanes.values().map(|l| l.inflight).sum()
+    }
+
     /// Per-tenant `(queued, inflight)` occupancy, sorted by tenant name
     /// (the `/status` endpoint's queue view).
     #[must_use]
@@ -273,6 +280,26 @@ mod tests {
         let (_, first) = q.pop().unwrap();
         assert_eq!(first.item, 1, "requeued job runs before newer work");
         assert_eq!(first.attempts, 1);
+    }
+
+    #[test]
+    fn requeue_preserves_the_original_enqueue_time() {
+        // Deadline accounting regression: a job requeued after a worker
+        // death must keep its first admission instant — deadlines and
+        // queue wait are charged from there, not from the requeue.
+        let q = JobQueue::new(cfg(8, 8));
+        q.submit("a", 1, 1).unwrap();
+        let (_, job) = q.pop().unwrap();
+        let original = job.enqueued_at;
+        q.finish("a");
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        q.requeue_front("a", job);
+        let (_, retried) = q.pop().unwrap();
+        assert_eq!(retried.enqueued_at, original);
+        assert!(
+            q.depth() == 0 && q.inflight_total() == 1,
+            "popped job counts as in-flight"
+        );
     }
 
     #[test]

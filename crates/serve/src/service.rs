@@ -30,6 +30,8 @@
 //! networks, and the prediction cache (drained by value per episode — a
 //! panic loses borrowed entries, never corrupts the slot).
 
+use crate::breaker::{Admission, BreakerConfig, CircuitBreakers};
+use crate::journal::{Journal, JournalSnapshot};
 use crate::queue::{Job, JobQueue, QueueConfig, SubmitError};
 use crate::slo::{Anomaly, RequestRecord, SloConfig, SloTable};
 use crate::wire::{MapRequest, MapResponse, Outcome};
@@ -39,17 +41,23 @@ use mapzero_core::mapping::MapError;
 use mapzero_core::mcts::PredictCache;
 use mapzero_core::network::MapZeroNet;
 use mapzero_core::supervise::Budget;
+use mapzero_core::validate;
 use mapzero_core::{Compiler, IiBounds, MapZeroConfig};
 use mapzero_obs::json::Json;
 use mapzero_obs::metrics::registry;
 use mapzero_obs::FlightRecorder;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Service lifecycle: admitting and processing.
+const STATE_RUNNING: u8 = 0;
+/// Draining: admission rejects, in-flight work finishes.
+const STATE_DRAINING: u8 = 1;
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -78,6 +86,8 @@ pub struct ServeConfig {
     pub slo: SloConfig,
     /// Flight-recorder capacity (last N terminal request records).
     pub flight_capacity: usize,
+    /// Per-tenant circuit-breaker tuning.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +103,7 @@ impl Default for ServeConfig {
             expansion_budget: None,
             slo: SloConfig::default(),
             flight_capacity: 256,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -114,6 +125,7 @@ impl ServeConfig {
             expansion_budget: None,
             slo: SloConfig::default(),
             flight_capacity: 64,
+            breaker: BreakerConfig::fast_test(),
         }
     }
 }
@@ -138,6 +150,13 @@ pub struct ServiceStats {
     /// Anomalies detected (shed bursts, worker deaths, deadline-miss
     /// streaks), each of which dumped the flight recorder.
     pub anomalies: AtomicU64,
+    /// Mapped responses rejected by the independent validator (each
+    /// became an `internal` response; healthy runs hold this at zero).
+    pub validate_fail: AtomicU64,
+    /// Admissions rejected fast because the tenant's breaker was open.
+    pub breaker_rejected: AtomicU64,
+    /// Requests re-admitted from the journal at startup.
+    pub replayed: AtomicU64,
 }
 
 struct QueuedRequest {
@@ -166,6 +185,13 @@ struct Shared {
     flight: FlightRecorder<RequestRecord>,
     /// Service start instant (`/status` uptime).
     started_at: Instant,
+    /// Write-ahead request journal (`--journal DIR`); `None` runs
+    /// without durability.
+    journal: Option<Journal>,
+    /// Per-tenant circuit breakers.
+    breakers: CircuitBreakers,
+    /// `STATE_RUNNING` or `STATE_DRAINING`.
+    state: AtomicU8,
 }
 
 /// The running service. Cloneable handle; [`MapService::shutdown`]
@@ -176,11 +202,20 @@ pub struct MapService {
 }
 
 impl MapService {
-    /// Start the worker pool.
+    /// Start the worker pool without a journal.
     #[must_use]
     pub fn start(config: ServeConfig) -> Self {
+        Self::start_with_journal(config, None)
+    }
+
+    /// Start the worker pool with an (optional) write-ahead journal.
+    /// Requests recovered by [`Journal::open`] should be re-admitted via
+    /// [`MapService::submit_replayed`] after this returns.
+    #[must_use]
+    pub fn start_with_journal(config: ServeConfig, journal: Option<Journal>) -> Self {
         let cache_capacity = config.compiler.agent.mcts.cache_capacity.max(2);
         let workers = config.workers.max(1);
+        let breakers = CircuitBreakers::new(config.breaker);
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue),
             nets: Mutex::new(HashMap::new()),
@@ -191,6 +226,9 @@ impl MapService {
             slo: SloTable::new(config.slo),
             flight: FlightRecorder::new(config.flight_capacity),
             started_at: Instant::now(),
+            journal,
+            breakers,
+            state: AtomicU8::new(STATE_RUNNING),
             config,
         });
         for _ in 0..workers {
@@ -204,7 +242,65 @@ impl MapService {
     /// after shutdown — arrives on `respond`. Returns whether the
     /// request was admitted into the queue.
     pub fn submit(&self, request: MapRequest, respond: &Sender<MapResponse>) -> bool {
+        self.submit_inner(request, respond, true)
+    }
+
+    /// Re-admit a request recovered from the journal. Identical to
+    /// [`MapService::submit`] except the admit record is *not*
+    /// re-appended: [`Journal::open`] already carried it into the
+    /// current generation during compaction.
+    pub fn submit_replayed(&self, request: MapRequest, respond: &Sender<MapResponse>) -> bool {
+        self.shared.stats.replayed.fetch_add(1, Ordering::Relaxed);
+        mapzero_obs::counter!("serve.journal.replayed");
+        self.submit_inner(request, respond, false)
+    }
+
+    fn submit_inner(
+        &self,
+        request: MapRequest,
+        respond: &Sender<MapResponse>,
+        journal_admit: bool,
+    ) -> bool {
         mapzero_core::failpoint!("serve.enqueue");
+        // Draining: answer fast, never queue — in-flight work is what
+        // the drain is waiting on.
+        if self.shared.state.load(Ordering::SeqCst) != STATE_RUNNING {
+            let mut response = rejected_response(&request.id, &request.tenant, 0);
+            response.queue_depth = None;
+            response.error = Some("service is draining".to_owned());
+            mapzero_obs::counter!("serve.drain.rejected");
+            account_and_send(&self.shared, respond, response, None);
+            return false;
+        }
+        // Circuit breaker: a tenant that has been killing workers is
+        // answered from here, without touching the queue or a worker.
+        match self.shared.breakers.admit(&request.tenant, Instant::now()) {
+            Admission::Reject => {
+                let mut response = rejected_response(&request.id, &request.tenant, 0);
+                response.queue_depth = None;
+                response.error = Some("breaker_open: tenant circuit breaker is open".to_owned());
+                self.shared.stats.breaker_rejected.fetch_add(1, Ordering::Relaxed);
+                registry().counter_family("serve.breaker.rejected").with(&request.tenant).inc();
+                account_and_send(&self.shared, respond, response, None);
+                return false;
+            }
+            Admission::Probe => {
+                mapzero_obs::counter!("serve.breaker.probe");
+            }
+            Admission::Allow => {}
+        }
+        // Write-ahead: the admit record is durable before the request
+        // becomes processable, so a crash after this point replays it.
+        // A journal I/O failure degrades to an unjournaled admission
+        // (counted) rather than refusing service.
+        if journal_admit {
+            if let Some(journal) = &self.shared.journal {
+                if let Err(e) = journal.record_admit(&request) {
+                    mapzero_obs::counter!("serve.journal.error");
+                    eprintln!("serve: journal append failed for `{}`: {e}", request.id);
+                }
+            }
+        }
         let tenant = request.tenant.clone();
         let weight = request.weight;
         let queued = QueuedRequest { request, respond: respond.clone(), worker_deaths: 0 };
@@ -292,6 +388,80 @@ impl MapService {
         self.shared.flight.snapshot()
     }
 
+    /// Mark one response as delivered to the client. Called by the
+    /// transport *after* the response line is written and flushed — not
+    /// at accounting time — so a crash between compute and delivery
+    /// still replays the request (at-least-once delivery, exactly-once
+    /// across the journal's admit/terminal pair). No-op without a
+    /// journal.
+    pub fn mark_delivered(&self, response: &MapResponse) {
+        if let Some(journal) = &self.shared.journal {
+            if let Err(e) = journal.record_terminal(&response.id, response.outcome) {
+                mapzero_obs::counter!("serve.journal.error");
+                eprintln!("serve: journal terminal append failed for `{}`: {e}", response.id);
+            }
+        }
+    }
+
+    /// Stop admission (new submissions are answered `rejected` with a
+    /// drain reason) while letting queued and in-flight work finish.
+    /// Returns whether this call initiated the drain (idempotent).
+    pub fn begin_drain(&self) -> bool {
+        let first = self
+            .shared
+            .state
+            .compare_exchange(STATE_RUNNING, STATE_DRAINING, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
+        if first {
+            mapzero_obs::counter!("serve.drain.begin");
+            eprintln!("serve: draining — admission stopped, finishing in-flight work");
+        }
+        first
+    }
+
+    /// Whether the service is draining.
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.shared.state.load(Ordering::SeqCst) != STATE_RUNNING
+    }
+
+    /// Block until the queue and every in-flight job are empty, or the
+    /// deadline passes. Returns `true` when fully drained.
+    #[must_use]
+    pub fn await_drained(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.shared.queue.depth() == 0 && self.shared.queue.inflight_total() == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Fsync the journal (drain/shutdown hygiene). No-op without one.
+    pub fn flush_journal(&self) {
+        if let Some(journal) = &self.shared.journal {
+            if let Err(e) = journal.flush() {
+                eprintln!("serve: journal flush failed: {e}");
+            }
+        }
+    }
+
+    /// Journal counters, when a journal is attached.
+    #[must_use]
+    pub fn journal_snapshot(&self) -> Option<JournalSnapshot> {
+        self.shared.journal.as_ref().map(Journal::snapshot)
+    }
+
+    /// Per-tenant circuit-breaker states, sorted by tenant.
+    #[must_use]
+    pub fn breaker_status(&self) -> Vec<crate::breaker::BreakerStatus> {
+        self.shared.breakers.status()
+    }
+
     /// The `/status` document: uptime, queue depth, worker liveness,
     /// service counters, cache hit rates, flight-recorder occupancy,
     /// and a per-tenant object merging queue occupancy with the SLO
@@ -332,6 +502,32 @@ impl MapService {
                 (name, Json::obj(fields))
             })
             .collect();
+        let breakers: Vec<(String, Json)> = shared
+            .breakers
+            .status()
+            .into_iter()
+            .map(|b| {
+                (
+                    b.tenant,
+                    Json::obj(vec![
+                        ("state", Json::from(b.state)),
+                        ("failures", Json::from(u64::from(b.failures))),
+                        ("trips", Json::from(b.trips)),
+                    ]),
+                )
+            })
+            .collect();
+        let journal = match shared.journal.as_ref().map(Journal::snapshot) {
+            Some(j) => Json::obj(vec![
+                ("generation", Json::from(j.generation)),
+                ("appended", Json::from(j.appended)),
+                ("terminal", Json::from(j.terminal)),
+                ("replayed", Json::from(j.replayed)),
+                ("compacted", Json::from(j.compacted)),
+                ("torn", Json::from(j.torn)),
+            ]),
+            None => Json::Null,
+        };
         let reg = registry();
         Json::obj(vec![
             (
@@ -339,6 +535,10 @@ impl MapService {
                 Json::from(
                     u64::try_from(shared.started_at.elapsed().as_micros()).unwrap_or(u64::MAX),
                 ),
+            ),
+            (
+                "state",
+                Json::from(if self.draining() { "draining" } else { "running" }),
             ),
             ("queue_depth", Json::from(shared.queue.depth() as u64)),
             (
@@ -357,8 +557,13 @@ impl MapService {
                     ("shed", load(&stats.shed)),
                     ("retries", load(&stats.retries)),
                     ("anomalies", load(&stats.anomalies)),
+                    ("validate_fail", load(&stats.validate_fail)),
+                    ("breaker_rejected", load(&stats.breaker_rejected)),
+                    ("replayed", load(&stats.replayed)),
                 ]),
             ),
+            ("journal", journal),
+            ("breakers", Json::Obj(breakers)),
             (
                 "cache",
                 Json::obj(vec![
@@ -488,6 +693,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 shared.stats.worker_deaths.fetch_add(1, Ordering::Relaxed);
                 mapzero_obs::counter!("serve.worker.death");
                 note_anomaly(shared, &Anomaly::WorkerDeath);
+                record_breaker_failure(shared, &tenant);
                 // Account the respawn and start the replacement before
                 // handing the request back: the retry's response must
                 // not be able to outrun the death bookkeeping (a caller
@@ -588,8 +794,32 @@ fn account_and_send(
         {
             note_anomaly(shared, &anomaly);
         }
+        // Breaker verdict for this admitted request. Worker deaths were
+        // already recorded at death time (`worker_deaths == 0` gate
+        // avoids double-counting a death that ended `internal`); honest
+        // negative answers (failed/timeout/deadline) count as successes
+        // — they close a half-open probe instead of punishing hard
+        // kernels.
+        match response.outcome {
+            Outcome::Internal if response.worker_deaths == 0 => {
+                record_breaker_failure(shared, &response.tenant);
+            }
+            Outcome::Mapped | Outcome::Failed | Outcome::Timeout | Outcome::Deadline => {
+                shared.breakers.record_success(&response.tenant);
+            }
+            _ => {}
+        }
     }
     let _ = respond.send(response);
+}
+
+/// Record one tenant-caused failure; when it trips the breaker open,
+/// surface the transition as an anomaly (flight-recorder dump included).
+fn record_breaker_failure(shared: &Shared, tenant: &str) {
+    if let Some(failures) = shared.breakers.record_failure(tenant, Instant::now()) {
+        registry().counter_family("serve.breaker.open").with(tenant).inc();
+        note_anomaly(shared, &Anomaly::BreakerOpen { tenant: tenant.to_owned(), failures });
+    }
 }
 
 /// Count an anomaly and dump the flight recorder to stderr: the last N
@@ -706,11 +936,52 @@ fn process_job(shared: &Shared, compiler: &mut Compiler, job: &Job<QueuedRequest
     response.retries = retries;
     match result {
         Ok(report) => {
-            response.outcome = Outcome::Mapped;
             response.engine = Some(report.engine.clone());
             response.mii = Some(report.mii);
-            response.achieved_ii = report.achieved_ii();
-            response.mapping = report.mapping;
+            match report.mapping {
+                Some(mut mapping) => {
+                    // The `validate.corrupt` failpoint damages the
+                    // mapping *after* the compiler produced it — the
+                    // only way to prove the validator gate fires, since
+                    // a correct compiler never feeds it garbage.
+                    if failpoint::trigger("validate.corrupt").is_err() {
+                        validate::corrupt(&mut mapping);
+                    }
+                    let ii = mapping.ii;
+                    match validate::check_mapping(&req.dfg, &req.cgra, &mapping, ii) {
+                        Ok(()) => {
+                            response.outcome = Outcome::Mapped;
+                            response.achieved_ii = Some(ii);
+                            response.mapping = Some(mapping);
+                        }
+                        Err(violations) => {
+                            shared.stats.validate_fail.fetch_add(1, Ordering::Relaxed);
+                            mapzero_obs::counter!("serve.validate.fail");
+                            note_anomaly(
+                                shared,
+                                &Anomaly::InvalidMapping {
+                                    id: req.id.clone(),
+                                    tenant: req.tenant.clone(),
+                                },
+                            );
+                            response.outcome = Outcome::Internal;
+                            response.error = Some(format!(
+                                "mapping rejected by independent validation ({} violation(s), first: {})",
+                                violations.len(),
+                                violations.first().map_or("?", String::as_str),
+                            ));
+                        }
+                    }
+                }
+                None => {
+                    // The compiler can answer Ok with no mapping (II
+                    // window exhausted without a legal result); that is
+                    // a structural failure, not a success.
+                    response.outcome = Outcome::Failed;
+                    response.error =
+                        Some("no mapping produced within the II window".to_owned());
+                }
+            }
         }
         Err(MapError::Unmappable(msg)) => {
             response.outcome = Outcome::Failed;

@@ -64,6 +64,23 @@ pub enum Anomaly {
         /// Consecutive misses.
         misses: u32,
     },
+    /// A tenant's circuit breaker tripped open: its failures crossed
+    /// the threshold and its requests are now fast-rejected.
+    BreakerOpen {
+        /// The tenant whose breaker opened.
+        tenant: String,
+        /// Failures inside the sliding window at the moment of the trip.
+        failures: u32,
+    },
+    /// The independent validator rejected a mapping the mapper claimed
+    /// was legal — the response was downgraded to `internal` and the
+    /// mapping never left the process.
+    InvalidMapping {
+        /// The request whose mapping failed validation.
+        id: String,
+        /// The tenant billed.
+        tenant: String,
+    },
 }
 
 impl Anomaly {
@@ -75,6 +92,12 @@ impl Anomaly {
             Anomaly::WorkerDeath => "worker death".to_owned(),
             Anomaly::DeadlineMissStreak { tenant, misses } => {
                 format!("deadline-miss streak: tenant {tenant} missed {misses} in a row")
+            }
+            Anomaly::BreakerOpen { tenant, failures } => {
+                format!("circuit breaker open: tenant {tenant} after {failures} failures")
+            }
+            Anomaly::InvalidMapping { id, tenant } => {
+                format!("invalid mapping rejected by validator: request {id} (tenant {tenant})")
             }
         }
     }

@@ -144,6 +144,20 @@ impl Outcome {
             Outcome::Internal => "internal",
         }
     }
+
+    /// Parse a wire name back (the journal's terminal records).
+    #[must_use]
+    pub fn from_wire(s: &str) -> Option<Outcome> {
+        Some(match s {
+            "mapped" => Outcome::Mapped,
+            "failed" => Outcome::Failed,
+            "timeout" => Outcome::Timeout,
+            "deadline" => Outcome::Deadline,
+            "rejected" => Outcome::Rejected,
+            "internal" => Outcome::Internal,
+            _ => return None,
+        })
+    }
 }
 
 /// One response record, emitted as a single JSONL line.
@@ -253,11 +267,34 @@ pub struct WireError {
     pub line: usize,
     /// What went wrong.
     pub message: String,
+    /// The id of the request being parsed when the error surfaced, when
+    /// its header had already been read — lets a client correlate a
+    /// structured parse-error response with the request it killed.
+    pub request_id: Option<String>,
+}
+
+impl WireError {
+    /// The structured JSONL error object the transports emit in place
+    /// of a response when a batch is malformed.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(&str, Json)> = Vec::new();
+        if let Some(id) = &self.request_id {
+            fields.push(("id", Json::from(id.as_str())));
+        }
+        fields.push(("outcome", Json::from("rejected")));
+        fields.push(("error", Json::from(format!("parse error: {self}").as_str())));
+        fields.push(("line", Json::from(self.line as u64)));
+        Json::obj(fields)
+    }
 }
 
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        match &self.request_id {
+            Some(id) => write!(f, "request `{id}`: line {}: {}", self.line, self.message),
+            None => write!(f, "line {}: {}", self.line, self.message),
+        }
     }
 }
 
@@ -288,24 +325,32 @@ pub struct RequestReader<R> {
     /// Ids minted for bare `request` headers so far (see
     /// [`RequestReader::next_request`]).
     minted: u64,
+    /// Id of the block being parsed, once its header has been read —
+    /// attached to errors so clients can tell which request died.
+    current: Option<String>,
 }
 
 impl<R: BufRead> RequestReader<R> {
     /// Wrap a buffered reader.
     pub fn new(input: R) -> Self {
-        RequestReader { input, line: 0, minted: 0 }
+        RequestReader { input, line: 0, minted: 0, current: None }
     }
 
     fn err(&self, message: impl Into<String>) -> WireError {
-        WireError { line: self.line, message: message.into() }
+        WireError {
+            line: self.line,
+            message: message.into(),
+            request_id: self.current.clone(),
+        }
     }
 
     fn read_line(&mut self) -> Result<Option<String>, WireError> {
         let mut buf = String::new();
-        let n = self
-            .input
-            .read_line(&mut buf)
-            .map_err(|e| WireError { line: self.line + 1, message: format!("i/o: {e}") })?;
+        let n = self.input.read_line(&mut buf).map_err(|e| WireError {
+            line: self.line + 1,
+            message: format!("i/o: {e}"),
+            request_id: self.current.clone(),
+        })?;
         if n == 0 {
             return Ok(None);
         }
@@ -318,6 +363,7 @@ impl<R: BufRead> RequestReader<R> {
     /// # Errors
     /// Returns [`WireError`] on malformed input or a read failure.
     pub fn next_request(&mut self) -> Result<Option<MapRequest>, WireError> {
+        self.current = None;
         // Seek the `request` header, skipping blanks and comments.
         let id = loop {
             let Some(raw) = self.read_line()? else {
@@ -327,8 +373,13 @@ impl<R: BufRead> RequestReader<R> {
             if line.is_empty() {
                 continue;
             }
-            let Some(rest) = line.strip_prefix("request") else {
-                return Err(self.err(format!("expected `request <id>`, got `{line}`")));
+            // The keyword must be exactly `request`: `requestfoo` is an
+            // unknown keyword, not a request named `foo`.
+            let rest = match line.strip_prefix("request") {
+                Some(r) if r.is_empty() || r.starts_with(char::is_whitespace) => r,
+                _ => {
+                    return Err(self.err(format!("expected `request <id>`, got `{line}`")));
+                }
             };
             let id = rest.trim();
             if id.contains(char::is_whitespace) {
@@ -343,6 +394,7 @@ impl<R: BufRead> RequestReader<R> {
             }
             break id.to_owned();
         };
+        self.current = Some(id.clone());
 
         let mut tenant: Option<(String, u32)> = None;
         let mut deadline = None;
@@ -354,7 +406,7 @@ impl<R: BufRead> RequestReader<R> {
 
         loop {
             let Some(raw) = self.read_line()? else {
-                return Err(self.err(format!("request `{id}`: missing `end request`")));
+                return Err(self.err("missing `end request`"));
             };
             let line = raw.split('#').next().unwrap_or("").trim().to_owned();
             if line.is_empty() {
@@ -424,13 +476,13 @@ impl<R: BufRead> RequestReader<R> {
         }
 
         let (tenant, weight) =
-            tenant.ok_or_else(|| self.err(format!("request `{id}`: missing `tenant`")))?;
-        let dfg = dfg.ok_or_else(|| self.err(format!("request `{id}`: missing dfg block")))?;
+            tenant.ok_or_else(|| self.err("missing `tenant`"))?;
+        let dfg = dfg.ok_or_else(|| self.err("missing dfg block"))?;
         let cgra =
-            cgra.ok_or_else(|| self.err(format!("request `{id}`: missing cgra block")))?;
+            cgra.ok_or_else(|| self.err("missing cgra block"))?;
         if let (Some(lo), Some(hi)) = (ii_min, ii_max) {
             if lo > hi {
-                return Err(self.err(format!("request `{id}`: ii_min {lo} > ii_max {hi}")));
+                return Err(self.err(format!("ii_min {lo} > ii_max {hi}")));
             }
         }
         Ok(Some(MapRequest { id, tenant, weight, deadline, ii_min, ii_max, fault, dfg, cgra }))

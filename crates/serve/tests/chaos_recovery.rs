@@ -1,0 +1,126 @@
+//! Kill -9 crash-recovery chaos, at the binary level: a process abort
+//! mid-batch (the `serve.journal.post_admit` failpoint, firing after
+//! the third admit record's fsync) must lose nothing it admitted —
+//! the next start with the same `--journal` directory replays exactly
+//! the three durable requests, answers each exactly once, and a third
+//! start finds a compacted journal with nothing left to do.
+
+use mapzero_arch::presets;
+use mapzero_dfg::suite;
+use mapzero_serve::wire::MapRequest;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_mapzero_serve");
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new() -> Self {
+        let path = std::env::temp_dir()
+            .join(format!("mapzero-chaos-recovery-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp journal dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn batch(n: usize) -> String {
+    (0..n)
+        .map(|i| {
+            let kernel = if i % 2 == 0 { "sum" } else { "mac" };
+            let mut req = MapRequest::new(
+                &format!("r-{i}"),
+                "acme",
+                suite::by_name(kernel).unwrap(),
+                presets::hrea(),
+            );
+            req.deadline = Some(Duration::from_secs(60));
+            req.emit()
+        })
+        .collect()
+}
+
+/// Run the serve binary over `input`, returning (exit success, stdout).
+fn run_serve(journal: &Path, input: &str, failpoints: Option<&str>) -> (bool, String) {
+    let mut cmd = Command::new(BIN);
+    cmd.arg("--journal")
+        .arg(journal)
+        .arg("--workers")
+        .arg("2")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    match failpoints {
+        Some(spec) => cmd.env("MAPZERO_FAILPOINTS", spec),
+        None => cmd.env_remove("MAPZERO_FAILPOINTS"),
+    };
+    let mut child = cmd.spawn().expect("spawn mapzero_serve");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("feed batch");
+    let out = child.wait_with_output().expect("binary runs to completion");
+    (out.status.success(), String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+/// The ids of response lines in completion order.
+fn response_ids(stdout: &str) -> Vec<String> {
+    stdout
+        .lines()
+        .filter(|l| l.contains("\"outcome\""))
+        .map(|l| {
+            let rest = l.split("\"id\":\"").nth(1).expect("response line carries an id");
+            rest.split('"').next().expect("closing quote").to_owned()
+        })
+        .collect()
+}
+
+#[test]
+fn aborted_batch_replays_exactly_once_then_compacts_away() {
+    let dir = TempDir::new();
+
+    // Run 1: the process aborts (kill -9 semantics) right after the
+    // third admit record hit the disk — no response was written.
+    let (ok, stdout) =
+        run_serve(&dir.0, &batch(5), Some("global:serve.journal.post_admit=abort@3"));
+    assert!(!ok, "an aborted process does not exit cleanly");
+    assert!(
+        response_ids(&stdout).is_empty(),
+        "no response outran the crash: {stdout}"
+    );
+
+    // Run 2: same journal, empty stdin. Exactly the three durable
+    // admits replay; each is answered exactly once, and mapped.
+    let (ok, stdout) = run_serve(&dir.0, "", None);
+    assert!(ok, "recovery run exits 0");
+    let mut ids = response_ids(&stdout);
+    ids.sort();
+    assert_eq!(ids, vec!["r-0", "r-1", "r-2"], "stdout: {stdout}");
+    for line in stdout.lines().filter(|l| l.contains("\"outcome\"")) {
+        assert!(line.contains("\"outcome\":\"mapped\""), "replayed request maps: {line}");
+    }
+
+    // Run 3: every admit has its terminal mark — nothing replays, and
+    // recovery compacted the directory down to one generation file.
+    let (ok, stdout) = run_serve(&dir.0, "", None);
+    assert!(ok, "quiet run exits 0");
+    assert!(response_ids(&stdout).is_empty(), "nothing left to replay: {stdout}");
+    let logs: Vec<_> = std::fs::read_dir(&dir.0)
+        .expect("journal dir listable")
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("journal_"))
+        .collect();
+    assert_eq!(logs.len(), 1, "old generations deleted: {logs:?}");
+}

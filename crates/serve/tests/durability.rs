@@ -1,0 +1,289 @@
+//! Durability, drain, breaker and validator acceptance — the
+//! in-process half (the binary-level kill -9 chaos lives in
+//! `chaos_recovery.rs`):
+//!
+//! - journaled requests whose responses were delivered do not replay;
+//!   an undelivered one replays exactly once on the next open
+//! - a drain stops admission (fast `rejected`), finishes in-flight
+//!   work, and the queue reaches empty under the deadline
+//! - one tenant serially killing workers trips its breaker; its
+//!   requests are answered `breaker_open` instantly while another
+//!   tenant's requests keep mapping
+//! - the independent validator turns a corrupted mapping into an
+//!   `internal` response and counts `serve.validate.fail`
+//! - a worker-death retry keeps the original enqueue-time accounting
+//!   (queue wait spans the first attempt, not just the requeue)
+//!
+//! Tests that arm process-global failpoints serialize on one mutex.
+
+use mapzero_arch::presets;
+use mapzero_core::failpoint::{self, FailAction};
+use mapzero_dfg::suite;
+use mapzero_serve::breaker::BreakerConfig;
+use mapzero_serve::journal::Journal;
+use mapzero_serve::service::{MapService, ServeConfig};
+use mapzero_serve::wire::{MapRequest, Outcome};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A self-cleaning journal directory under the system temp dir.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "mapzero-durability-{}-{:?}-{name}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp journal dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn request(id: &str, tenant: &str, kernel: &str) -> MapRequest {
+    let mut req = MapRequest::new(id, tenant, suite::by_name(kernel).unwrap(), presets::hrea());
+    req.deadline = Some(Duration::from_secs(30));
+    req
+}
+
+#[test]
+fn delivered_requests_do_not_replay_undelivered_ones_do() {
+    let _guard = serial();
+    let dir = TempDir::new("replay");
+
+    // Run 1: two requests; only the first's response is marked
+    // delivered (the "crash" happens between computing and writing the
+    // second response line).
+    let (journal, pending) = Journal::open(&dir.0).expect("fresh journal");
+    assert!(pending.is_empty(), "fresh journal has nothing to replay");
+    let service = MapService::start_with_journal(ServeConfig::fast_test(), Some(journal));
+    let (tx, rx) = mpsc::channel();
+    assert!(service.submit(request("d-1", "acme", "sum"), &tx));
+    assert!(service.submit(request("d-2", "acme", "mac"), &tx));
+    let mut delivered = 0;
+    for _ in 0..2 {
+        let resp = rx.recv().expect("exactly one response per admitted request");
+        assert_eq!(resp.outcome, Outcome::Mapped, "{}: {:?}", resp.id, resp.error);
+        if resp.id == "d-1" {
+            service.mark_delivered(&resp);
+            delivered += 1;
+        }
+    }
+    assert_eq!(delivered, 1);
+    service.shutdown();
+
+    // Run 2 (the restart): exactly the undelivered request replays,
+    // byte-faithfully enough to map again; after delivery and another
+    // restart nothing is left.
+    let (journal, pending) = Journal::open(&dir.0).expect("reopen journal");
+    assert_eq!(pending.len(), 1, "only the undelivered request replays");
+    assert_eq!(pending[0].id, "d-2");
+    let service = MapService::start_with_journal(ServeConfig::fast_test(), Some(journal));
+    let (tx, rx) = mpsc::channel();
+    assert!(service.submit_replayed(pending.into_iter().next().unwrap(), &tx));
+    let resp = rx.recv().expect("replayed request is answered");
+    assert_eq!(resp.outcome, Outcome::Mapped, "{:?}", resp.error);
+    assert_eq!(resp.id, "d-2");
+    service.mark_delivered(&resp);
+    assert_eq!(service.stats().replayed.load(Ordering::Relaxed), 1);
+    service.shutdown();
+
+    let (_journal, pending) = Journal::open(&dir.0).expect("third open");
+    assert!(pending.is_empty(), "delivered replay does not replay again: {pending:?}");
+}
+
+#[test]
+fn drain_stops_admission_and_finishes_inflight_work() {
+    let _guard = serial();
+    let service = MapService::start(ServeConfig::fast_test());
+    let (tx, rx) = mpsc::channel();
+    for i in 0..3 {
+        assert!(service.submit(request(&format!("g-{i}"), "acme", "sum"), &tx));
+    }
+    assert!(service.begin_drain(), "first drain call initiates");
+    assert!(!service.begin_drain(), "drain is idempotent");
+    assert!(service.draining());
+
+    // Admission is now closed: a fast rejected response, not a queue
+    // slot.
+    assert!(!service.submit(request("late", "acme", "sum"), &tx));
+    // In-flight and queued work still completes.
+    assert!(service.await_drained(Duration::from_secs(60)), "queue drains under deadline");
+
+    let mut outcomes = std::collections::HashMap::new();
+    for _ in 0..4 {
+        let resp = rx.recv().expect("every submit is answered");
+        outcomes.insert(resp.id.clone(), (resp.outcome, resp.error.clone()));
+    }
+    for i in 0..3 {
+        let (outcome, error) = &outcomes[&format!("g-{i}")];
+        assert_eq!(*outcome, Outcome::Mapped, "g-{i}: {error:?}");
+    }
+    let (outcome, error) = &outcomes["late"];
+    assert_eq!(*outcome, Outcome::Rejected);
+    assert!(
+        error.as_deref().is_some_and(|e| e.contains("draining")),
+        "drain rejection names its reason: {error:?}"
+    );
+    let status = service.status_json();
+    assert!(status.to_string_compact().contains("\"state\":\"draining\""));
+
+    // Per-tenant reconciliation on the quiesced service: every admitted
+    // request reached exactly one terminal outcome.
+    let acme = status.get("tenants").and_then(|t| t.get("acme")).expect("acme tenant in status");
+    let field = |k: &str| acme.get(k).and_then(mapzero_obs::json::Json::as_f64).unwrap_or(-1.0);
+    let admitted = field("admitted");
+    let terminal = field("mapped")
+        + field("failed")
+        + field("timeout")
+        + field("deadline")
+        + field("internal");
+    assert!(admitted >= 3.0, "status: {status:?}");
+    assert!(
+        (admitted - terminal).abs() < f64::EPSILON,
+        "admitted {admitted} == terminal {terminal}"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn breaker_isolates_a_worker_killing_tenant() {
+    let _guard = serial();
+    let service = MapService::start(ServeConfig {
+        max_retries: 0, // one death = one terminal internal response
+        breaker: BreakerConfig {
+            threshold: 2,
+            window: Duration::from_secs(30),
+            cooldown: Duration::from_secs(120), // stays open for the test
+        },
+        ..ServeConfig::fast_test()
+    });
+    let (tx, rx) = mpsc::channel();
+
+    // Two requests whose processing kills the worker: two deaths, the
+    // second trips the breaker. Sequential submit/recv keeps the death
+    // order deterministic.
+    for i in 0..2 {
+        let mut req = request(&format!("kill-{i}"), "acme", "mac");
+        req.fault = Some("serve.worker.pre_map=panic".to_owned());
+        assert!(service.submit(req, &tx));
+        let resp = rx.recv().expect("answered");
+        assert_eq!(resp.outcome, Outcome::Internal, "death response: {:?}", resp.error);
+        assert_eq!(resp.worker_deaths, 1);
+    }
+    let status = service.breaker_status();
+    assert_eq!(status.len(), 1);
+    assert_eq!(status[0].tenant, "acme");
+    assert_eq!(status[0].state, "open");
+    assert_eq!(status[0].trips, 1);
+
+    // Tenant A is now answered from the breaker, instantly.
+    assert!(!service.submit(request("blocked", "acme", "sum"), &tx));
+    let resp = rx.recv().expect("breaker rejection is still a response");
+    assert_eq!(resp.outcome, Outcome::Rejected);
+    assert!(
+        resp.error.as_deref().is_some_and(|e| e.contains("breaker_open")),
+        "rejection names the breaker: {:?}",
+        resp.error
+    );
+    assert_eq!(service.stats().breaker_rejected.load(Ordering::Relaxed), 1);
+
+    // Tenant B is untouched: same pool, still maps.
+    assert!(service.submit(request("healthy", "beta", "sum"), &tx));
+    let resp = rx.recv().expect("answered");
+    assert_eq!(resp.outcome, Outcome::Mapped, "{:?}", resp.error);
+
+    let status = service.status_json().to_string_compact();
+    assert!(status.contains("\"breakers\""), "{status}");
+    assert!(status.contains("\"state\":\"open\""), "{status}");
+    service.shutdown();
+}
+
+#[test]
+fn corrupted_mapping_is_rejected_by_the_validator() {
+    let _guard = serial();
+    let service = MapService::start(ServeConfig::fast_test());
+    let (tx, rx) = mpsc::channel();
+
+    // `validate.corrupt` (io action as a pure signal) damages the
+    // mapping after the compiler produced it; the independent check
+    // must catch it and refuse to ship it.
+    let mut req = request("corrupt", "acme", "sum");
+    req.fault = Some("validate.corrupt=io".to_owned());
+    assert!(service.submit(req, &tx));
+    let resp = rx.recv().expect("answered");
+    assert_eq!(resp.outcome, Outcome::Internal, "{:?}", resp.error);
+    assert!(resp.mapping.is_none(), "an invalid mapping is never shipped");
+    assert!(
+        resp.error.as_deref().is_some_and(|e| e.contains("independent validation")),
+        "{:?}",
+        resp.error
+    );
+    assert_eq!(service.stats().validate_fail.load(Ordering::Relaxed), 1);
+    let flight = service.flight_snapshot();
+    assert!(flight.iter().any(|r| r.id == "corrupt"), "terminal record retained");
+
+    // A healthy request on the same service still maps; the counter
+    // stays where it was.
+    assert!(service.submit(request("clean", "acme", "sum"), &tx));
+    let resp = rx.recv().expect("answered");
+    assert_eq!(resp.outcome, Outcome::Mapped, "{:?}", resp.error);
+    assert_eq!(service.stats().validate_fail.load(Ordering::Relaxed), 1);
+    service.shutdown();
+}
+
+#[test]
+fn death_retry_keeps_original_enqueue_time_accounting() {
+    let _guard = serial();
+    // One worker: a slow request in front guarantees the victim waits
+    // in the queue before its first (fatal) attempt.
+    let service = MapService::start(ServeConfig { workers: 1, ..ServeConfig::fast_test() });
+    let (tx, rx) = mpsc::channel();
+
+    let mut blocker = request("blocker", "acme", "sum");
+    blocker.fault = Some("infer.predict=delay:250".to_owned());
+    assert!(service.submit(blocker, &tx));
+    std::thread::sleep(Duration::from_millis(50)); // worker picked it up
+
+    // First attempt of the victim dies (one-shot global arm); the
+    // requeued second attempt must still be accounted from the
+    // ORIGINAL enqueue instant — the same field that anchors its
+    // deadline — so its queue wait spans the blocker and the death.
+    failpoint::arm_global("serve.worker.pre_map", 1, FailAction::Panic);
+    assert!(service.submit(request("victim", "acme", "mac"), &tx));
+
+    let mut victim = None;
+    for _ in 0..2 {
+        let resp = rx.recv().expect("answered");
+        if resp.id == "victim" {
+            victim = Some(resp);
+        }
+    }
+    failpoint::disarm_global("serve.worker.pre_map");
+    let victim = victim.expect("victim answered");
+    assert_eq!(victim.outcome, Outcome::Mapped, "{:?}", victim.error);
+    assert_eq!(victim.worker_deaths, 1, "first attempt died");
+    assert!(
+        victim.queue_wait >= Duration::from_millis(150),
+        "queue wait measured from the original enqueue, got {:?}",
+        victim.queue_wait
+    );
+    service.shutdown();
+}

@@ -5,7 +5,7 @@
 use mapzero_arch::{presets, Capability, Cgra, CgraBuilder, Interconnect};
 use mapzero_dfg::random::{random_dfg, RandomDfgConfig};
 use mapzero_dfg::Dfg;
-use mapzero_serve::wire::{parse_batch, MapRequest};
+use mapzero_serve::wire::{parse_batch, MapRequest, RequestReader};
 use proptest::prelude::*;
 use std::time::Duration;
 
@@ -110,4 +110,87 @@ proptest! {
         let batch = parse_batch(&req.emit()).unwrap();
         prop_assert_eq!(batch, vec![req]);
     }
+
+    // ---- adversarial input: the parser must never panic ------------
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parser(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048)
+    ) {
+        let mut reader = RequestReader::new(std::io::Cursor::new(bytes));
+        // Bounded pull: garbage either parses (astronomically unlikely),
+        // errors, or ends the stream — it must not panic or loop.
+        for _ in 0..64 {
+            match reader.next_request() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    let line = e.to_json().to_string_compact();
+                    prop_assert!(line.contains("\"outcome\":\"rejected\""));
+                    prop_assert!(line.contains("parse error"));
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_requests_error_cleanly(req in request_strategy(), frac in 0.0f64..1.0) {
+        let text = req.emit();
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let cut = ((text.len() as f64) * frac) as usize;
+        let mut truncated = text.as_bytes()[..cut.min(text.len())].to_vec();
+        // Arbitrary prefixes of a valid request: parse, error, or EOF.
+        let mut reader = RequestReader::new(std::io::Cursor::new(truncated.clone()));
+        let _ = reader.next_request();
+        // And with a flipped byte somewhere in the prefix.
+        if !truncated.is_empty() {
+            let idx = cut / 2 % truncated.len();
+            truncated[idx] ^= 0x55;
+            let mut reader = RequestReader::new(std::io::Cursor::new(truncated));
+            let _ = reader.next_request();
+        }
+    }
+
+    #[test]
+    fn line_mangled_requests_never_panic(
+        req in request_strategy(),
+        drop_line in 0usize..40,
+        dup_line in 0usize..40,
+    ) {
+        let text = req.emit();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut mangled = String::new();
+        for (i, line) in lines.iter().enumerate() {
+            if i == drop_line % lines.len() {
+                continue; // drop one line
+            }
+            mangled.push_str(line);
+            mangled.push('\n');
+            if i == dup_line % lines.len() {
+                mangled.push_str(line); // duplicate another
+                mangled.push('\n');
+            }
+        }
+        let _ = parse_batch(&mangled);
+    }
+}
+
+/// A parse error after a readable header carries the offending request
+/// id, and the structured JSONL form exposes it to the client.
+#[test]
+fn parse_errors_identify_the_offending_request() {
+    let text = "request r-broken\ntenant acme\nthis is not a request body\n";
+    let mut reader = RequestReader::new(std::io::Cursor::new(text.as_bytes().to_vec()));
+    let err = loop {
+        match reader.next_request() {
+            Ok(Some(_)) => {}
+            Ok(None) => panic!("garbage body must not parse"),
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(err.request_id.as_deref(), Some("r-broken"));
+    let line = err.to_json().to_string_compact();
+    assert!(line.contains("\"id\":\"r-broken\""), "structured error names the request: {line}");
+    assert!(line.contains("\"outcome\":\"rejected\""), "{line}");
 }

@@ -24,6 +24,12 @@ chaos:
 serve-smoke:
     scripts/serve_smoke.sh
 
+# Durability smoke: journal crash-replay (abort mid-batch, restart,
+# exactly-once), SIGTERM drain exits 0, validator gate on a corrupted
+# mapping.
+serve-recovery:
+    scripts/serve_recovery_smoke.sh
+
 # Compile-service load bench: throughput/latency/shed rate at 1x/4x/16x
 # offered load, written to results/BENCH_serve.json.
 bench-serve:

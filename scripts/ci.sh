@@ -28,6 +28,9 @@ PROPTEST_SEED=20260807 cargo test --release -q --test chaos
 echo "==> serve smoke (service batch with an armed worker-death failpoint)"
 scripts/serve_smoke.sh
 
+echo "==> serve recovery smoke (journal crash-replay + SIGTERM drain + validator gate)"
+scripts/serve_recovery_smoke.sh
+
 echo "==> perf smoke (hotpath bench on a tiny kernel + schema check)"
 perf_dir="$(mktemp -d -t mapzero-ci-perf.XXXXXX)"
 trap 'rm -f "$trace"; rm -rf "$perf_dir"' EXIT

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Durable-serve smoke: three gates over the release binary.
+#
+# 1. Crash recovery — run a 4-request batch with `--journal` and an
+#    abort failpoint armed after the third admit record's fsync
+#    (kill -9 semantics, nothing flushed, no response written). The
+#    next start with the same journal must replay exactly the three
+#    durable requests, answer each once, and a third start must find
+#    nothing to do behind a compacted single-generation journal.
+# 2. Graceful drain — start with `--hold`, send SIGTERM, and require a
+#    clean exit 0 after the drain message.
+# 3. Validator gate — a request whose `validate.corrupt` failpoint
+#    damages the mapping post-compile must come back `internal` (never
+#    shipping the bad mapping) while a clean request still maps, with
+#    the summary counting exactly one validation failure.
+#
+# Usage: scripts/serve_recovery_smoke.sh (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+batch="crates/serve/tests/fixtures/recovery_batch.txt"
+corrupt="crates/serve/tests/fixtures/corrupt_batch.txt"
+journal="$(mktemp -d -t mapzero-serve-recovery.XXXXXX)"
+out="$(mktemp -t mapzero-serve-recovery-out.XXXXXX.jsonl)"
+trap 'rm -rf "$journal"; rm -f "$out"' EXIT
+
+# Resolve the binary once so the crash run's exit code is the binary's,
+# not cargo's wrapper.
+cargo build --release -q -p mapzero-serve --bin mapzero_serve
+bin="target/release/mapzero_serve"
+
+echo "serve recovery smoke: run 1 (abort after third durable admit)"
+set +e
+MAPZERO_FAILPOINTS="global:serve.journal.post_admit=abort@3" \
+  "$bin" --workers 2 --journal "$journal" < "$batch" > "$out" 2>/dev/null
+crash_code=$?
+set -e
+if [ "$crash_code" -eq 0 ]; then
+  echo "serve recovery smoke: crash run unexpectedly exited 0" >&2
+  exit 1
+fi
+if grep -q '"outcome"' "$out"; then
+  echo "serve recovery smoke: a response outran the crash" >&2
+  exit 1
+fi
+
+echo "serve recovery smoke: run 2 (replay the three durable requests)"
+"$bin" --workers 2 --journal "$journal" < /dev/null > "$out"
+python3 - "$out" <<'PY'
+import json, sys
+responses = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        record = json.loads(line)
+        if "summary" in record:
+            continue
+        rid = record["id"]
+        if rid in responses:
+            sys.exit(f"recovery smoke: duplicate response for {rid!r}")
+        responses[rid] = record
+if set(responses) != {"r-0", "r-1", "r-2"}:
+    sys.exit(f"recovery smoke: replayed {sorted(responses)}, "
+             "expected exactly the three durable admits")
+unmapped = {r: v["outcome"] for r, v in responses.items()
+            if v["outcome"] != "mapped"}
+if unmapped:
+    sys.exit(f"recovery smoke: replayed requests not mapped: {unmapped}")
+print("recovery smoke: replay OK (3 requests, exactly once, all mapped)")
+PY
+
+echo "serve recovery smoke: run 3 (nothing left; journal compacted)"
+"$bin" --workers 2 --journal "$journal" < /dev/null > "$out"
+if grep -q '"outcome"' "$out"; then
+  echo "serve recovery smoke: delivered requests replayed again" >&2
+  exit 1
+fi
+logs=$(find "$journal" -name 'journal_*.log' | wc -l)
+if [ "$logs" -ne 1 ]; then
+  echo "serve recovery smoke: expected 1 journal generation, found $logs" >&2
+  exit 1
+fi
+
+echo "serve recovery smoke: drain (SIGTERM on a held service exits 0)"
+"$bin" --workers 2 --journal "$journal" --hold < /dev/null > "$out" 2>/dev/null &
+pid=$!
+sleep 1
+kill -TERM "$pid"
+set +e
+wait "$pid"
+drain_code=$?
+set -e
+if [ "$drain_code" -ne 0 ]; then
+  echo "serve recovery smoke: SIGTERM drain exited $drain_code, want 0" >&2
+  exit 1
+fi
+
+echo "serve recovery smoke: validator gate (corrupted mapping -> internal)"
+"$bin" --workers 2 --summary < "$corrupt" > "$out" 2>/dev/null
+python3 - "$out" <<'PY'
+import json, sys
+responses, summary = {}, None
+with open(sys.argv[1]) as f:
+    for line in f:
+        record = json.loads(line)
+        if "summary" in record:
+            summary = record["summary"]
+        else:
+            responses[record["id"]] = record
+if set(responses) != {"v-corrupt", "v-clean"}:
+    sys.exit(f"recovery smoke: validator batch answered {sorted(responses)}")
+if responses["v-corrupt"]["outcome"] != "internal":
+    sys.exit("recovery smoke: corrupted mapping was not rejected "
+             f"(outcome {responses['v-corrupt']['outcome']!r})")
+if "mapping" in responses["v-corrupt"] and responses["v-corrupt"]["mapping"]:
+    sys.exit("recovery smoke: an invalid mapping was shipped")
+if responses["v-clean"]["outcome"] != "mapped":
+    sys.exit("recovery smoke: clean request did not map "
+             f"(outcome {responses['v-clean']['outcome']!r})")
+if summary is None or summary.get("validate_fail") != 1:
+    sys.exit(f"recovery smoke: summary validate_fail != 1 ({summary})")
+print("recovery smoke: validator gate OK (internal + counter, clean maps)")
+PY
+
+echo "serve recovery smoke: OK"
