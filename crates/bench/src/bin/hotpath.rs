@@ -1,19 +1,26 @@
 //! Inference hot-path benchmark: the tape-free forward + DFG-branch
 //! memo + MCTS prediction cache against their naive counterparts.
 //!
-//! Two measurements:
+//! Three measurements:
 //!
 //! 1. **Prediction throughput** — `predict_reference` (autodiff tape,
 //!    per-op allocations) vs `predict` (InferCtx scratch reuse, memoized
 //!    DFG branch) on a fixed observation, in predictions/second.
-//! 2. **End-to-end compile time** — the Fig. 11 MapZero configuration on
+//! 2. **Batched leaf evaluation scaling** — `predict_batch` at batch
+//!    sizes 1/4/8/16 against the one-at-a-time scalar path over
+//!    distinct episode states (the MCTS leaf workload). Each batch size
+//!    is measured as interleaved scalar/batched pairs and summarized as
+//!    the median of per-pair throughput ratios, which cancels slow
+//!    frequency/thermal drift that a sequential A-then-B layout folds
+//!    into the comparison.
+//! 3. **End-to-end compile time** — the Fig. 11 MapZero configuration on
 //!    a workload kernel, with the MCTS prediction cache off vs on.
 //!
 //! Results land in `results/BENCH_hotpath.json` with the run's metric
 //! deltas (including the `search.predict_cache.{hit,miss}` and
-//! `nn.dfg_embed.{hit,miss}` counters), so `scripts/ci.sh` can
-//! schema-check the file and flag throughput regressions against the
-//! committed baseline.
+//! `nn.dfg_embed.{hit,miss}` counters) plus the `batch_scaling` table
+//! and `batch8_speedup`, so `scripts/ci.sh` can schema-check the file
+//! and flag throughput regressions against the committed baseline.
 
 use mapzero_bench::{BenchMode, Harness};
 use mapzero_core::embed::observe;
@@ -21,6 +28,12 @@ use mapzero_core::network::{MapZeroNet, NetConfig};
 use mapzero_core::{Compiler, MapEnv, Problem};
 use mapzero_obs::json::Json;
 use std::time::{Duration, Instant};
+
+/// Median of a sample (sorted in place).
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
 
 /// Run `f` repeatedly for at least `budget`, returning calls/second.
 fn throughput(budget: Duration, mut f: impl FnMut()) -> f64 {
@@ -73,7 +86,91 @@ fn main() {
     h.field("predictions_per_sec_fast", Json::Num(fast_rate));
     h.field("predict_speedup", Json::Num(predict_speedup));
 
-    // --- 2. End-to-end compile time (Fig. 11 workload) ---------------
+    // --- 2. Batched leaf evaluation scaling --------------------------
+    // The MCTS leaf workload: distinct mid-episode states of one
+    // problem (so the DFG memo never short-circuits the comparison —
+    // real leaves all differ in placement). The scalar arm is the
+    // pre-batching configuration — scalar kernels (`SimdKind::Scalar`,
+    // libm tanh, sequential reductions), one `predict` per leaf. The
+    // batched arm is this PR's configuration — SIMD kernels
+    // (`SimdKind::Lanes8`) plus `predict_batch` over K leaves. Kernel
+    // kinds are switched per arm via `simd::force_kind`, then restored.
+    let mut states = Vec::new();
+    {
+        let mut walk = MapEnv::new(&problem);
+        while states.len() < 16 && !walk.done() {
+            let legal = walk.legal_actions();
+            if legal.is_empty() {
+                break;
+            }
+            states.push(observe(&walk));
+            walk.step(legal[0]);
+        }
+    }
+    assert!(!states.is_empty(), "conv3 episode yields at least one state");
+    let leaf_obs: Vec<&mapzero_core::embed::Observation> = states.iter().collect();
+    let default_kind = mapzero_nn::simd::kind();
+    let pairs = 5usize;
+    let slice = budget / 16;
+    let mut scaling = Vec::new();
+    let mut batch8_speedup = f64::NAN;
+    for &k in &[1usize, 4, 8, 16] {
+        h.progress(format!("measuring predict_batch at K={k} (interleaved pairs)"));
+        // Pre-built K-chunks cycling the episode states.
+        let chunks: Vec<Vec<&mapzero_core::embed::Observation>> = (0..8)
+            .map(|c| (0..k).map(|j| leaf_obs[(c * k + j) % leaf_obs.len()]).collect())
+            .collect();
+        let mut ratios = Vec::new();
+        let mut rates = Vec::new();
+        for p in 0..pairs {
+            let mut cursor = 0usize;
+            let mut scalar_arm = || {
+                mapzero_nn::simd::force_kind(mapzero_nn::simd::SimdKind::Scalar);
+                let rate = throughput(slice, || {
+                    std::hint::black_box(net.predict(leaf_obs[cursor % leaf_obs.len()]));
+                    cursor += 1;
+                });
+                mapzero_nn::simd::force_kind(default_kind);
+                rate
+            };
+            let mut chunk = 0usize;
+            let mut batch_arm = || {
+                mapzero_nn::simd::force_kind(mapzero_nn::simd::SimdKind::Lanes8);
+                let rate = throughput(slice, || {
+                    std::hint::black_box(net.predict_batch(&chunks[chunk % chunks.len()]));
+                    chunk += 1;
+                }) * k as f64;
+                mapzero_nn::simd::force_kind(default_kind);
+                rate
+            };
+            // Alternate arm order per pair so drift within a pair
+            // cancels across the median instead of biasing one arm.
+            let (scalar_rate, batch_rate) = if p % 2 == 0 {
+                let s = scalar_arm();
+                (s, batch_arm())
+            } else {
+                let b = batch_arm();
+                (scalar_arm(), b)
+            };
+            ratios.push(batch_rate / scalar_rate.max(f64::MIN_POSITIVE));
+            rates.push(batch_rate);
+        }
+        let speedup = median(&mut ratios);
+        let rate = median(&mut rates);
+        h.note(format!("batch {k}: {rate:.0} predictions/sec, {speedup:.2}x vs scalar"));
+        if k == 8 {
+            batch8_speedup = speedup;
+        }
+        scaling.push(Json::obj(vec![
+            ("batch", Json::Num(k as f64)),
+            ("predictions_per_sec", Json::Num(rate)),
+            ("speedup_vs_scalar", Json::Num(speedup)),
+        ]));
+    }
+    h.field("batch_scaling", Json::Arr(scaling));
+    h.field("batch8_speedup", Json::Num(batch8_speedup));
+
+    // --- 3. End-to-end compile time (Fig. 11 workload) ---------------
     // Network-guided search (no playout early exit — the same search
     // the self-play trainer runs): every placement decision is a full
     // MCTS pass, so compile time is dominated by inference and the

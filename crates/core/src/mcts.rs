@@ -51,7 +51,20 @@ pub struct MctsConfig {
     /// tape-based forward) instead of the tape-free hot path. The two
     /// are bit-identical; this exists as the "before" arm of the
     /// hot-path benchmark and as an end-to-end equivalence oracle.
+    /// Forces the scalar (unbatched) simulation loop regardless of
+    /// [`MctsConfig::batch_leaves`].
     pub use_reference_forward: bool,
+    /// Collect leaves under virtual loss and evaluate them through one
+    /// batched forward pass ([`MapZeroNet::predict_batch`]) instead of
+    /// one network call per simulation. With `leaf_batch == 1` the
+    /// batched loop reproduces the scalar loop exactly (same visit
+    /// counts, same values, bit-identical predictions); at larger batch
+    /// sizes selection diverges by design (virtual loss) and leaf
+    /// evaluations follow the batched-forward tolerance contract.
+    pub batch_leaves: bool,
+    /// Maximum leaves evaluated per batched forward (K). Values `< 1`
+    /// behave as 1.
+    pub leaf_batch: usize,
 }
 
 impl Default for MctsConfig {
@@ -67,6 +80,8 @@ impl Default for MctsConfig {
             cache_predictions: true,
             cache_capacity: 4096,
             use_reference_forward: false,
+            batch_leaves: true,
+            leaf_batch: 8,
         }
     }
 }
@@ -263,6 +278,44 @@ fn norm_reward(reward: f64) -> f64 {
     (reward / CONFLICT_PENALTY).clamp(-1.0, 0.0)
 }
 
+/// Virtual loss applied to every edge a batched walk selects: until the
+/// leaf is evaluated the edge carries one extra visit valued at −1, so
+/// later walks in the same sweep are steered toward different leaves.
+/// Reverted exactly at backup time, so finished statistics carry no
+/// trace of it.
+const VIRTUAL_LOSS: f64 = 1.0;
+
+/// A leaf selected by a batched walk, awaiting network evaluation.
+/// Holds everything the flush needs to expand, evaluate and back up
+/// without re-walking the tree.
+struct PendingLeaf<'p> {
+    /// `(node, edge index)` pairs from the root to the leaf's parent
+    /// edge, in selection order. Every listed edge carries a virtual
+    /// loss until backup.
+    path: Vec<(usize, usize)>,
+    /// Normalized step reward observed along each path edge.
+    rewards: Vec<f64>,
+    /// Environment at the leaf state (after stepping the final edge).
+    env: MapEnv<'p>,
+    /// Legal actions at the leaf (non-empty; dead ends resolve inline).
+    legal: Vec<PeId>,
+    /// Transposition key of the leaf state, when caching is enabled.
+    /// Captured before the playout mutates `env`.
+    key: Option<u64>,
+}
+
+/// Outcome of one batched selection walk.
+enum WalkResult<'p> {
+    /// The walk resolved inline (terminal, dead end) and was backed up;
+    /// carries the root-level value of the simulation.
+    Resolved(f64),
+    /// The walk reached a fresh leaf that needs a network evaluation.
+    Pending(Box<PendingLeaf<'p>>),
+    /// The walk re-selected an edge whose leaf is already in flight;
+    /// all of its increments were undone and the sweep should flush.
+    Collision,
+}
+
 impl<'n> Mcts<'n> {
     /// Create a search over the given network.
     #[must_use]
@@ -276,6 +329,11 @@ impl<'n> Mcts<'n> {
     /// parameter state are dropped up front.
     #[must_use]
     pub fn with_cache(net: &'n MapZeroNet, config: MctsConfig, mut cache: PredictCache) -> Self {
+        // Pre-register the batching counters so metric dumps show zeros
+        // (not absences) for runs that never flush a batch.
+        mapzero_obs::counter!("search.batch.flush", 0);
+        mapzero_obs::counter!("search.batch.partial", 0);
+        mapzero_obs::counter!("search.batch.cache_short_circuit", 0);
         cache.ensure_net(net);
         let rng = mapzero_nn::SeedRng::new(config.seed);
         Mcts {
@@ -350,18 +408,22 @@ impl<'n> Mcts<'n> {
         );
         let mut root_return = 0.0f64;
         let mut solution = None;
-        for _ in 0..self.config.simulations {
-            if budget.exhausted() {
-                break;
-            }
-            let before = self.nodes.len();
-            let mut env = root_env.clone();
-            mapzero_obs::counter!("mcts.simulations");
-            let value = self.simulate(self.root, &mut env, &mut solution);
-            budget.charge((self.nodes.len() - before) as u64);
-            root_return += value;
-            if solution.is_some() {
-                break;
+        if self.config.batch_leaves && !self.config.use_reference_forward {
+            root_return = self.run_batched_sims(root_env, budget, &mut solution);
+        } else {
+            for _ in 0..self.config.simulations {
+                if budget.exhausted() {
+                    break;
+                }
+                let before = self.nodes.len();
+                let mut env = root_env.clone();
+                mapzero_obs::counter!("mcts.simulations");
+                let value = self.simulate(self.root, &mut env, &mut solution);
+                budget.charge((self.nodes.len() - before) as u64);
+                root_return += value;
+                if solution.is_some() {
+                    break;
+                }
             }
         }
         let pe_count = root_env.problem().cgra().pe_count();
@@ -448,12 +510,237 @@ impl<'n> Mcts<'n> {
         value
     }
 
+    /// The batched simulation loop: sweeps of selection walks collect
+    /// up to `leaf_batch` fresh leaves under virtual loss, one
+    /// [`MapZeroNet::predict_batch`] call evaluates them, and the flush
+    /// backs every walk up (reverting its virtual losses) in selection
+    /// order. Returns the accumulated root-level return.
+    ///
+    /// Determinism: the walk/backup sequence is a pure function of the
+    /// network, the config and the root state. Cache hits are resolved
+    /// at flush time — they skip the forward pass but never change
+    /// which walks run or when values are applied, so cache *contents*
+    /// cannot change a search result (the invariant the serve tenant-
+    /// isolation suite pins). With `leaf_batch == 1` each sweep holds
+    /// one leaf and the loop reproduces the scalar `simulate` loop
+    /// update for update.
+    fn run_batched_sims<'p>(
+        &mut self,
+        root_env: &MapEnv<'p>,
+        budget: &Budget,
+        solution: &mut Option<Mapping>,
+    ) -> f64 {
+        let batch = self.config.leaf_batch.max(1);
+        let mut in_flight: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+        let mut pending: Vec<PendingLeaf<'p>> = Vec::new();
+        let mut root_return = 0.0f64;
+        let mut sims_done = 0usize;
+        while sims_done < self.config.simulations {
+            // Collect one sweep.
+            while sims_done < self.config.simulations && pending.len() < batch {
+                if budget.exhausted() || solution.is_some() {
+                    break;
+                }
+                match self.batched_walk(root_env, &in_flight, solution, budget) {
+                    WalkResult::Resolved(value) => {
+                        mapzero_obs::counter!("mcts.simulations");
+                        root_return += value;
+                        sims_done += 1;
+                    }
+                    WalkResult::Pending(leaf) => {
+                        mapzero_obs::counter!("mcts.simulations");
+                        in_flight.insert(*leaf.path.last().expect("pending walk has a path"));
+                        pending.push(*leaf);
+                        sims_done += 1;
+                    }
+                    WalkResult::Collision => break,
+                }
+            }
+            if pending.is_empty() {
+                break;
+            }
+            root_return += self.flush_pending(&mut pending, batch, solution);
+            in_flight.clear();
+            if budget.exhausted() || solution.is_some() {
+                break;
+            }
+        }
+        root_return
+    }
+
+    /// One selection walk of the batched loop: descend under PUCT,
+    /// applying a visit increment per node and a virtual loss per edge,
+    /// until the walk resolves inline (terminal or dead end), reaches a
+    /// fresh leaf (returned as [`WalkResult::Pending`]), or collides
+    /// with an in-flight leaf (all increments undone).
+    fn batched_walk<'p>(
+        &mut self,
+        root_env: &MapEnv<'p>,
+        in_flight: &std::collections::HashSet<(usize, usize)>,
+        solution: &mut Option<Mapping>,
+        budget: &Budget,
+    ) -> WalkResult<'p> {
+        let mut env = root_env.clone();
+        let mut node = self.root;
+        let mut path: Vec<(usize, usize)> = Vec::new();
+        let mut rewards: Vec<f64> = Vec::new();
+        loop {
+            self.nodes[node].visits += 1;
+            if self.nodes[node].edges.is_empty() {
+                // Dead end reached through an existing child.
+                return WalkResult::Resolved(self.backup(&path, &rewards, -1.0));
+            }
+            let edge_idx = self.select_edge(node);
+            let child = self.nodes[node].edges[edge_idx].child;
+            if child.is_none() && in_flight.contains(&(node, edge_idx)) {
+                // Another walk of this sweep already owns this leaf:
+                // undo every increment this walk applied and stop the
+                // sweep so the pending batch flushes.
+                self.nodes[node].visits -= 1;
+                for &(n, e) in path.iter().rev() {
+                    self.nodes[n].visits -= 1;
+                    let edge = &mut self.nodes[n].edges[e];
+                    edge.visits -= 1;
+                    edge.total_value += VIRTUAL_LOSS;
+                }
+                return WalkResult::Collision;
+            }
+            {
+                let edge = &mut self.nodes[node].edges[edge_idx];
+                edge.visits += 1;
+                edge.total_value -= VIRTUAL_LOSS;
+            }
+            let action = self.nodes[node].edges[edge_idx].action;
+            let outcome = env.step(action);
+            path.push((node, edge_idx));
+            rewards.push(norm_reward(outcome.reward));
+            if env.success() {
+                *solution = env.final_mapping();
+                return WalkResult::Resolved(self.backup(&path, &rewards, 1.0));
+            }
+            if env.done() {
+                return WalkResult::Resolved(self.backup(&path, &rewards, -1.0));
+            }
+            match child {
+                Some(c) => node = c,
+                None => {
+                    let legal = env.legal_actions();
+                    if legal.is_empty() {
+                        // Dead-end leaf: expand inline (no network
+                        // query — the masked softmax needs a legal
+                        // action) exactly like the scalar path.
+                        mapzero_obs::counter!("mcts.expansions");
+                        self.nodes.push(TreeNode { edges: Vec::new(), visits: 1 });
+                        let leaf = self.nodes.len() - 1;
+                        self.nodes[node].edges[edge_idx].child = Some(leaf);
+                        budget.charge(1);
+                        let leaf_value = if self.config.playout {
+                            let playout_value = self.playout(&mut env, solution);
+                            0.5 * (-1.0 + playout_value)
+                        } else {
+                            -1.0
+                        };
+                        return WalkResult::Resolved(self.backup(&path, &rewards, leaf_value));
+                    }
+                    // Reserve the expansion against the budget now so a
+                    // sweep can never overshoot the pool by more than
+                    // the node the pre-walk poll already allowed.
+                    budget.charge(1);
+                    let key = self.config.cache_predictions.then(|| state_key(&env));
+                    return WalkResult::Pending(Box::new(PendingLeaf {
+                        path,
+                        rewards,
+                        env,
+                        legal,
+                        key,
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Evaluate and resolve every pending leaf of a sweep, in selection
+    /// order: probe the transposition cache (hits never occupy a batch
+    /// slot), run one batched forward over the misses, then expand,
+    /// play out and back up each leaf. Returns the summed root-level
+    /// values.
+    fn flush_pending(
+        &mut self,
+        pending: &mut Vec<PendingLeaf<'_>>,
+        batch: usize,
+        solution: &mut Option<Mapping>,
+    ) -> f64 {
+        mapzero_obs::counter!("search.batch.flush");
+        if pending.len() < batch {
+            mapzero_obs::counter!("search.batch.partial");
+        }
+        let mut predictions: Vec<Option<Prediction>> = Vec::with_capacity(pending.len());
+        let mut miss_obs: Vec<crate::embed::Observation> = Vec::new();
+        let mut miss_at: Vec<usize> = Vec::new();
+        for (i, leaf) in pending.iter().enumerate() {
+            if let Some(key) = leaf.key {
+                if let Some(pred) = self.cache.get(key) {
+                    mapzero_obs::counter!("search.predict_cache.hit");
+                    mapzero_obs::counter!("search.batch.cache_short_circuit");
+                    predictions.push(Some(pred));
+                    continue;
+                }
+                mapzero_obs::counter!("search.predict_cache.miss");
+            }
+            miss_obs.push(self.observer.observe(&leaf.env).clone());
+            miss_at.push(i);
+            predictions.push(None);
+        }
+        if !miss_obs.is_empty() {
+            let refs: Vec<&crate::embed::Observation> = miss_obs.iter().collect();
+            let batch_preds = self.net.predict_batch(&refs);
+            for (i, pred) in miss_at.into_iter().zip(batch_preds) {
+                if let Some(key) = pending[i].key {
+                    self.cache.insert(key, pred.clone());
+                }
+                predictions[i] = Some(pred);
+            }
+        }
+        let mut total = 0.0f64;
+        for (leaf, pred) in pending.drain(..).zip(predictions) {
+            let pred = pred.expect("every pending leaf was evaluated");
+            let (child, net_value) = self.expand_scored(leaf.legal, &pred);
+            let &(parent, edge_idx) = leaf.path.last().expect("pending walk has a path");
+            self.nodes[parent].edges[edge_idx].child = Some(child);
+            self.nodes[child].visits += 1;
+            let mut env = leaf.env;
+            let leaf_value = if self.config.playout {
+                let playout_value = self.playout(&mut env, solution);
+                0.5 * (net_value + playout_value)
+            } else {
+                net_value
+            };
+            total += self.backup(&leaf.path, &leaf.rewards, leaf_value);
+        }
+        total
+    }
+
+    /// Back one walk up: fold the leaf value through the per-step
+    /// rewards (clamped at every level, like the scalar recursion) and
+    /// revert each edge's virtual loss while applying its real value.
+    /// Returns the root-level value of the simulation.
+    fn backup(&mut self, path: &[(usize, usize)], rewards: &[f64], leaf_value: f64) -> f64 {
+        debug_assert_eq!(path.len(), rewards.len());
+        let mut value = leaf_value;
+        for (&(node, edge_idx), &reward) in path.iter().zip(rewards).rev() {
+            value = (reward + value).clamp(-1.0, 1.0);
+            let edge = &mut self.nodes[node].edges[edge_idx];
+            edge.total_value += VIRTUAL_LOSS + value;
+        }
+        value
+    }
+
     /// Create a tree node for the environment state; returns the node
     /// index and the network's value estimate.
     fn expand(&mut self, env: &MapEnv<'_>) -> (usize, f64) {
-        mapzero_obs::counter!("mcts.expansions");
         let legal = env.legal_actions();
         if legal.is_empty() {
+            mapzero_obs::counter!("mcts.expansions");
             // Dead end: a scheduled node has no legal PE. Record an
             // edge-less node valued as a failure; no network query (the
             // masked softmax needs at least one legal action).
@@ -461,6 +748,13 @@ impl<'n> Mcts<'n> {
             return (self.nodes.len() - 1, -1.0);
         }
         let pred = self.predict(env);
+        self.expand_scored(legal, &pred)
+    }
+
+    /// Create a tree node from an already-computed prediction; the
+    /// shared expansion kernel of the scalar and batched paths.
+    fn expand_scored(&mut self, legal: Vec<PeId>, pred: &Prediction) -> (usize, f64) {
+        mapzero_obs::counter!("mcts.expansions");
         let mut scored: Vec<(PeId, f64)> = legal
             .into_iter()
             .map(|pe| (pe, f64::from(pred.log_probs[pe.index()].exp())))

@@ -4,7 +4,7 @@
 
 use crate::checkpoint::Fnv64;
 use crate::embed::Observation;
-use mapzero_nn::infer::log_softmax_masked_into;
+use mapzero_nn::infer::{log_softmax_masked_fused_into, log_softmax_masked_into};
 use mapzero_nn::{
     clip_gradients, Adam, AdamState, BufId, GatLayer, GcnLayer, Graph, InferCtx, Linear, Matrix,
     MessageIndex, Mlp, Optimizer, Params, SeedRng, VarId,
@@ -438,6 +438,121 @@ impl MapZeroNet {
         prediction
     }
 
+    /// Batched inference: one forward pass over `K` observations of the
+    /// same problem, returning one [`Prediction`] per observation in
+    /// input order. This is the evaluation kernel behind virtual-loss
+    /// MCTS leaf batching: K skinny per-leaf matvecs become one
+    /// cache-friendly matmul per layer.
+    ///
+    /// The K graphs are batched as a disjoint union: node features are
+    /// row-stacked ([`InferCtx::load_stacked`]) and the shared edge
+    /// list is tiled with per-copy row offsets
+    /// ([`MessageIndex::rebuild_tiled`]), so the GAT/GCN message passes
+    /// run unchanged over one big graph with no cross-observation
+    /// edges. Per-graph pooling uses [`InferCtx::mean_rows_grouped`].
+    ///
+    /// # Determinism contract
+    /// - `K == 1` delegates to [`MapZeroNet::predict`] and is therefore
+    ///   **bit-identical** to [`MapZeroNet::predict_reference`].
+    /// - `K > 1` is deterministic (same inputs → same outputs) and
+    ///   bit-identical to the unbatched pass everywhere except the
+    ///   policy log-softmax, whose normalizer uses the fused-order SIMD
+    ///   reduction ([`log_softmax_masked_fused_into`]): per-observation
+    ///   outputs match `predict_reference` within the documented 1e-5
+    ///   kernel tolerance. Batch *composition* never affects a result
+    ///   beyond that contract — every other op (matmul, scatter-add,
+    ///   segment softmax, grouped mean) preserves the per-observation
+    ///   accumulation order of the single-graph pass.
+    ///
+    /// Skips the per-thread DFG-embedding memo (within one search every
+    /// leaf has a distinct placement vector, so batched leaves never
+    /// repeat a DFG half); the fresh computations are counted as
+    /// `nn.dfg_embed.miss`. The realized batch size is recorded in the
+    /// `nn.batch.size` histogram.
+    ///
+    /// # Panics
+    /// Panics on an empty batch, a mask/action mismatch, or (debug)
+    /// observations of differing graph shape.
+    #[must_use]
+    pub fn predict_batch(&self, obs: &[&Observation]) -> Vec<Prediction> {
+        assert!(!obs.is_empty(), "predict_batch needs at least one observation");
+        mapzero_obs::observe!("nn.batch.size", obs.len() as u64);
+        if obs.len() == 1 {
+            return vec![self.predict(obs[0])];
+        }
+        for o in obs {
+            assert_eq!(o.mask.len(), self.action_count, "mask/action mismatch");
+        }
+        debug_assert!(
+            obs.iter().all(|o| {
+                o.dfg_nodes.rows() == obs[0].dfg_nodes.rows()
+                    && o.dfg_edges == obs[0].dfg_edges
+                    && o.cgra_nodes.rows() == obs[0].cgra_nodes.rows()
+                    && o.cgra_edges == obs[0].cgra_edges
+            }),
+            "batched observations must share one problem's graph shapes"
+        );
+        crate::failpoint!("infer.predict");
+        let _phase = mapzero_obs::phase::phase_guard(mapzero_obs::Phase::Infer);
+        let started = mapzero_obs::enabled().then(std::time::Instant::now);
+        let k = obs.len();
+        let predictions = INFER_STATE.with(|cell| {
+            let st = &mut *cell.borrow_mut();
+            let InferState { ctx, dfg_index, cgra_index, .. } = st;
+            ctx.begin();
+
+            mapzero_obs::counter!("nn.dfg_embed.miss", k as u64);
+            dfg_index.rebuild_tiled(&obs[0].dfg_edges, obs[0].dfg_nodes.rows(), k);
+            let dfg_mats: Vec<&Matrix> = obs.iter().map(|o| &o.dfg_nodes).collect();
+            let x_dfg = ctx.load_stacked(&dfg_mats);
+            let h1 = self.gat_dfg1.infer(ctx, &self.params, x_dfg, dfg_index);
+            let h2 = self.gat_dfg2.infer(ctx, &self.params, h1, dfg_index);
+            let dfg_emb = ctx.mean_rows_grouped(h2, k);
+
+            cgra_index.rebuild_tiled(&obs[0].cgra_edges, obs[0].cgra_nodes.rows(), k);
+            let cgra_mats: Vec<&Matrix> = obs.iter().map(|o| &o.cgra_nodes).collect();
+            let x_cgra = ctx.load_stacked(&cgra_mats);
+            let c1 = self.gat_cgra1.infer(ctx, &self.params, x_cgra, cgra_index);
+            let c2 = self.gat_cgra2.infer(ctx, &self.params, c1, cgra_index);
+            let cgra_emb = ctx.mean_rows_grouped(c2, k);
+
+            let meta_mats: Vec<&Matrix> = obs.iter().map(|o| &o.metadata).collect();
+            let meta_in = ctx.load_stacked(&meta_mats);
+            let meta_emb = self.fc_meta.infer(ctx, &self.params, meta_in);
+            ctx.relu(meta_emb);
+
+            let joined = ctx.concat_cols(dfg_emb, cgra_emb);
+            let joined = ctx.concat_cols(joined, meta_emb);
+            let state = self.trunk.infer(ctx, &self.params, joined);
+            ctx.relu(state);
+
+            let logits = self.policy_head.infer(ctx, &self.params, state);
+            let values = self.value_head.infer(ctx, &self.params, state);
+            obs.iter()
+                .enumerate()
+                .map(|(i, o)| {
+                    let mut log_probs = Vec::with_capacity(self.action_count);
+                    log_softmax_masked_fused_into(
+                        ctx.value(logits).row_slice(i),
+                        &o.mask,
+                        &mut log_probs,
+                    );
+                    Prediction {
+                        log_probs,
+                        value: mapzero_nn::simd::tanh1(ctx.value(values)[(i, 0)]),
+                    }
+                })
+                .collect()
+        });
+        if let Some(start) = started {
+            mapzero_obs::observe!(
+                "nn.forward_us",
+                u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+            );
+        }
+        predictions
+    }
+
     /// Reference inference through the autodiff tape — the allocation-
     /// heavy path [`MapZeroNet::predict`] replaces. Kept public as the
     /// equivalence oracle for the hot-path proptests and as the
@@ -552,7 +667,7 @@ impl MapZeroNet {
         let mut log_probs = Vec::with_capacity(self.action_count);
         log_softmax_masked_into(ctx.value(logits).row_slice(0), &obs.mask, &mut log_probs);
         let value_raw = self.value_head.infer(ctx, &self.params, state);
-        let value = ctx.value(value_raw)[(0, 0)].tanh();
+        let value = mapzero_nn::simd::tanh1(ctx.value(value_raw)[(0, 0)]);
         Prediction { log_probs, value }
     }
 

@@ -188,9 +188,11 @@ impl Graph {
         self.push(Op::Relu(a), v)
     }
 
-    /// Hyperbolic tangent.
+    /// Hyperbolic tangent (kernel-dispatched so the tape and tape-free
+    /// forwards stay bit-identical under either SIMD kind).
     pub fn tanh(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(f32::tanh);
+        let mut v = self.value(a).clone();
+        crate::simd::tanh_map(v.data_mut());
         self.push(Op::Tanh(a), v)
     }
 
@@ -260,10 +262,12 @@ impl Graph {
             max[s] = max[s].max(va[(i, 0)]);
         }
         let mut sum = vec![0.0f32; nseg];
-        let mut exps = vec![0.0f32; seg.len()];
-        for (i, &s) in seg.iter().enumerate() {
-            let e = (va[(i, 0)] - max[s]).exp();
-            exps[i] = e;
+        let mut exps: Vec<f32> =
+            seg.iter().enumerate().map(|(i, &s)| va[(i, 0)] - max[s]).collect();
+        // Same dispatched exp kernel as `InferCtx::segment_softmax`, so
+        // tape and tape-free softmax stay bit-identical per kind.
+        crate::simd::exp_neg_map(&mut exps);
+        for (&e, &s) in exps.iter().zip(seg) {
             sum[s] += e;
         }
         let data: Vec<f32> =
@@ -371,10 +375,13 @@ impl Graph {
             }
             Op::MatMul(a, b) => {
                 // Transpose-aware products: no materialized transpose
-                // and no defensive clones of the forward values.
+                // and no defensive clones of the forward values. The
+                // backward pass is tolerance-governed (gradients are
+                // checked against finite differences, not bitwise), so
+                // the fused-order row-dot kernel is safe here.
                 let va = &self.nodes[a.0].value;
                 let vb = &self.nodes[b.0].value;
-                let da = g.matmul_transposed(vb);
+                let da = g.matmul_transposed_fast(vb);
                 let db = va.transpose_matmul(g);
                 Todo::Two(*a, da, *b, db)
             }

@@ -35,6 +35,7 @@ pub struct InferCtx {
     seg_max: Vec<f32>,
     seg_sum: Vec<f32>,
     seg_exp: Vec<f32>,
+    edge_scratch: Vec<f32>,
 }
 
 impl InferCtx {
@@ -67,6 +68,29 @@ impl InferCtx {
     pub fn load(&mut self, m: &Matrix) -> BufId {
         let id = self.alloc(m.rows(), m.cols());
         self.slots[id.0].copy_from(m);
+        id
+    }
+
+    /// Stack several equal-width matrices row-wise into one fresh slot
+    /// — the disjoint-union load of the batched forward pass: K graph
+    /// observations become one `(Σ rows) x cols` node-feature matrix.
+    ///
+    /// # Panics
+    /// Panics on an empty input or a width mismatch.
+    pub fn load_stacked(&mut self, mats: &[&Matrix]) -> BufId {
+        assert!(!mats.is_empty(), "load_stacked needs at least one matrix");
+        let cols = mats[0].cols();
+        let rows = mats.iter().map(|m| m.rows()).sum();
+        let id = self.alloc(rows, cols);
+        let out = &mut self.slots[id.0];
+        let mut r = 0;
+        for m in mats {
+            assert_eq!(m.cols(), cols, "load_stacked width mismatch");
+            for i in 0..m.rows() {
+                out.row_slice_mut(r + i).copy_from_slice(m.row_slice(i));
+            }
+            r += m.rows();
+        }
         id
     }
 
@@ -128,9 +152,9 @@ impl InferCtx {
         self.slots[x.0].map_assign(|v| v.max(0.0));
     }
 
-    /// tanh in place.
+    /// tanh in place (kernel-dispatched, see [`crate::simd::tanh_map`]).
     pub fn tanh(&mut self, x: BufId) {
-        self.slots[x.0].map_assign(f32::tanh);
+        crate::simd::tanh_map(self.slots[x.0].data_mut());
     }
 
     /// Leaky ReLU in place.
@@ -147,6 +171,15 @@ impl InferCtx {
         let cols = self.slots[a.0].cols();
         let out = self.alloc(idx.len(), cols);
         let (o, av) = self.pair_mut(out, a);
+        if cols == 1 {
+            // Column gather (the attention-score broadcast): plain
+            // indexed loads instead of one `memcpy` call per element.
+            let src = av.data();
+            for (v, &i) in o.data_mut().iter_mut().zip(idx) {
+                *v = src[i];
+            }
+            return out;
+        }
         for (r, &i) in idx.iter().enumerate() {
             assert!(i < av.rows(), "gather index {i} out of range");
             o.row_slice_mut(r).copy_from_slice(av.row_slice(i));
@@ -172,6 +205,63 @@ impl InferCtx {
         out
     }
 
+    /// Fused attention aggregation into a fresh `rows x c` slot:
+    /// `out[dst[e]] += alpha[e] * a[src[e]]` for each edge `e` in
+    /// ascending order.
+    ///
+    /// Bit-identical to the composed `gather_rows(a, src)` →
+    /// `col_mul(alpha, msgs)` → `scatter_add_rows(msgs, dst, rows)` —
+    /// the same per-element product, the same destination accumulation
+    /// order — without materializing the `E x c` message matrix. The
+    /// composed form costs two extra full passes of `E x c` memory
+    /// traffic plus a `memcpy` per edge, which profiling puts among the
+    /// top costs of the batched forward.
+    ///
+    /// # Panics
+    /// Panics unless `alpha` is an `E x 1` column with one weight per
+    /// `src`/`dst` pair and every index is in range.
+    pub fn scatter_weighted_rows(
+        &mut self,
+        alpha: BufId,
+        a: BufId,
+        src: &[usize],
+        dst: &[usize],
+        rows: usize,
+    ) -> BufId {
+        assert_eq!(src.len(), dst.len(), "one (src, dst) pair per edge");
+        {
+            let av = &self.slots[alpha.0];
+            assert_eq!(av.cols(), 1, "alpha must be a column");
+            assert_eq!(av.rows(), src.len(), "one weight per edge");
+        }
+        // Stash the weights so `out` and `a` can be split-borrowed.
+        let mut weights = std::mem::take(&mut self.edge_scratch);
+        weights.clear();
+        weights.extend_from_slice(self.slots[alpha.0].data());
+        let cols = self.slots[a.0].cols();
+        let in_rows = self.slots[a.0].rows();
+        let out = self.alloc(rows, cols);
+        let (o, av) = self.pair_mut(out, a);
+        // Each edge is one axpy row update (`out_row += w · src_row`) —
+        // the same product-then-add per element as the composed ops.
+        match crate::simd::kind() {
+            crate::simd::SimdKind::Scalar => {
+                for (e, (&s, &d)) in src.iter().zip(dst).enumerate() {
+                    assert!(s < in_rows, "gather index {s} out of range");
+                    assert!(d < rows, "scatter index {d} out of range");
+                    crate::simd::axpy_scalar(o.row_slice_mut(d), weights[e], av.row_slice(s));
+                }
+            }
+            crate::simd::SimdKind::Lanes8 => {
+                // Whole loop in `simd` so it gets one AVX2 dispatch per
+                // call; out-of-range indices panic on the slice bounds.
+                crate::simd::scatter_axpy_lanes8(o.data_mut(), cols, av.data(), &weights, src, dst);
+            }
+        }
+        self.edge_scratch = weights;
+        out
+    }
+
     /// Per-segment softmax over an `E x 1` column, in place; same
     /// numerics as [`crate::Graph::segment_softmax`].
     ///
@@ -190,9 +280,12 @@ impl InferCtx {
         self.seg_sum.clear();
         self.seg_sum.resize(nseg, 0.0);
         self.seg_exp.clear();
-        for (i, &s) in seg.iter().enumerate() {
-            let e = (va[(i, 0)] - self.seg_max[s]).exp();
-            self.seg_exp.push(e);
+        self.seg_exp.extend(seg.iter().enumerate().map(|(i, &s)| va[(i, 0)] - self.seg_max[s]));
+        // Shifted numerators through the dispatched exp kernel (the
+        // tape path routes through the same one, keeping the softmaxes
+        // bit-identical per kind); per-segment sums stay sequential.
+        crate::simd::exp_neg_map(&mut self.seg_exp);
+        for (&e, &s) in self.seg_exp.iter().zip(seg) {
             self.seg_sum[s] += e;
         }
         let va = &mut self.slots[a.0];
@@ -248,6 +341,32 @@ impl InferCtx {
         out
     }
 
+    /// Per-group mean over rows into a fresh `groups x c` slot: row `g`
+    /// is the mean of the `rows/groups` consecutive input rows of group
+    /// `g`. With `groups == 1` this is bit-identical to
+    /// [`InferCtx::mean_rows`] (same ascending-row `x / n`
+    /// accumulation), which keeps the batched forward's per-graph
+    /// pooling bit-identical to the single-graph pooling.
+    ///
+    /// # Panics
+    /// Panics unless `groups` divides the row count.
+    pub fn mean_rows_grouped(&mut self, a: BufId, groups: usize) -> BufId {
+        let (rows, cols) = (self.slots[a.0].rows(), self.slots[a.0].cols());
+        assert!(groups > 0 && rows % groups == 0, "groups must divide {rows} rows");
+        let per = rows / groups;
+        let out = self.alloc(groups, cols);
+        let (o, av) = self.pair_mut(out, a);
+        let n = per as f32;
+        for g in 0..groups {
+            for r in 0..per {
+                for (v, &x) in o.row_slice_mut(g).iter_mut().zip(av.row_slice(g * per + r)) {
+                    *v += x / n;
+                }
+            }
+        }
+        out
+    }
+
     /// Concatenate two slots along columns into a fresh slot.
     ///
     /// # Panics
@@ -298,6 +417,30 @@ pub fn log_softmax_masked_into(logits: &[f32], mask: &[bool], out: &mut Vec<f32>
     );
 }
 
+/// SIMD variant of [`log_softmax_masked_into`]: the masked max runs
+/// through the order-insensitive [`crate::simd::max_masked`] reduction
+/// (bit-exact) and the normalizer through the fused-order
+/// [`crate::simd::sum_exp_masked`] reduction, which reassociates the
+/// sum. Results therefore match the scalar form only within the kernel
+/// tolerance contract (≤1e-5); masked entries are still exactly
+/// `NEG_INF`. Used by the K>1 batched forward, whose contract is
+/// tolerance- rather than bit-governed; honors `MAPZERO_SIMD=scalar`,
+/// under which it degrades to the scalar form exactly.
+///
+/// # Panics
+/// Same contract as [`log_softmax_masked_into`].
+pub fn log_softmax_masked_fused_into(logits: &[f32], mask: &[bool], out: &mut Vec<f32>) {
+    assert_eq!(mask.len(), logits.len(), "one mask bit per logit");
+    assert!(mask.iter().any(|&m| m), "at least one action must be legal");
+    let max = crate::simd::max_masked(logits, mask);
+    let sum = crate::simd::sum_exp_masked(logits, mask, max);
+    let lse = max + sum.ln();
+    out.clear();
+    out.extend(
+        logits.iter().zip(mask).map(|(&v, &m)| if m { v - lse } else { NEG_INF }),
+    );
+}
+
 /// Precomputed message routing for one graph: the `(src, dst)` index
 /// columns with self-loops appended — exactly what
 /// [`crate::GatLayer::forward`] rebuilds on every tape pass — plus the
@@ -334,6 +477,47 @@ impl MessageIndex {
         }
         self.inv_deg.clear();
         self.inv_deg.resize(n, 0.0);
+        for &d in &self.dst {
+            self.inv_deg[d] += 1.0;
+        }
+        for v in &mut self.inv_deg {
+            *v = 1.0 / v.max(1.0);
+        }
+    }
+
+    /// Populate for `copies` disjoint copies of the same `n`-node
+    /// graph, stacked row-wise — the routing table of the batched
+    /// forward pass: copy `k`'s nodes live at rows `k*n..(k+1)*n` and
+    /// its edges are offset to match.
+    ///
+    /// Ordering matters for bit-equivalence: all tiled edges come
+    /// first, then all self-loops, so within any one copy each
+    /// destination sees its messages (edges, then its self-loop) in
+    /// exactly the order [`MessageIndex::rebuild`] produces for the
+    /// single graph. Scatter-adds and segment softmaxes over this index
+    /// are therefore bit-identical per copy to the unbatched pass.
+    /// `rebuild_tiled(edges, n, 1)` is exactly `rebuild(edges, n)`.
+    ///
+    /// # Panics
+    /// Panics if `copies == 0`.
+    pub fn rebuild_tiled(&mut self, edges: &[(usize, usize)], n: usize, copies: usize) {
+        assert!(copies > 0, "need at least one copy");
+        self.n = n * copies;
+        self.src.clear();
+        self.dst.clear();
+        for k in 0..copies {
+            let off = k * n;
+            for &(s, d) in edges {
+                self.src.push(s + off);
+                self.dst.push(d + off);
+            }
+        }
+        for u in 0..self.n {
+            self.src.push(u);
+            self.dst.push(u);
+        }
+        self.inv_deg.clear();
+        self.inv_deg.resize(self.n, 0.0);
         for &d in &self.dst {
             self.inv_deg[d] += 1.0;
         }
@@ -464,6 +648,66 @@ mod tests {
         idx.rebuild(&[], 2);
         assert_eq!(idx.src(), &[0, 1]);
         assert_eq!(idx.n(), 2);
+    }
+
+    #[test]
+    fn load_stacked_and_grouped_mean_match_per_graph_ops() {
+        let a = test_matrix(4, 3, 1.1);
+        let b = test_matrix(4, 3, 0.6);
+        let mut ctx = InferCtx::new();
+        ctx.begin();
+        let stacked = ctx.load_stacked(&[&a, &b]);
+        assert_eq!(ctx.value(stacked).rows(), 8);
+        assert_eq!(ctx.value(stacked).row_slice(5), b.row_slice(1));
+        let means = ctx.mean_rows_grouped(stacked, 2);
+        let mean_a = {
+            let ia = ctx.load(&a);
+            ctx.mean_rows(ia)
+        };
+        assert_eq!(ctx.value(means).row_slice(0), ctx.value(mean_a).row_slice(0));
+        let mean_b = {
+            let ib = ctx.load(&b);
+            ctx.mean_rows(ib)
+        };
+        assert_eq!(ctx.value(means).row_slice(1), ctx.value(mean_b).row_slice(0));
+    }
+
+    #[test]
+    fn rebuild_tiled_offsets_each_copy() {
+        let edges = [(0usize, 1usize), (1, 2)];
+        let mut tiled = MessageIndex::new();
+        tiled.rebuild_tiled(&edges, 3, 2);
+        assert_eq!(tiled.n(), 6);
+        assert_eq!(tiled.src(), &[0, 1, 3, 4, 0, 1, 2, 3, 4, 5]);
+        assert_eq!(tiled.dst(), &[1, 2, 4, 5, 0, 1, 2, 3, 4, 5]);
+        // Per-copy degrees must match the single-graph index.
+        let mut single = MessageIndex::new();
+        single.rebuild(&edges, 3);
+        assert_eq!(&tiled.inv_deg()[..3], single.inv_deg());
+        assert_eq!(&tiled.inv_deg()[3..], single.inv_deg());
+        // One copy degenerates to the plain rebuild.
+        let mut one = MessageIndex::new();
+        one.rebuild_tiled(&edges, 3, 1);
+        assert_eq!(one.src(), single.src());
+        assert_eq!(one.dst(), single.dst());
+        assert_eq!(one.inv_deg(), single.inv_deg());
+    }
+
+    #[test]
+    fn fused_log_softmax_stays_within_tolerance_of_scalar() {
+        let logits = test_matrix(1, 21, 2.3);
+        let mask: Vec<bool> = (0..21).map(|i| i % 4 != 1).collect();
+        let mut scalar = Vec::new();
+        log_softmax_masked_into(logits.row_slice(0), &mask, &mut scalar);
+        let mut fused = Vec::new();
+        log_softmax_masked_fused_into(logits.row_slice(0), &mask, &mut fused);
+        for ((s, f), &m) in scalar.iter().zip(&fused).zip(&mask) {
+            if m {
+                assert!((s - f).abs() <= 1e-5, "unmasked entry drifted: {s} vs {f}");
+            } else {
+                assert_eq!(*f, NEG_INF, "masked entries must stay pinned");
+            }
+        }
     }
 
     #[test]

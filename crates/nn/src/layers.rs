@@ -211,9 +211,9 @@ impl GatLayer {
             ctx.add_assign(e, e_src);
             ctx.leaky_relu(e, self.negative_slope);
             ctx.segment_softmax(e, index.dst()); // per-dst softmax
-            let msg = ctx.gather_rows(hw, index.src()); // (E x d)
-            ctx.col_mul(e, msg);
-            let agg = ctx.scatter_add_rows(msg, index.dst(), n); // (n x d)
+            // Fused gather → col_mul → scatter_add (bit-identical to
+            // the composed tape ops, minus the E x d message matrix).
+            let agg = ctx.scatter_weighted_rows(e, hw, index.src(), index.dst(), n); // (n x d)
             ctx.tanh(agg);
             out = Some(match out {
                 None => agg,

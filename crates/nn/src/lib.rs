@@ -42,6 +42,7 @@ mod layers;
 mod matrix;
 mod optim;
 mod serialize;
+pub mod simd;
 
 pub use graph::{Graph, VarId};
 pub use infer::{BufId, InferCtx, MessageIndex};

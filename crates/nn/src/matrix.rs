@@ -167,18 +167,67 @@ impl Matrix {
     /// The shared i-k-j accumulation kernel behind `matmul` /
     /// `matmul_into`. `out` must be zeroed and shaped `self.rows x
     /// rhs.cols`.
+    ///
+    /// Each output element accumulates its `k` contributions in
+    /// ascending order with the same zero skip regardless of kernel
+    /// kind. Under `Lanes8` the register-blocked columns fuse each
+    /// product into its accumulation (`mul_add`, one rounding instead
+    /// of two — see [`crate::simd::matmul_lanes8`]), so the two kinds
+    /// can differ by that rounding; what the inference path pins on is
+    /// that the tape and tape-free forwards share this one kernel, so
+    /// they agree bitwise under whichever kind is active.
     fn accumulate_matmul(&self, rhs: &Matrix, out: &mut Matrix) {
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
+        if rhs.cols == 1 {
+            // Matvec (attention-score projections are the common case):
+            // each output element is a single accumulation over one row
+            // of `self` and the contiguous column vector — one fused
+            // loop per row instead of one length-1 axpy call per
+            // (row, k) pair. Accumulation order and the zero skip are
+            // exactly those of the axpy loop below, so this stays
+            // bit-identical under either kernel kind; the `Lanes8`
+            // selection interleaves four rows' accumulator chains to
+            // hide the add latency (see `simd::matvec_lanes8`).
+            if matches!(crate::simd::kind(), crate::simd::SimdKind::Lanes8) {
+                crate::simd::matvec_lanes8(&self.data, self.cols, &rhs.data, &mut out.data);
+                return;
+            }
+            for i in 0..self.rows {
+                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                let mut acc = out.data[i];
+                for (&a, &b) in a_row.iter().zip(&rhs.data) {
+                    if a != 0.0 {
+                        acc += a * b;
+                    }
                 }
-                let lhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(lhs_row) {
-                    *o += a * b;
+                out.data[i] = acc;
+            }
+            return;
+        }
+        // Resolve the kernel kind once: the per-call atomic load and
+        // match inside `simd::axpy` are measurable at head-dim-sized
+        // rows (thousands of 16-element calls per forward), and hoisting
+        // lets LLVM unswitch the nested loop into two specialized
+        // bodies with the kernel inlined.
+        let kind = crate::simd::kind();
+        match kind {
+            crate::simd::SimdKind::Scalar => {
+                for i in 0..self.rows {
+                    for k in 0..self.cols {
+                        let a = self.data[i * self.cols + k];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let lhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                        let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                        crate::simd::axpy_scalar(out_row, a, lhs_row);
+                    }
                 }
+            }
+            crate::simd::SimdKind::Lanes8 => {
+                // Register-blocked fused accumulation in `simd` (one
+                // AVX2+FMA dispatch for the whole product — see
+                // `simd::matmul_lanes8` for the rounding contract).
+                crate::simd::matmul_lanes8(&self.data, self.cols, &rhs.data, rhs.cols, &mut out.data);
             }
         }
     }
@@ -188,9 +237,14 @@ impl Matrix {
     /// is a dot product of two contiguous rows), so the backward pass
     /// of `MatMul` stops allocating and striding a transposed copy.
     ///
-    /// Bit-identical to `self.matmul(&rhs.transpose())`: accumulation
-    /// runs over `k` in ascending order with the same skip of zero
-    /// left-hand elements.
+    /// Accumulation runs over `k` in ascending order with the same
+    /// skip of zero left-hand elements as `self.matmul(&rhs.transpose())`,
+    /// with separate multiply-then-add per step — bit-identical to the
+    /// explicit-transpose product for output widths below 8; on wider
+    /// outputs the `Lanes8` matmul fuses its leading column blocks
+    /// (see [`crate::simd::matmul_lanes8`]), so the two agree only
+    /// within one rounding per product there. Backward-pass use is
+    /// tolerance-governed either way.
     ///
     /// # Panics
     /// Panics unless `self.cols == rhs.cols`.
@@ -216,13 +270,44 @@ impl Matrix {
         out
     }
 
+    /// Fused-order variant of [`Matrix::matmul_transposed`]: each
+    /// output cell is one [`crate::simd::dot`] over two contiguous
+    /// rows, using 8 parallel accumulators instead of the sequential
+    /// zero-skipping scan. Matches the order-preserving form only
+    /// within the kernel tolerance contract (≤1e-5 relative, pinned by
+    /// the kernel proptests), so it is reserved for tolerance-governed
+    /// paths — the autodiff backward pass uses it; the forward paths
+    /// pinned by bit-equality tests must keep `matmul_transposed`.
+    ///
+    /// # Panics
+    /// Panics unless `self.cols == rhs.cols`.
+    #[must_use]
+    pub fn matmul_transposed_fast(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_transposed dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                *o = crate::simd::dot(a_row, b_row);
+            }
+        }
+        out
+    }
+
     /// Matrix product `selfᵀ x rhs` without materializing the
     /// transpose: the accumulation walks `self` and `rhs` row-by-row
     /// and scatters into `out` rows, keeping every access contiguous.
     ///
-    /// Bit-identical to `self.transpose().matmul(rhs)`: for each output
-    /// cell the contributions arrive in the same (ascending-`i`) order
-    /// with the same zero skip.
+    /// For each output cell the contributions arrive in the same
+    /// (ascending-`i`) order with the same zero skip as
+    /// `self.transpose().matmul(rhs)`, through the order-preserving
+    /// [`crate::simd::axpy`] kernel (separate multiply-then-add) —
+    /// bit-identical to the explicit-transpose product for output
+    /// widths below 8; on wider outputs the `Lanes8` matmul fuses its
+    /// leading column blocks (see [`crate::simd::matmul_lanes8`]), so
+    /// the two agree only within one rounding per product there.
     ///
     /// # Panics
     /// Panics unless `self.rows == rhs.rows`.
@@ -238,9 +323,7 @@ impl Matrix {
                     continue;
                 }
                 let out_row = &mut out.data[c * rhs.cols..(c + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+                crate::simd::axpy(out_row, a, b_row);
             }
         }
         out
@@ -404,6 +487,15 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[3.0, -4.0, 5.0]]);
         let b = Matrix::from_rows(&[&[0.5, 0.0, -1.0], &[2.0, 3.0, 4.0]]);
         assert_eq!(a.matmul_transposed(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn matmul_transposed_fast_matches_reference_within_tolerance() {
+        let a = Matrix::from_vec(5, 19, (0..95).map(|i| ((i as f32) * 0.31).sin()).collect());
+        let b = Matrix::from_vec(7, 19, (0..133).map(|i| ((i as f32) * 0.17).cos()).collect());
+        let fast = a.matmul_transposed_fast(&b);
+        let reference = a.matmul_transposed(&b);
+        assert!(fast.max_abs_diff(&reference) <= 1e-5, "fused dot drifted past the contract");
     }
 
     #[test]

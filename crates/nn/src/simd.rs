@@ -1,0 +1,1004 @@
+//! Explicit-SIMD f32 kernels with a scalar fallback, selected once at
+//! runtime.
+//!
+//! `std::simd` is still nightly-only, so these kernels are written as
+//! manually 8-lane-unrolled loops over fixed-size `[f32; 8]` blocks —
+//! the shape LLVM reliably turns into vector instructions on every
+//! target the workspace builds for — plus a scalar remainder for ragged
+//! tails. `MAPZERO_SIMD=scalar` (or `off`/`0`) forces the scalar
+//! fallback, which is useful for bisecting numeric differences and for
+//! benchmarking the kernels against their reference forms.
+//!
+//! # Determinism contract
+//!
+//! The kernels come in two flavours with different guarantees:
+//!
+//! - **Order-preserving** ([`axpy`], [`max_masked`]): every output
+//!   element sees exactly the operations, in exactly the order, of the
+//!   scalar reference loop (`axpy` touches each lane independently;
+//!   `max` is associative and commutative over non-NaN floats). These
+//!   are **bit-exact** under either [`SimdKind`] and are safe inside
+//!   paths pinned by bit-equality tests, e.g. the forward pass that
+//!   must match `predict_reference`. One carve-out: the `Lanes8`
+//!   matmul's register-blocked columns fuse each product into its
+//!   accumulation (`mul_add`, one rounding instead of two), so for the
+//!   general matmul shape the two kinds differ by that rounding — but
+//!   the order, the zero skip, and the per-element operation sequence
+//!   are still fixed by shape alone, and every forward path (tape,
+//!   tape-free, batched) runs the same kernel, so all paths remain
+//!   mutually bit-identical under whichever kind is active.
+//! - **Fused-order** ([`dot`], [`sum_exp_masked`]): the reduction runs
+//!   in 8 parallel accumulators folded with a fixed tree, which
+//!   reassociates the floating-point sum. Results match the sequential
+//!   reference only within a small tolerance (the kernel proptests pin
+//!   1e-5 relative), so these are reserved for paths with an explicit
+//!   tolerance contract: the autodiff backward pass and the K>1
+//!   batched-inference softmax.
+//! - **Elementwise-approximate** ([`tanh1`], [`tanh_map`]): under
+//!   `Lanes8` a vectorizable polynomial replaces the libm call, within
+//!   1e-5 absolute of it. The output depends only on the input bits and
+//!   the active kind — never on position or batch composition — so all
+//!   forward paths (tape, tape-free, batched) remain mutually
+//!   bit-identical under whichever kind is active; only cross-kind runs
+//!   differ.
+//!
+//! On x86-64 the `Lanes8` kernels additionally dispatch (cached runtime
+//! detection of AVX2 + FMA) to `#[target_feature(enable = "avx2,fma")]`
+//! twins of the same bodies. Bodies written as `a*b + c` stay separate
+//! multiply-then-add — Rust never contracts them — so their twins
+//! change throughput, never bits. Bodies written with `mul_add` (the
+//! matmul column blocks) mean fused single-rounding semantics on every
+//! path: hardware FMA inside the twins, libm `fmaf` in the non-AVX2
+//! fallback — same bits either way, the fallback is just slower (it
+//! only runs on pre-2013 x86-64 or non-x86 hosts).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel family [`kind`] selected for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdKind {
+    /// Plain sequential loops (reference semantics).
+    Scalar,
+    /// 8-lane unrolled kernels.
+    Lanes8,
+}
+
+const KIND_UNSET: u8 = 0;
+const KIND_SCALAR: u8 = 1;
+const KIND_LANES8: u8 = 2;
+
+static KIND: AtomicU8 = AtomicU8::new(KIND_UNSET);
+
+/// Runtime kernel selection, decided once per process from the
+/// environment: 8-lane unrolled kernels unless `MAPZERO_SIMD` is set to
+/// `scalar`, `off`, or `0`. [`force_kind`] can override the selection
+/// afterwards (benchmark support).
+#[must_use]
+pub fn kind() -> SimdKind {
+    match KIND.load(Ordering::Relaxed) {
+        KIND_SCALAR => SimdKind::Scalar,
+        KIND_LANES8 => SimdKind::Lanes8,
+        _ => {
+            let selected = match std::env::var("MAPZERO_SIMD").as_deref() {
+                Ok("scalar" | "off" | "0") => SimdKind::Scalar,
+                _ => SimdKind::Lanes8,
+            };
+            force_kind(selected);
+            selected
+        }
+    }
+}
+
+/// Override the kernel selection for the rest of the process (or until
+/// the next call). Benchmark support: the hotpath bench measures the
+/// scalar-kernel baseline and the SIMD arm inside one process. Normal
+/// operation never switches kinds mid-run — predictions are
+/// deterministic per kind, not across kinds.
+pub fn force_kind(k: SimdKind) {
+    let code = match k {
+        SimdKind::Scalar => KIND_SCALAR,
+        SimdKind::Lanes8 => KIND_LANES8,
+    };
+    KIND.store(code, Ordering::Relaxed);
+}
+
+const LANES: usize = 8;
+
+/// `out[j] += a * x[j]` — the axpy update behind every matmul in the
+/// workspace. Each lane is read-modify-written independently, so the
+/// unrolled form is bit-exact to the scalar loop and safe in
+/// bit-equality-pinned paths.
+///
+/// # Panics
+/// Panics unless `out.len() == x.len()`.
+#[inline]
+pub fn axpy(out: &mut [f32], a: f32, x: &[f32]) {
+    assert_eq!(out.len(), x.len(), "axpy length mismatch");
+    match kind() {
+        SimdKind::Scalar => axpy_scalar(out, a, x),
+        SimdKind::Lanes8 => axpy_lanes8(out, a, x),
+    }
+}
+
+#[inline]
+pub(crate) fn axpy_scalar(out: &mut [f32], a: f32, x: &[f32]) {
+    for (o, &b) in out.iter_mut().zip(x) {
+        *o += a * b;
+    }
+}
+
+/// Cached AVX2+FMA runtime detection for the `Lanes8` kernels. The
+/// twins run the *same* Rust bodies compiled for 256-bit registers:
+/// `a*b + c` bodies keep separate multiply-then-add (Rust never
+/// contracts them) and `mul_add` bodies are fused on either path
+/// (hardware FMA in the twin, libm `fmaf` in the fallback), so the
+/// detection outcome changes throughput, never bits.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx2() -> bool {
+    static AVX2: AtomicU8 = AtomicU8::new(0);
+    match AVX2.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let detected = std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma");
+            AVX2.store(if detected { 1 } else { 2 }, Ordering::Relaxed);
+            detected
+        }
+    }
+}
+
+#[inline(always)]
+fn axpy_lanes8_body(out: &mut [f32], a: f32, x: &[f32]) {
+    let mut oc = out.chunks_exact_mut(LANES);
+    let mut xc = x.chunks_exact(LANES);
+    for (o, b) in oc.by_ref().zip(xc.by_ref()) {
+        // Fixed-size block: lane j only ever combines with lane j, so
+        // vectorizing cannot reassociate anything.
+        for j in 0..LANES {
+            o[j] += a * b[j];
+        }
+    }
+    axpy_scalar(oc.into_remainder(), a, xc.remainder());
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn axpy_lanes8_avx2(out: &mut [f32], a: f32, x: &[f32]) {
+    axpy_lanes8_body(out, a, x);
+}
+
+#[inline]
+pub(crate) fn axpy_lanes8(out: &mut [f32], a: f32, x: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2() {
+        // SAFETY: `avx2()` confirmed the CPU supports AVX2.
+        return unsafe { axpy_lanes8_avx2(out, a, x) };
+    }
+    axpy_lanes8_body(out, a, x)
+}
+
+/// The `Lanes8` matmul accumulation loop behind
+/// [`crate::Matrix::matmul`]: `out` (`rows x n`, row-major) accumulates
+/// `lhs` (`rows x cols`) times `rhs` (`cols x n`). Register-blocked:
+/// output rows are processed four at a time in fixed-width column
+/// chunks (16/8 columns, then a ragged axpy tail) whose accumulators
+/// live in registers across the whole ascending-`k` loop and are stored
+/// once — instead of the output row being loaded and stored again per
+/// `k` step. The column blocks accumulate with `mul_add` (fused, one
+/// rounding per product), so this kernel differs from the scalar one by
+/// at most that rounding; the order and the zero skip are exactly the
+/// scalar kernel's, and which columns fuse is fixed by the shape alone
+/// (`n - n % 8` leading columns), never by row, batch composition, or
+/// CPU. The ragged tail keeps separate multiply-then-add.
+///
+/// Lives here (not in `matrix.rs`) so the whole loop gets one AVX2
+/// dispatch per matmul with the block kernels inlined into the twin.
+///
+/// # Panics
+/// Panics if the slice lengths are inconsistent with `cols`/`n`.
+pub(crate) fn matmul_lanes8(lhs: &[f32], cols: usize, rhs: &[f32], n: usize, out: &mut [f32]) {
+    if cols == 0 {
+        return;
+    }
+    assert_eq!(rhs.len(), cols * n, "rhs shape mismatch");
+    assert_eq!(lhs.len() * n, out.len() * cols, "lhs/out shape mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if avx2() {
+        // SAFETY: `avx2()` confirmed the CPU supports AVX2.
+        return unsafe { matmul_lanes8_avx2(lhs, cols, rhs, n, out) };
+    }
+    matmul_lanes8_kernel(lhs, cols, rhs, n, out)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn matmul_lanes8_avx2(lhs: &[f32], cols: usize, rhs: &[f32], n: usize, out: &mut [f32]) {
+    matmul_lanes8_kernel(lhs, cols, rhs, n, out);
+}
+
+/// One register-blocked output chunk: `out_chunk` (width `W`) is held
+/// in a fixed-size accumulator array — registers, once vectorized —
+/// across the whole ascending-`k` loop and stored once, instead of
+/// being loaded and stored again per `k` step. Per lane the fused
+/// accumulations run in exactly the scalar kernel's order with the
+/// same zero skip (see [`matmul_lanes8`] for the rounding contract).
+#[inline(always)]
+fn matmul_row_block<const W: usize>(a_row: &[f32], rhs: &[f32], n: usize, c: usize, out_chunk: &mut [f32]) {
+    let mut acc = [0.0f32; W];
+    acc.copy_from_slice(&out_chunk[..W]);
+    for (k, &a) in a_row.iter().enumerate() {
+        if a != 0.0 {
+            let r = &rhs[k * n + c..k * n + c + W];
+            for j in 0..W {
+                acc[j] = a.mul_add(r[j], acc[j]);
+            }
+        }
+    }
+    out_chunk[..W].copy_from_slice(&acc);
+}
+
+/// Four-row register tile: like [`matmul_row_block`], but four output
+/// rows' chunks are accumulated together so the tile holds `4 x W/8`
+/// independent vector accumulator chains (at `W = 16` that is eight —
+/// enough to hide the FMA latency that a single row's two chains
+/// cannot) and each `rhs` row is loaded once for all four lhs rows.
+/// Each output element still accumulates its `k` contributions in
+/// ascending order with the per-`(row, k)` zero skip; row position
+/// never changes an element's numerics, so quad-tiled and remainder
+/// rows agree bitwise.
+#[inline(always)]
+fn matmul_rows4_block<const W: usize>(
+    a: [&[f32]; 4],
+    rhs: &[f32],
+    n: usize,
+    c: usize,
+    o: [&mut [f32]; 4],
+) {
+    // Four named accumulator arrays (not an indexed array-of-arrays)
+    // so each lowers to live vector registers rather than stack slots.
+    let [a0, a1, a2, a3] = a;
+    let [o0, o1, o2, o3] = o;
+    let mut acc0 = [0.0f32; W];
+    let mut acc1 = [0.0f32; W];
+    let mut acc2 = [0.0f32; W];
+    let mut acc3 = [0.0f32; W];
+    acc0.copy_from_slice(&o0[..W]);
+    acc1.copy_from_slice(&o1[..W]);
+    acc2.copy_from_slice(&o2[..W]);
+    acc3.copy_from_slice(&o3[..W]);
+    for k in 0..a0.len() {
+        let rr = &rhs[k * n + c..k * n + c + W];
+        let v0 = a0[k];
+        if v0 != 0.0 {
+            for j in 0..W {
+                acc0[j] = v0.mul_add(rr[j], acc0[j]);
+            }
+        }
+        let v1 = a1[k];
+        if v1 != 0.0 {
+            for j in 0..W {
+                acc1[j] = v1.mul_add(rr[j], acc1[j]);
+            }
+        }
+        let v2 = a2[k];
+        if v2 != 0.0 {
+            for j in 0..W {
+                acc2[j] = v2.mul_add(rr[j], acc2[j]);
+            }
+        }
+        let v3 = a3[k];
+        if v3 != 0.0 {
+            for j in 0..W {
+                acc3[j] = v3.mul_add(rr[j], acc3[j]);
+            }
+        }
+    }
+    o0[..W].copy_from_slice(&acc0);
+    o1[..W].copy_from_slice(&acc1);
+    o2[..W].copy_from_slice(&acc2);
+    o3[..W].copy_from_slice(&acc3);
+}
+
+/// Single-row fallback for row counts not divisible by four and for
+/// ragged column tails; see [`matmul_row_block`].
+#[inline(always)]
+fn matmul_one_row(a_row: &[f32], rhs: &[f32], n: usize, out_row: &mut [f32], mut c: usize) {
+    while n - c >= 32 {
+        matmul_row_block::<32>(a_row, rhs, n, c, &mut out_row[c..c + 32]);
+        c += 32;
+    }
+    if n - c >= 16 {
+        matmul_row_block::<16>(a_row, rhs, n, c, &mut out_row[c..c + 16]);
+        c += 16;
+    }
+    if n - c >= 8 {
+        matmul_row_block::<8>(a_row, rhs, n, c, &mut out_row[c..c + 8]);
+        c += 8;
+    }
+    if c < n {
+        // Ragged tail (< 8 columns): ascending-`k` axpy updates on
+        // the remaining slice, same order and zero skip as above.
+        for (k, &a) in a_row.iter().enumerate() {
+            if a != 0.0 {
+                axpy_lanes8_body(&mut out_row[c..], a, &rhs[k * n + c..(k + 1) * n]);
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn matmul_lanes8_kernel(lhs: &[f32], cols: usize, rhs: &[f32], n: usize, out: &mut [f32]) {
+    let mut lhs_quads = lhs.chunks_exact(4 * cols);
+    let mut out_quads = out.chunks_exact_mut(4 * n);
+    for (lq, oq) in lhs_quads.by_ref().zip(out_quads.by_ref()) {
+        let (a0, rest) = lq.split_at(cols);
+        let (a1, rest) = rest.split_at(cols);
+        let (a2, a3) = rest.split_at(cols);
+        let (o0, rest) = oq.split_at_mut(n);
+        let (o1, rest) = rest.split_at_mut(n);
+        let (o2, o3) = rest.split_at_mut(n);
+        let mut c = 0;
+        while n - c >= 16 {
+            matmul_rows4_block::<16>(
+                [a0, a1, a2, a3],
+                rhs,
+                n,
+                c,
+                [
+                    &mut o0[c..c + 16],
+                    &mut o1[c..c + 16],
+                    &mut o2[c..c + 16],
+                    &mut o3[c..c + 16],
+                ],
+            );
+            c += 16;
+        }
+        if n - c >= 8 {
+            matmul_rows4_block::<8>(
+                [a0, a1, a2, a3],
+                rhs,
+                n,
+                c,
+                [
+                    &mut o0[c..c + 8],
+                    &mut o1[c..c + 8],
+                    &mut o2[c..c + 8],
+                    &mut o3[c..c + 8],
+                ],
+            );
+            c += 8;
+        }
+        if c < n {
+            for (a_row, out_row) in [(a0, &mut *o0), (a1, o1), (a2, o2), (a3, o3)] {
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a != 0.0 {
+                        axpy_lanes8_body(&mut out_row[c..], a, &rhs[k * n + c..(k + 1) * n]);
+                    }
+                }
+            }
+        }
+    }
+    for (a_row, out_row) in lhs_quads
+        .remainder()
+        .chunks_exact(cols)
+        .zip(out_quads.into_remainder().chunks_exact_mut(n))
+    {
+        matmul_one_row(a_row, rhs, n, out_row, 0);
+    }
+}
+
+/// The `Lanes8` matvec loop behind [`crate::Matrix::matmul`] when the
+/// right-hand side is a single column (the attention-score projections
+/// `hw · a`): four output rows are accumulated as interleaved
+/// independent chains, so one row's serial float-add latency overlaps
+/// the other three. Each row still accumulates its products in
+/// ascending `k` order with the same zero skip as the scalar matvec
+/// loop, so the result is bit-identical to it.
+///
+/// # Panics
+/// Panics if the slice lengths are inconsistent with `cols`.
+pub(crate) fn matvec_lanes8(lhs: &[f32], cols: usize, rhs: &[f32], out: &mut [f32]) {
+    if cols == 0 {
+        return;
+    }
+    assert_eq!(rhs.len(), cols, "rhs must be one column of length cols");
+    assert_eq!(lhs.len(), out.len() * cols, "lhs/out shape mismatch");
+    let mut rows = lhs.chunks_exact(4 * cols);
+    let mut outs = out.chunks_exact_mut(4);
+    for (quad, oc) in rows.by_ref().zip(outs.by_ref()) {
+        let (r0, rest) = quad.split_at(cols);
+        let (r1, rest) = rest.split_at(cols);
+        let (r2, r3) = rest.split_at(cols);
+        let (mut a0, mut a1, mut a2, mut a3) = (oc[0], oc[1], oc[2], oc[3]);
+        for (k, &b) in rhs.iter().enumerate() {
+            if r0[k] != 0.0 {
+                a0 += r0[k] * b;
+            }
+            if r1[k] != 0.0 {
+                a1 += r1[k] * b;
+            }
+            if r2[k] != 0.0 {
+                a2 += r2[k] * b;
+            }
+            if r3[k] != 0.0 {
+                a3 += r3[k] * b;
+            }
+        }
+        oc[0] = a0;
+        oc[1] = a1;
+        oc[2] = a2;
+        oc[3] = a3;
+    }
+    for (row, o) in rows.remainder().chunks_exact(cols).zip(outs.into_remainder()) {
+        let mut acc = *o;
+        for (&a, &b) in row.iter().zip(rhs) {
+            if a != 0.0 {
+                acc += a * b;
+            }
+        }
+        *o = acc;
+    }
+}
+
+/// The `Lanes8` fused attention-aggregation loop behind
+/// [`crate::InferCtx::scatter_weighted_rows`]: for each edge `e` in
+/// ascending order, `out[dst[e]] += weights[e] · a[src[e]]` (rows of
+/// width `cols`). Each edge is exactly one axpy row update, so the
+/// result is bit-identical to the scalar kernel's loop; hoisting the
+/// whole loop here gives it one AVX2 dispatch per call instead of one
+/// per edge.
+///
+/// # Panics
+/// Panics if an index is out of range or the lengths are inconsistent.
+pub(crate) fn scatter_axpy_lanes8(
+    out: &mut [f32],
+    cols: usize,
+    a: &[f32],
+    weights: &[f32],
+    src: &[usize],
+    dst: &[usize],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2() {
+        // SAFETY: `avx2()` confirmed the CPU supports AVX2.
+        return unsafe { scatter_axpy_lanes8_avx2(out, cols, a, weights, src, dst) };
+    }
+    scatter_axpy_kernel(out, cols, a, weights, src, dst)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn scatter_axpy_lanes8_avx2(
+    out: &mut [f32],
+    cols: usize,
+    a: &[f32],
+    weights: &[f32],
+    src: &[usize],
+    dst: &[usize],
+) {
+    scatter_axpy_kernel(out, cols, a, weights, src, dst);
+}
+
+#[inline(always)]
+fn scatter_axpy_kernel(
+    out: &mut [f32],
+    cols: usize,
+    a: &[f32],
+    weights: &[f32],
+    src: &[usize],
+    dst: &[usize],
+) {
+    for ((&w, &s), &d) in weights.iter().zip(src).zip(dst) {
+        let row = &a[s * cols..(s + 1) * cols];
+        let o = &mut out[d * cols..(d + 1) * cols];
+        axpy_lanes8_body(o, w, row);
+    }
+}
+
+/// Fused-order dot product: 8 parallel accumulators plus a scalar tail,
+/// folded pairwise. Reassociates the sum relative to the sequential
+/// reference (tolerance contract, see the module docs). Unlike
+/// [`crate::Matrix::matmul_transposed`] there is no zero-skip, so a
+/// non-finite element always propagates.
+///
+/// # Panics
+/// Panics unless `a.len() == b.len()`.
+#[inline]
+#[must_use]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    match kind() {
+        SimdKind::Scalar => dot_scalar(a, b),
+        SimdKind::Lanes8 => dot_lanes8(a, b),
+    }
+}
+
+#[inline]
+fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+#[inline]
+fn dot_lanes8(a: &[f32], b: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; LANES];
+    let mut ac = a.chunks_exact(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    for (x, y) in ac.by_ref().zip(bc.by_ref()) {
+        for j in 0..LANES {
+            lanes[j] += x[j] * y[j];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
+        tail += x * y;
+    }
+    // Fixed pairwise fold so the result is deterministic per build.
+    let l0 = (lanes[0] + lanes[4]) + (lanes[2] + lanes[6]);
+    let l1 = (lanes[1] + lanes[5]) + (lanes[3] + lanes[7]);
+    (l0 + l1) + tail
+}
+
+/// Maximum of the unmasked lanes (masked lanes contribute
+/// `f32::NEG_INFINITY`). `max` over non-NaN floats is associative and
+/// commutative, so the lane-parallel reduction is bit-exact to the
+/// sequential masked scan.
+///
+/// # Panics
+/// Panics unless `xs.len() == mask.len()`.
+#[inline]
+#[must_use]
+pub fn max_masked(xs: &[f32], mask: &[bool]) -> f32 {
+    assert_eq!(xs.len(), mask.len(), "max_masked length mismatch");
+    match kind() {
+        SimdKind::Scalar => {
+            let mut m = f32::NEG_INFINITY;
+            for (&v, &keep) in xs.iter().zip(mask) {
+                if keep {
+                    m = m.max(v);
+                }
+            }
+            m
+        }
+        SimdKind::Lanes8 => {
+            let mut lanes = [f32::NEG_INFINITY; LANES];
+            let mut xc = xs.chunks_exact(LANES);
+            let mut mc = mask.chunks_exact(LANES);
+            for (x, keep) in xc.by_ref().zip(mc.by_ref()) {
+                for j in 0..LANES {
+                    lanes[j] = lanes[j].max(if keep[j] { x[j] } else { f32::NEG_INFINITY });
+                }
+            }
+            let mut m = lanes.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            for (&v, &keep) in xc.remainder().iter().zip(mc.remainder()) {
+                if keep {
+                    m = m.max(v);
+                }
+            }
+            m
+        }
+    }
+}
+
+/// Fused-order `Σ exp(x − shift)` over the unmasked lanes: 8 parallel
+/// accumulators folded pairwise (tolerance contract — the softmax
+/// normalizer of the K>1 batched forward runs through this).
+///
+/// # Panics
+/// Panics unless `xs.len() == mask.len()`.
+#[inline]
+#[must_use]
+pub fn sum_exp_masked(xs: &[f32], mask: &[bool], shift: f32) -> f32 {
+    assert_eq!(xs.len(), mask.len(), "sum_exp_masked length mismatch");
+    match kind() {
+        SimdKind::Scalar => {
+            let mut sum = 0.0f32;
+            for (&v, &keep) in xs.iter().zip(mask) {
+                if keep {
+                    sum += (v - shift).exp();
+                }
+            }
+            sum
+        }
+        SimdKind::Lanes8 => {
+            let mut lanes = [0.0f32; LANES];
+            let mut xc = xs.chunks_exact(LANES);
+            let mut mc = mask.chunks_exact(LANES);
+            for (x, keep) in xc.by_ref().zip(mc.by_ref()) {
+                for j in 0..LANES {
+                    lanes[j] += if keep[j] { (x[j] - shift).exp() } else { 0.0 };
+                }
+            }
+            let mut tail = 0.0f32;
+            for (&v, &keep) in xc.remainder().iter().zip(mc.remainder()) {
+                if keep {
+                    tail += (v - shift).exp();
+                }
+            }
+            let l0 = (lanes[0] + lanes[4]) + (lanes[2] + lanes[6]);
+            let l1 = (lanes[1] + lanes[5]) + (lanes[3] + lanes[7]);
+            (l0 + l1) + tail
+        }
+    }
+}
+
+/// Hyperbolic tangent of one value under the selected kernel kind.
+///
+/// Under [`SimdKind::Scalar`] this is exactly [`f32::tanh`] (libm).
+/// Under [`SimdKind::Lanes8`] it is a polynomial approximation (see
+/// [`tanh_map`]) within `1e-5` absolute of libm — in practice ~1e-6.
+/// Either way the function is **elementwise-deterministic**: the output
+/// depends only on the input bits and the active kind, never on
+/// position, slice length, or batch composition, so every forward path
+/// (tape, tape-free, batched) that routes through it stays mutually
+/// bit-identical.
+#[inline]
+#[must_use]
+pub fn tanh1(x: f32) -> f32 {
+    match kind() {
+        SimdKind::Scalar => x.tanh(),
+        SimdKind::Lanes8 => tanh_fast(x),
+    }
+}
+
+/// In-place elementwise tanh over a slice.
+///
+/// The libm `tanhf` call is the single most expensive instruction
+/// stream in the inference hot path (~11 ns/element, ~2.8k elements per
+/// forward on conv3/HReA — more than the matmuls). The `Lanes8` kernel
+/// replaces it with a branch-free `exp2`-based polynomial that LLVM
+/// auto-vectorizes: `tanh(|x|) = 1 − 2/(e^{2|x|} + 1)` with
+/// `e^{2|x|} = 2^k · p(f)`, `p` a degree-6 Taylor/Horner evaluation of
+/// `2^f` on `|f| ≤ 0.5`. Absolute error vs libm is ≤ 1e-5 (contract;
+/// measured ~1e-6); NaN propagates; ±0 and saturation signs match libm.
+#[inline]
+pub fn tanh_map(xs: &mut [f32]) {
+    match kind() {
+        SimdKind::Scalar => {
+            for v in xs {
+                *v = v.tanh();
+            }
+        }
+        SimdKind::Lanes8 => {
+            #[cfg(target_arch = "x86_64")]
+            if avx2() {
+                // SAFETY: `avx2()` confirmed the CPU supports AVX2.
+                return unsafe { tanh_fast_map_avx2(xs) };
+            }
+            tanh_fast_map_body(xs)
+        }
+    }
+}
+
+#[inline(always)]
+fn tanh_fast_map_body(xs: &mut [f32]) {
+    for v in xs {
+        *v = tanh_fast(*v);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn tanh_fast_map_avx2(xs: &mut [f32]) {
+    tanh_fast_map_body(xs);
+}
+
+/// Branch-free polynomial tanh (the `Lanes8` kernel of [`tanh_map`]).
+#[inline]
+fn tanh_fast(x: f32) -> f32 {
+    // t = 2|x|·log2(e), so e^{2|x|} = 2^t. Saturation: tanh rounds to
+    // ±1.0 in f32 for |x| ≥ ~9, i.e. t ≥ ~26; capping k keeps the
+    // exponent construction in range for any finite input while inf
+    // and NaN still propagate through `f`.
+    const TWO_LOG2_E: f32 = 2.0 * std::f32::consts::LOG2_E;
+    let t = x.abs() * TWO_LOG2_E;
+    // Nearest integer via add-and-truncate (t ≥ 0 here, and `min`
+    // clamps NaN/huge inputs to 64 — NaN still propagates through `f`
+    // below). `round()` would be a libm call at the SSE2 baseline and
+    // block vectorization of this loop.
+    let k = (t.min(64.0) + 0.5) as i32;
+    let f = t - k as f32;
+    // 2^f ≈ Σ ln2^i f^i / i! for |f| ≤ 0.5 (Horner, degree 6).
+    const C1: f32 = std::f32::consts::LN_2;
+    const C2: f32 = 0.240_226_5;
+    const C3: f32 = 0.055_504_11;
+    const C4: f32 = 0.009_618_13;
+    const C5: f32 = 0.001_333_55;
+    const C6: f32 = 0.000_154_04;
+    let p = 1.0 + f * (C1 + f * (C2 + f * (C3 + f * (C4 + f * (C5 + f * C6)))));
+    // 2^k by exponent-bit construction; k ∈ [0, 64] here.
+    let scale = f32::from_bits(((127 + k) as u32) << 23);
+    let e = p * scale; // e^{2|x|}
+    let y = 1.0 - 2.0 / (e + 1.0);
+    y.copysign(x)
+}
+
+/// In-place elementwise `e^x` over max-shifted softmax inputs
+/// (`x ≤ 0`; every segment's maximum maps to exactly `0.0`).
+///
+/// Elementwise-approximate (module docs): under [`SimdKind::Scalar`]
+/// this is the libm `expf` loop, bit-identical to the historical
+/// segment-softmax numerator. Under [`SimdKind::Lanes8`] it is the same
+/// branch-free `2^k · p(f)` construction as [`tanh_map`], within `1e-5`
+/// relative of libm (measured ~1e-7), and LLVM vectorizes the loop —
+/// libm `expf` is the dominant cost of `segment_softmax`, the second
+/// hottest call in the batched forward after the matmuls.
+///
+/// Both kernels depend only on the element bits, so the tape and
+/// tape-free softmax stay mutually bit-identical per kind. Inputs below
+/// `-126·ln 2` (where `e^x` is subnormal) flush toward zero under
+/// `Lanes8`; softmax ratios are unaffected because every segment sum
+/// includes the shifted maximum's `e^0 = 1`.
+///
+/// # Panics
+/// Debug-panics if an element is positive (callers shift by the
+/// segment max first).
+#[inline]
+pub fn exp_neg_map(xs: &mut [f32]) {
+    match kind() {
+        SimdKind::Scalar => {
+            for v in xs {
+                *v = v.exp();
+            }
+        }
+        SimdKind::Lanes8 => {
+            #[cfg(target_arch = "x86_64")]
+            if avx2() {
+                // SAFETY: `avx2()` confirmed the CPU supports AVX2.
+                return unsafe { exp_neg_map_avx2(xs) };
+            }
+            exp_neg_map_body(xs)
+        }
+    }
+}
+
+#[inline(always)]
+fn exp_neg_map_body(xs: &mut [f32]) {
+    for v in xs {
+        debug_assert!(*v <= 0.0 || v.is_nan(), "exp_neg_map input must be max-shifted (≤ 0)");
+        *v = exp_fast_neg(*v);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn exp_neg_map_avx2(xs: &mut [f32]) {
+    exp_neg_map_body(xs);
+}
+
+/// Branch-free polynomial `e^x` for `x ≤ 0` (the `Lanes8` kernel of
+/// [`exp_neg_map`]).
+#[inline]
+fn exp_fast_neg(x: f32) -> f32 {
+    // e^x = 2^t with t = x·log2(e) ≤ 0. The clamp keeps the exponent
+    // construction in normal range (t < -126 would need a subnormal);
+    // true e^x is < 1.2e-38 there, so the clamped value is still zero
+    // for every softmax purpose.
+    let t = (x * std::f32::consts::LOG2_E).max(-126.0);
+    // Nearest integer via subtract-and-truncate: t ≤ 0, so truncation
+    // toward zero of `t - 0.5` rounds t to the nearest integer (ties
+    // away). `round()` is a libm call at the SSE2 baseline and would
+    // block vectorization.
+    let k = (t - 0.5) as i32;
+    let f = t - k as f32;
+    // 2^f ≈ Σ ln2^i f^i / i! for |f| ≤ 0.5 (Horner, degree 6) — same
+    // coefficients as `tanh_fast`.
+    const C1: f32 = std::f32::consts::LN_2;
+    const C2: f32 = 0.240_226_5;
+    const C3: f32 = 0.055_504_11;
+    const C4: f32 = 0.009_618_13;
+    const C5: f32 = 0.001_333_55;
+    const C6: f32 = 0.000_154_04;
+    let p = 1.0 + f * (C1 + f * (C2 + f * (C3 + f * (C4 + f * (C5 + f * C6)))));
+    // 2^k by exponent-bit construction; k ∈ [-126, 0] here.
+    let scale = f32::from_bits(((127 + k) as u32) << 23);
+    p * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize, phase: f32) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32 + phase) * 0.37).sin() * 1.7).collect()
+    }
+
+    #[test]
+    fn axpy_lanes_is_bit_exact_to_scalar() {
+        for n in [0usize, 1, 7, 8, 9, 16, 31, 64] {
+            let x = series(n, 0.3);
+            let mut a = series(n, 1.1);
+            let mut b = a.clone();
+            axpy_scalar(&mut a, 0.73, &x);
+            axpy_lanes8(&mut b, 0.73, &x);
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matmul_lanes8_is_bit_exact_to_sequential_reference() {
+        // Widths crossing the block sizes and the ragged tail, row
+        // counts crossing the 4-row tile and its remainder, and zero
+        // coefficients sprinkled in to exercise the skip. The reference
+        // models the documented rounding contract exactly: ascending-k
+        // fused accumulation (`mul_add`) on the leading `n - n % 8`
+        // columns, separate multiply-then-add on the ragged tail.
+        for (rows, cols, n) in
+            [(3usize, 9usize, 16usize), (2, 16, 40), (5, 7, 5), (4, 12, 33), (9, 6, 24)]
+        {
+            let mut lhs = series(rows * cols, 0.4);
+            for v in lhs.iter_mut().step_by(5) {
+                *v = 0.0;
+            }
+            let rhs = series(cols * n, 1.3);
+            let fused_cols = n - n % 8;
+            let mut seq = vec![0.0f32; rows * n];
+            for i in 0..rows {
+                for k in 0..cols {
+                    let a = lhs[i * cols + k];
+                    if a != 0.0 {
+                        for j in 0..n {
+                            let o = &mut seq[i * n + j];
+                            if j < fused_cols {
+                                *o = a.mul_add(rhs[k * n + j], *o);
+                            } else {
+                                *o += a * rhs[k * n + j];
+                            }
+                        }
+                    }
+                }
+            }
+            let mut blocked = vec![0.0f32; rows * n];
+            matmul_lanes8(&lhs, cols, &rhs, n, &mut blocked);
+            assert_eq!(seq, blocked, "{rows}x{cols}x{n}");
+        }
+    }
+
+    #[test]
+    fn matvec_lanes8_is_bit_exact_to_scalar_loop() {
+        // Row counts crossing the 4-row interleave and its remainder,
+        // with zero coefficients sprinkled in to exercise the skip.
+        for (rows, cols) in [(9usize, 16usize), (4, 7), (3, 12), (8, 1), (2, 0)] {
+            let mut lhs = series(rows * cols, 0.7);
+            for v in lhs.iter_mut().step_by(5) {
+                *v = 0.0;
+            }
+            let rhs = series(cols, 1.9);
+            let mut seq = vec![0.0f32; rows];
+            for i in 0..rows {
+                let mut acc = 0.0f32;
+                for (&a, &b) in lhs[i * cols..(i + 1) * cols].iter().zip(&rhs) {
+                    if a != 0.0 {
+                        acc += a * b;
+                    }
+                }
+                seq[i] = acc;
+            }
+            let mut quad = vec![0.0f32; rows];
+            matvec_lanes8(&lhs, cols, &rhs, &mut quad);
+            if cols == 0 {
+                continue; // early return leaves `out` untouched
+            }
+            assert_eq!(seq, quad, "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn fast_exp_stays_within_contract_of_libm() {
+        // Sweep the normal range of the softmax-shifted domain; below
+        // -126·ln 2 the kernel flushes toward zero (checked separately
+        // in `fast_exp_edge_cases`).
+        let mut worst = 0.0f32;
+        let mut i = 0i32;
+        while i <= 870_000 {
+            let x = -(i as f32) * 1e-4; // [-87, 0]
+            let e = exp_fast_neg(x);
+            let r = x.exp();
+            let err = (e - r).abs() / r;
+            worst = worst.max(err);
+            i += 1;
+        }
+        assert!(worst <= 1e-5, "max relative |exp_fast_neg - exp| = {worst}");
+    }
+
+    #[test]
+    fn fast_exp_edge_cases() {
+        assert_eq!(exp_fast_neg(0.0), 1.0);
+        assert_eq!(exp_fast_neg(-0.0), 1.0);
+        assert!(exp_fast_neg(-1000.0) <= f32::MIN_POSITIVE, "deep underflow flushes to ~0");
+        assert!(exp_fast_neg(f32::NEG_INFINITY) <= f32::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn exp_neg_map_is_elementwise() {
+        let xs: Vec<f32> = (0..37).map(|i| -((i as f32) * 0.41).fract() * 20.0).collect();
+        let mut mapped = xs.clone();
+        exp_neg_map(&mut mapped);
+        for (m, x) in mapped.iter().zip(&xs) {
+            let one = match kind() {
+                SimdKind::Scalar => x.exp(),
+                SimdKind::Lanes8 => exp_fast_neg(*x),
+            };
+            assert_eq!(m.to_bits(), one.to_bits());
+        }
+    }
+
+    #[test]
+    fn dot_lanes_matches_scalar_within_tolerance() {
+        for n in [0usize, 1, 7, 8, 9, 40, 129] {
+            let a = series(n, 0.0);
+            let b = series(n, 2.0);
+            let fused = dot_lanes8(&a, &b);
+            let seq = dot_scalar(&a, &b);
+            assert!((fused - seq).abs() <= 1e-5 * (1.0 + seq.abs()), "n={n}: {fused} vs {seq}");
+        }
+    }
+
+    #[test]
+    fn masked_reductions_respect_the_mask() {
+        let xs = series(21, 0.5);
+        let mask: Vec<bool> = (0..21).map(|i| i % 3 != 0).collect();
+        let max = max_masked(&xs, &mask);
+        let expect = xs
+            .iter()
+            .zip(&mask)
+            .filter(|&(_, &m)| m)
+            .map(|(&v, _)| v)
+            .fold(f32::NEG_INFINITY, f32::max);
+        assert_eq!(max, expect);
+        let sum = sum_exp_masked(&xs, &mask, max);
+        let seq: f32 = xs
+            .iter()
+            .zip(&mask)
+            .filter(|&(_, &m)| m)
+            .map(|(&v, _)| (v - max).exp())
+            .sum();
+        assert!((sum - seq).abs() <= 1e-5 * (1.0 + seq.abs()));
+    }
+
+    #[test]
+    fn kind_is_stable_within_a_process() {
+        assert_eq!(kind(), kind());
+    }
+
+    #[test]
+    fn fast_tanh_stays_within_contract_of_libm() {
+        // Dense sweep over the active range plus the saturation zone.
+        let mut worst = 0.0f32;
+        let mut i = -120_000i32;
+        while i <= 120_000 {
+            let x = i as f32 * 1e-4; // [-12, 12]
+            let err = (tanh_fast(x) - x.tanh()).abs();
+            worst = worst.max(err);
+            i += 1;
+        }
+        assert!(worst <= 1e-5, "max |tanh_fast - tanh| = {worst}");
+    }
+
+    #[test]
+    fn fast_tanh_edge_cases_match_libm() {
+        assert_eq!(tanh_fast(0.0).to_bits(), 0.0f32.to_bits());
+        assert_eq!(tanh_fast(-0.0).to_bits(), (-0.0f32).to_bits());
+        assert_eq!(tanh_fast(f32::INFINITY), 1.0);
+        assert_eq!(tanh_fast(f32::NEG_INFINITY), -1.0);
+        assert_eq!(tanh_fast(40.0), 1.0);
+        assert_eq!(tanh_fast(-40.0), -1.0);
+        assert_eq!(tanh_fast(1.0e30), 1.0);
+        assert!(tanh_fast(f32::NAN).is_nan(), "NaN must propagate");
+    }
+
+    #[test]
+    fn tanh_map_is_elementwise_tanh1() {
+        let xs = series(37, 0.9);
+        let mut mapped = xs.clone();
+        tanh_map(&mut mapped);
+        for (&m, &x) in mapped.iter().zip(&xs) {
+            assert_eq!(m.to_bits(), tanh1(x).to_bits());
+        }
+    }
+}

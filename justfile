@@ -49,6 +49,13 @@ bench:
 bench-hotpath:
     cargo run --release -p mapzero-bench --bin hotpath
 
+# Batch-scaling slice of the hot-path bench: rerun it and print the
+# K=1/4/8/16 predictions/sec table (batched SIMD arm vs the scalar
+# one-at-a-time baseline) from results/BENCH_hotpath.json.
+bench-batch:
+    cargo run --release -p mapzero-bench --bin hotpath
+    @python3 -c "import json; rows = json.load(open('results/BENCH_hotpath.json'))['batch_scaling']; print('batch  pred/s   vs scalar'); [print(f\"{int(r['batch']):>5}  {r['predictions_per_sec']:>7.0f}  {r['speedup_vs_scalar']:>8.2f}x\") for r in rows]"
+
 # Regenerate every paper table/figure (quick mode).
 figures:
     cargo run --release -p mapzero-bench --bin run_all

@@ -46,7 +46,7 @@ with open(fresh_path) as f:
 required = [
     "bench", "elapsed_secs", "metrics",
     "predictions_per_sec_reference", "predictions_per_sec_fast",
-    "predict_speedup", "compile_kernel",
+    "predict_speedup", "batch_scaling", "batch8_speedup", "compile_kernel",
     "compile_secs_before", "compile_secs_after", "compile_speedup",
 ]
 missing = [k for k in required if k not in fresh]
@@ -54,9 +54,25 @@ if missing:
     sys.exit(f"perf smoke: BENCH_hotpath.json missing fields {missing}")
 counters = fresh["metrics"]["counters"]
 for c in ("search.predict_cache.hit", "search.predict_cache.miss",
-          "nn.dfg_embed.hit", "nn.dfg_embed.miss"):
+          "nn.dfg_embed.hit", "nn.dfg_embed.miss",
+          "search.batch.flush", "search.batch.partial",
+          "search.batch.cache_short_circuit"):
     if c not in counters:
         sys.exit(f"perf smoke: counter {c!r} absent from metrics delta")
+if "nn.batch.size" not in fresh["metrics"].get("histograms", {}):
+    sys.exit("perf smoke: histogram 'nn.batch.size' absent from metrics delta")
+
+# Batch-scaling gate: one leaf batch of 8 must not be slower than
+# one-at-a-time prediction. Both rates come from the same interleaved
+# sweep (median of per-pair ratios), so this holds with a wide margin
+# unless batching itself regressed.
+rate = {int(row["batch"]): row["predictions_per_sec"]
+        for row in fresh["batch_scaling"]}
+if not {1, 8} <= set(rate):
+    sys.exit(f"perf smoke: batch_scaling missing K=1/K=8 rows, got {sorted(rate)}")
+if rate[8] < rate[1]:
+    sys.exit(f"perf smoke: batch-8 throughput {rate[8]:.0f}/s below "
+             f"batch-1 {rate[1]:.0f}/s")
 
 # Regression check vs the committed baseline: warn (non-fatal) when the
 # fresh run is more than 2x slower — CI machines vary, so this is a
@@ -67,12 +83,13 @@ try:
 except OSError:
     print("perf smoke: no committed baseline, skipping regression check")
     sys.exit(0)
-for key in ("predictions_per_sec_fast",):
+for key in ("predictions_per_sec_fast", "batch8_speedup"):
     fresh_v, base_v = fresh.get(key, 0.0), baseline.get(key, 0.0)
     if base_v > 0 and fresh_v < base_v / 2:
         print(f"WARNING: perf smoke: {key} regressed >2x "
               f"({fresh_v:.0f} vs committed {base_v:.0f})")
 print(f"perf smoke: OK (predict {fresh['predict_speedup']:.1f}x, "
+      f"batch8 {fresh['batch8_speedup']:.2f}x, "
       f"compile {fresh['compile_speedup']:.2f}x)")
 PY
 
