@@ -219,5 +219,39 @@ fn main() {
     h.field("compile_secs_after", Json::Num(after));
     h.field("compile_speedup", Json::Num(compile_speedup));
 
+    // --- 4. Candidate pruning (DESIGN.md §13) ------------------------
+    // Same compile workload, full hot path in both arms; only
+    // `MctsConfig::prune_candidates` flips. Interleaved pairs with
+    // alternating arm order, summarized as the median per-pair ratio —
+    // the same drift-cancelling layout as the batch scaling above. The
+    // 16×16 headline number lives in `BENCH_search_space.json`; this
+    // field tracks the small-fabric (HReA) cost/benefit so a pruning
+    // regression shows up even in the quick smoke.
+    let prune_arm = |prune: bool| -> f64 {
+        let mut config = mode.mapzero_config();
+        config.agent.mcts.prune_candidates = prune;
+        config.agent.mcts.playout = false;
+        config.pretrain = None;
+        let mut compiler = Compiler::new(config);
+        let started = Instant::now();
+        let _ = compiler.map_with_limit(&dfg, &cgra, limit);
+        started.elapsed().as_secs_f64()
+    };
+    let mut prune_ratios = Vec::new();
+    for p in 0..pairs {
+        h.progress(format!("compiling {kernel} prune off/on (pair {}/{pairs})", p + 1));
+        let (off, on) = if p % 2 == 0 {
+            let off = prune_arm(false);
+            (off, prune_arm(true))
+        } else {
+            let on = prune_arm(true);
+            (prune_arm(false), on)
+        };
+        prune_ratios.push(off / on.max(f64::MIN_POSITIVE));
+    }
+    let prune_speedup = median(&mut prune_ratios);
+    h.note(format!("candidate pruning compile speedup on {}: {prune_speedup:.2}x", cgra.name()));
+    h.field("prune_speedup", Json::Num(prune_speedup));
+
     h.finish();
 }

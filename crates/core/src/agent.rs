@@ -319,8 +319,14 @@ impl<'n> MapZeroAgent<'n> {
         budget: &Budget,
         probs_scratch: &mut Vec<f32>,
     ) -> Option<(PeId, Vec<f32>, Option<Mapping>)> {
+        if env.doomed() {
+            // Forward checking proved no conflict-free completion exists
+            // here; force a backtrack instead of searching the subtree.
+            mapzero_obs::counter!("search.prune.dead_state");
+            return None;
+        }
         let legal: Vec<PeId> =
-            env.legal_actions().into_iter().filter(|a| !banned.contains(a)).collect();
+            env.search_actions().into_iter().filter(|a| !banned.contains(a)).collect();
         if legal.is_empty() {
             return None;
         }

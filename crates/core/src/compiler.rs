@@ -428,6 +428,13 @@ impl Compiler {
                     Err(MapError::NoSchedule(_)) => continue,
                     Err(e) => return Err(e),
                 };
+                // Candidate sets depend on the schedule's slacks, so
+                // they are rebuilt per II candidate (the II bump path).
+                let problem = if self.config.agent.mcts.prune_candidates {
+                    problem.with_candidate_pruning()
+                } else {
+                    problem
+                };
                 // Split the remaining budget across the remaining II
                 // candidates so an unroutable MII cannot starve higher
                 // IIs.

@@ -74,7 +74,10 @@ pub fn observe(env: &MapEnv<'_>) -> Observation {
         cgra_nodes,
         cgra_edges,
         metadata,
-        mask: env.action_mask(),
+        // With candidate pruning the policy only sees (and only ever
+        // normalizes over) the live candidate set; otherwise this is
+        // exactly the legal-action mask.
+        mask: env.search_mask(),
     }
 }
 
@@ -192,7 +195,9 @@ impl Observer {
             None => obs.metadata.fill(0.0),
         }
 
-        obs.mask = env.action_mask();
+        // Must match `observe` exactly (the proptest suite pins the
+        // incremental path against the from-scratch one).
+        obs.mask = env.search_mask();
         obs
     }
 }

@@ -6,6 +6,7 @@
 //! routing penalty introduced by the placement: −100 per routing
 //! conflict plus a small wire-cost term for claimed resources.
 
+use crate::candidates::CandidateState;
 use crate::ledger::Ledger;
 use crate::mapping::{Mapping, Placement};
 use crate::problem::Problem;
@@ -49,6 +50,9 @@ pub struct MapEnv<'a> {
     cursor: usize,
     history: Vec<StepRecord>,
     total_reward: f64,
+    /// Live candidate sets (forward checking), present iff the problem
+    /// was built with [`Problem::with_candidate_pruning`].
+    cands: Option<CandidateState>,
 }
 
 impl<'a> MapEnv<'a> {
@@ -66,6 +70,7 @@ impl<'a> MapEnv<'a> {
             cursor: 0,
             history: Vec::with_capacity(n),
             total_reward: 0.0,
+            cands: problem.candidates().map(CandidateState::new),
         }
     }
 
@@ -180,6 +185,55 @@ impl<'a> MapEnv<'a> {
             .collect()
     }
 
+    /// True when this environment carries live candidate sets (the
+    /// problem was built with [`Problem::with_candidate_pruning`]).
+    #[must_use]
+    pub fn pruning_enabled(&self) -> bool {
+        self.cands.is_some()
+    }
+
+    /// True when some unplaced node has an empty live candidate set —
+    /// no conflict-free completion exists from this state, so the
+    /// search can back a failure value up immediately instead of
+    /// expanding the subtree. Always `false` without candidate pruning.
+    #[must_use]
+    pub fn doomed(&self) -> bool {
+        self.cands.as_ref().is_some_and(CandidateState::doomed)
+    }
+
+    /// [`MapEnv::action_mask`] intersected with the current node's live
+    /// candidate set. Identical to the plain mask without pruning; the
+    /// pruned-away legal actions are counted as
+    /// `search.prune.masked_actions`.
+    #[must_use]
+    pub fn search_mask(&self) -> Vec<bool> {
+        let mut mask = self.action_mask();
+        if let (Some(cands), Some(u)) = (self.cands.as_ref(), self.current_node()) {
+            let mut removed = 0u64;
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m && !cands.is_candidate(u, PeId(i as u32)) {
+                    *m = false;
+                    removed += 1;
+                }
+            }
+            if removed > 0 {
+                mapzero_obs::counter!("search.prune.masked_actions", removed);
+            }
+        }
+        mask
+    }
+
+    /// Legal actions restricted to the current node's live candidate
+    /// set (equal to [`MapEnv::legal_actions`] without pruning).
+    #[must_use]
+    pub fn search_actions(&self) -> Vec<PeId> {
+        self.search_mask()
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, ok)| ok.then_some(PeId(i as u32)))
+            .collect()
+    }
+
     /// Place the current node on `pe`, route every edge whose endpoints
     /// are now both placed, and return the step outcome.
     ///
@@ -208,6 +262,10 @@ impl<'a> MapEnv<'a> {
         }
         let placement = Placement { pe, time };
         self.placements[u.index()] = Some(placement);
+        if let Some(cands) = self.cands.as_mut() {
+            let map = self.problem.candidates().expect("live state implies a map");
+            cands.on_place(map, u, pe, &self.placements);
+        }
 
         // Route all edges whose endpoints are now both placed.
         let mut failed = 0usize;
@@ -261,6 +319,9 @@ impl<'a> MapEnv<'a> {
         }
         self.ledger.undo_to(record.checkpoint);
         self.total_reward -= record.reward;
+        if let Some(cands) = self.cands.as_mut() {
+            cands.on_undo();
+        }
         Some(u)
     }
 

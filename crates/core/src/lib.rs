@@ -42,6 +42,7 @@
 
 pub mod agent;
 pub mod augment;
+pub mod candidates;
 pub mod checkpoint;
 pub mod compiler;
 pub mod dse;
@@ -63,6 +64,7 @@ pub mod validate;
 pub mod viz;
 
 pub use agent::{AgentConfig, MapZeroAgent};
+pub use candidates::{CandidateMap, CandidateState};
 pub use checkpoint::{CheckpointError, CheckpointStore, LoadedGeneration};
 pub use compiler::{Compiler, IiBounds, MapZeroConfig};
 pub use failpoint::{FailAction, FailScope};

@@ -65,6 +65,18 @@ pub struct MctsConfig {
     /// Maximum leaves evaluated per batched forward (K). Values `< 1`
     /// behave as 1.
     pub leaf_batch: usize,
+    /// Build problems with precomputed candidate sets
+    /// ([`crate::candidates`]): the action mask is hard-pruned to each
+    /// node's live candidate set, placement order becomes fail-first
+    /// (scarcest node first) and states with an empty candidate set
+    /// back a failure up immediately. Consulted where problems are
+    /// constructed (compiler II loop, trainer episodes); a [`Problem`]
+    /// built without [`Problem::with_candidate_pruning`] always runs
+    /// the unpruned baseline.
+    ///
+    /// [`Problem`]: crate::problem::Problem
+    /// [`Problem::with_candidate_pruning`]: crate::problem::Problem::with_candidate_pruning
+    pub prune_candidates: bool,
 }
 
 impl Default for MctsConfig {
@@ -82,6 +94,7 @@ impl Default for MctsConfig {
             use_reference_forward: false,
             batch_leaves: true,
             leaf_batch: 8,
+            prune_candidates: true,
         }
     }
 }
@@ -248,6 +261,9 @@ fn state_key(env: &MapEnv<'_>) -> u64 {
     let problem = env.problem();
     let mut h = Fnv64::new();
     h.write_u64(u64::from(problem.ii()));
+    // Pruned and unpruned runs observe different masks for the same
+    // placement set, so they must never share cache entries.
+    h.write_usize(usize::from(env.pruning_enabled()));
     h.write_usize(problem.dfg().node_count());
     h.write_usize(problem.cgra().pe_count());
     for p in env.placements() {
@@ -334,6 +350,7 @@ impl<'n> Mcts<'n> {
         mapzero_obs::counter!("search.batch.flush", 0);
         mapzero_obs::counter!("search.batch.partial", 0);
         mapzero_obs::counter!("search.batch.cache_short_circuit", 0);
+        mapzero_obs::counter!("search.expand.offered", 0);
         cache.ensure_net(net);
         let rng = mapzero_nn::SeedRng::new(config.seed);
         Mcts {
@@ -494,7 +511,10 @@ impl<'n> Mcts<'n> {
                     let (child, net_value) = self.expand(env);
                     self.nodes[node].edges[edge_idx].child = Some(child);
                     self.nodes[child].visits += 1;
-                    if self.config.playout {
+                    // A doomed leaf cannot complete conflict-free, so a
+                    // playout from it is wasted work (no-op when pruning
+                    // is off — `doomed` is then always false).
+                    if self.config.playout && !env.doomed() {
                         let playout_value = self.playout(env, solution);
                         0.5 * (net_value + playout_value)
                     } else {
@@ -624,7 +644,19 @@ impl<'n> Mcts<'n> {
             match child {
                 Some(c) => node = c,
                 None => {
-                    let legal = env.legal_actions();
+                    if env.doomed() {
+                        // Forward checking emptied some node's candidate
+                        // set: back a failure up without a network query
+                        // or a playout (neither can rescue the state).
+                        mapzero_obs::counter!("search.prune.dead_state");
+                        mapzero_obs::counter!("mcts.expansions");
+                        self.nodes.push(TreeNode { edges: Vec::new(), visits: 1 });
+                        let leaf = self.nodes.len() - 1;
+                        self.nodes[node].edges[edge_idx].child = Some(leaf);
+                        budget.charge(1);
+                        return WalkResult::Resolved(self.backup(&path, &rewards, -1.0));
+                    }
+                    let legal = env.search_actions();
                     if legal.is_empty() {
                         // Dead-end leaf: expand inline (no network
                         // query — the masked softmax needs a legal
@@ -738,7 +770,16 @@ impl<'n> Mcts<'n> {
     /// Create a tree node for the environment state; returns the node
     /// index and the network's value estimate.
     fn expand(&mut self, env: &MapEnv<'_>) -> (usize, f64) {
-        let legal = env.legal_actions();
+        if env.doomed() {
+            // An unplaced node lost its last candidate: no conflict-free
+            // completion exists, so record the failure without burning
+            // a network query or a subtree on it.
+            mapzero_obs::counter!("search.prune.dead_state");
+            mapzero_obs::counter!("mcts.expansions");
+            self.nodes.push(TreeNode { edges: Vec::new(), visits: 0 });
+            return (self.nodes.len() - 1, -1.0);
+        }
+        let legal = env.search_actions();
         if legal.is_empty() {
             mapzero_obs::counter!("mcts.expansions");
             // Dead end: a scheduled node has no legal PE. Record an
@@ -755,6 +796,10 @@ impl<'n> Mcts<'n> {
     /// shared expansion kernel of the scalar and batched paths.
     fn expand_scored(&mut self, legal: Vec<PeId>, pred: &Prediction) -> (usize, f64) {
         mapzero_obs::counter!("mcts.expansions");
+        // Actions offered to this expansion (pre-cap): together with
+        // `mcts.expansions` this yields the effective branching factor
+        // the search_space bench reports.
+        mapzero_obs::counter!("search.expand.offered", legal.len() as u64);
         let mut scored: Vec<(PeId, f64)> = legal
             .into_iter()
             .map(|pe| (pe, f64::from(pred.log_probs[pe.index()].exp())))
@@ -822,7 +867,13 @@ impl<'n> Mcts<'n> {
                 return (acc + frac - 0.5).clamp(-1.0, 1.0);
             }
             steps += 1;
-            let legal = env.legal_actions();
+            if env.doomed() {
+                // Forward checking proved the rollout unwinnable; stop
+                // instead of placing the remaining nodes.
+                mapzero_obs::counter!("search.prune.dead_state");
+                return (acc - 1.0).clamp(-1.0, 1.0);
+            }
+            let legal = env.search_actions();
             if legal.is_empty() {
                 return (acc - 1.0).clamp(-1.0, 1.0);
             }

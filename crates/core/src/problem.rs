@@ -1,5 +1,6 @@
 //! A fully-specified mapping problem instance at a fixed II.
 
+use crate::candidates::CandidateMap;
 use crate::mapping::MapError;
 use mapzero_arch::Cgra;
 use mapzero_dfg::{mii, modulo_schedule_at, Dfg, NodeId, Schedule, ScheduleError};
@@ -17,8 +18,11 @@ pub struct Problem<'a> {
     schedule: Schedule,
     /// Placement order: ascending time slice, topological rank breaking
     /// ties (the paper's "scheduling order obtained by topological
-    /// sorting").
+    /// sorting"). With candidate pruning the primary key becomes
+    /// candidate scarcity (fail-first).
     order: Vec<NodeId>,
+    /// Precomputed per-node candidate sets (None on the unpruned path).
+    candidates: Option<CandidateMap>,
 }
 
 impl<'a> Problem<'a> {
@@ -42,7 +46,34 @@ impl<'a> Problem<'a> {
         let rank = dfg.topological_rank();
         let mut order: Vec<NodeId> = dfg.node_ids().collect();
         order.sort_by_key(|u| (schedule.time(*u), rank[u.index()]));
-        Ok(Problem { dfg, cgra, schedule, order })
+        Ok(Problem { dfg, cgra, schedule, order, candidates: None })
+    }
+
+    /// Attach precomputed candidate sets (the space/time-decoupled
+    /// pruning of the monomorphism mappers) and re-sort the placement
+    /// order fail-first: scarcest candidate set first, then schedule
+    /// time, topological rank and node id — a fully deterministic key,
+    /// so identical runs stay bit-reproducible across platforms.
+    ///
+    /// Environments built from the returned problem prune their action
+    /// masks to the live candidate sets and detect doomed states; see
+    /// [`crate::env::MapEnv::search_mask`].
+    #[must_use]
+    pub fn with_candidate_pruning(mut self) -> Self {
+        let map = CandidateMap::build(self.dfg, self.cgra, &self.schedule);
+        let rank = self.dfg.topological_rank();
+        let schedule = &self.schedule;
+        self.order.sort_by_key(|u| {
+            (map.candidate_count(*u), schedule.time(*u), rank[u.index()], u.0)
+        });
+        self.candidates = Some(map);
+        self
+    }
+
+    /// The precomputed candidate sets, when pruning is enabled.
+    #[must_use]
+    pub fn candidates(&self) -> Option<&CandidateMap> {
+        self.candidates.as_ref()
     }
 
     /// The minimum II bound for this (DFG, CGRA) pair.

@@ -49,6 +49,12 @@ bench:
 bench-hotpath:
     cargo run --release -p mapzero-bench --bin hotpath
 
+# Search-space bench: §2.5.1 size estimates plus the candidate-pruning
+# speedup and effective branching factor on the fig13 16x16 workload,
+# written to results/BENCH_search_space.json.
+bench-searchspace:
+    cargo run --release -p mapzero-bench --bin search_space
+
 # Batch-scaling slice of the hot-path bench: rerun it and print the
 # K=1/4/8/16 predictions/sec table (batched SIMD arm vs the scalar
 # one-at-a-time baseline) from results/BENCH_hotpath.json.

@@ -1,0 +1,207 @@
+//! Candidate-pruning invariants (DESIGN.md §13): the pruned action
+//! mask is always a subset of the legal mask, forward-checking restore
+//! is exact across undo, mappings found with pruning on are valid, the
+//! fail-first order is deterministic, and pruning never loses a
+//! Table-2 kernel at equal budget.
+
+use mapzero::core::validate;
+use mapzero::core::MapEnv;
+use mapzero::dfg::random::{random_dfg, RandomDfgConfig};
+use mapzero::prelude::*;
+use proptest::prelude::*;
+
+fn dfg_strategy() -> impl Strategy<Value = Dfg> {
+    (2usize..14, 0usize..8, 0usize..2, any::<u64>()).prop_map(
+        |(nodes, extra, cycles, seed)| {
+            random_dfg(
+                "prop",
+                &RandomDfgConfig {
+                    nodes,
+                    edges: nodes - 1 + extra,
+                    self_cycles: cycles,
+                    max_fanin: 3,
+                    seed,
+                },
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Along any pruned episode, the search mask is a subset of the
+    /// legal mask, and a step+undo round trip restores it bit-for-bit
+    /// (the trail/restore contract that keeps the prediction cache
+    /// sound).
+    #[test]
+    fn pruned_mask_is_subset_and_restores_exactly(
+        dfg in dfg_strategy(),
+        choices in proptest::collection::vec(0usize..64, 0..24),
+    ) {
+        let cgra = presets::simple_mesh(4, 4);
+        let Ok(mii) = Problem::mii(&dfg, &cgra) else { return Ok(()); };
+        let Ok(problem) = Problem::new(&dfg, &cgra, mii) else { return Ok(()); };
+        let problem = problem.with_candidate_pruning();
+        let mut env = MapEnv::new(&problem);
+        for pick in choices {
+            if env.done() || env.doomed() {
+                break;
+            }
+            let legal = env.legal_actions();
+            let search_mask = env.search_mask();
+            let search = env.search_actions();
+            // Subset: every pruned-mask bit is a legal-mask bit.
+            let mask = env.action_mask();
+            for (i, &s) in search_mask.iter().enumerate() {
+                prop_assert!(!s || mask[i], "pruned mask keeps illegal PE {i}");
+            }
+            prop_assert!(search.len() <= legal.len());
+            if search.is_empty() {
+                break;
+            }
+            // Step + undo restores the mask exactly.
+            let probe = search[pick % search.len()];
+            env.step(probe);
+            env.undo();
+            prop_assert_eq!(env.search_mask(), search_mask);
+            prop_assert_eq!(env.doomed(), false);
+            env.step(probe);
+        }
+    }
+
+    /// A doomed flag is conservative: whenever the pruned walk reaches
+    /// a complete conflict-free mapping, no prefix state was doomed.
+    #[test]
+    fn successful_walks_are_never_doomed(
+        dfg in dfg_strategy(),
+        choices in proptest::collection::vec(0usize..64, 0..24),
+    ) {
+        let cgra = presets::simple_mesh(4, 4);
+        let Ok(mii) = Problem::mii(&dfg, &cgra) else { return Ok(()); };
+        let Ok(problem) = Problem::new(&dfg, &cgra, mii) else { return Ok(()); };
+        let problem = problem.with_candidate_pruning();
+        let mut env = MapEnv::new(&problem);
+        let mut doomed_seen = false;
+        for pick in &choices {
+            if env.done() {
+                break;
+            }
+            doomed_seen |= env.doomed();
+            let search = env.search_actions();
+            if search.is_empty() {
+                break;
+            }
+            env.step(search[pick % search.len()]);
+        }
+        if env.success() {
+            prop_assert!(!doomed_seen, "a conflict-free mapping passed through a doomed state");
+            let mapping = env.final_mapping().expect("success implies a mapping");
+            prop_assert!(
+                validate::check_mapping(&dfg, &cgra, &mapping, mapping.ii).is_ok(),
+                "pruned walk produced an invalid mapping"
+            );
+        }
+    }
+}
+
+/// The fail-first order is a pure function of the problem: pinned for a
+/// fixed kernel/fabric/II so any platform- or iteration-order
+/// dependence shows up as a diff, and identical across rebuilds.
+#[test]
+fn scarcity_order_is_deterministic_and_pinned() {
+    let dfg = suite::by_name("mac").expect("kernel exists");
+    let cgra = presets::hrea();
+    let mii = Problem::mii(&dfg, &cgra).unwrap();
+    let a = Problem::new(&dfg, &cgra, mii).unwrap().with_candidate_pruning();
+    let b = Problem::new(&dfg, &cgra, mii).unwrap().with_candidate_pruning();
+    assert_eq!(a.order(), b.order(), "rebuild changed the order");
+    let ids: Vec<u32> = a.order().iter().map(|u| u.0).collect();
+    assert_eq!(
+        ids,
+        vec![0, 1, 2, 4, 5, 3, 6, 10, 8, 9, 7, 11],
+        "fail-first order for mac on HReA at MII drifted"
+    );
+}
+
+/// Two pruned compiles with the same seed visit the same placement
+/// sequence and produce identical mappings (bit-reproducibility with
+/// pruning on).
+#[test]
+fn pruned_compile_is_reproducible() {
+    let dfg = suite::by_name("conv2").expect("kernel exists");
+    let cgra = presets::hrea();
+    let run = || {
+        let mut config = MapZeroConfig::fast_test();
+        assert!(config.agent.mcts.prune_candidates, "pruning defaults on");
+        config.agent.mcts.seed = 7;
+        let mut compiler = Compiler::new(config);
+        compiler.map(&dfg, &cgra).expect("conv2 maps on HReA")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.mapping, b.mapping, "pruned compile is not reproducible");
+}
+
+/// Table-2 smoke at equal (deterministic) budget: pruning on must not
+/// lose any kernel the unpruned arm maps, and every pruned mapping
+/// must pass the full validator.
+#[test]
+fn pruning_never_loses_a_kernel_at_equal_budget() {
+    let cgra = presets::hrea();
+    for dfg in suite::small() {
+        let arm = |prune: bool| {
+            let mut config = MapZeroConfig::fast_test();
+            config.agent.mcts.prune_candidates = prune;
+            config.expansion_budget = Some(6_000);
+            let mut compiler = Compiler::new(config);
+            compiler.map(&dfg, &cgra).ok().and_then(|r| r.mapping)
+        };
+        let pruned = arm(true);
+        let unpruned = arm(false);
+        assert!(
+            pruned.is_some() >= unpruned.is_some(),
+            "{}: pruning lost the mapping (off={}, on={})",
+            dfg.name(),
+            unpruned.is_some(),
+            pruned.is_some()
+        );
+        if let Some(mapping) = &pruned {
+            validate::check_mapping(&dfg, &cgra, mapping, mapping.ii)
+                .unwrap_or_else(|e| panic!("{}: pruned mapping invalid: {e:?}", dfg.name()));
+        }
+    }
+}
+
+/// The prune counters surface through `MapReport::telemetry` when
+/// telemetry is enabled. One test function: the enable flag is
+/// process-global.
+#[test]
+fn prune_counters_surface_in_report_telemetry() {
+    use mapzero::obs::sink::{MemorySink, TelemetrySink};
+    use std::sync::Arc;
+    let sink = Arc::new(MemorySink::new());
+    mapzero::obs::sink::install_sink(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+
+    let dfg = suite::by_name("conv2").expect("kernel exists");
+    let cgra = presets::hrea();
+    let mut compiler = Compiler::new(MapZeroConfig::fast_test());
+    let report = compiler.map(&dfg, &cgra).expect("conv2 maps onto HReA");
+    let t = report.telemetry.as_ref().expect("telemetry was enabled");
+
+    assert!(
+        t.counter("search.prune.candidate_rebuild") > 0,
+        "no candidate build recorded: {:?}",
+        t.counters
+    );
+    // Registered at build time, so present (possibly zero) in the delta.
+    for name in ["search.prune.masked_actions", "search.prune.dead_state"] {
+        assert!(t.counters.contains_key(name), "{name} absent: {:?}", t.counters);
+    }
+    let (count, _) = t
+        .histograms
+        .get("search.candidates.per_node")
+        .copied()
+        .expect("per-node candidate histogram recorded");
+    assert!(count >= dfg.node_count() as u64, "histogram saw {count} nodes");
+}
